@@ -1,0 +1,100 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/timer.h"
+#include "eval/matching.h"
+
+namespace proclus::bench {
+
+BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      options.scale = 0.1;
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      options.scale = std::atof(arg + 8);
+      if (options.scale <= 0.0) options.scale = 1.0;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      options.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--algo-seed=", 12) == 0) {
+      options.algo_seed = static_cast<uint64_t>(std::atoll(arg + 12));
+    } else if (std::strncmp(arg, "--reps=", 7) == 0) {
+      options.repetitions = static_cast<size_t>(std::atoll(arg + 7));
+      if (options.repetitions == 0) options.repetitions = 1;
+    }
+  }
+  return options;
+}
+
+GeneratorParams Case1Params(const BenchOptions& options) {
+  GeneratorParams params;
+  params.num_points = options.Points();
+  params.space_dims = 20;
+  params.num_clusters = 5;
+  params.cluster_dim_counts = {7, 7, 7, 7, 7};
+  params.outlier_fraction = 0.05;
+  params.seed = options.seed;
+  return params;
+}
+
+GeneratorParams Case2Params(const BenchOptions& options) {
+  GeneratorParams params;
+  params.num_points = options.Points();
+  params.space_dims = 20;
+  params.num_clusters = 5;
+  // The paper's second file: two 2-d clusters, one 3-d, one 6-d, one 7-d
+  // (average l = 4).
+  params.cluster_dim_counts = {7, 3, 2, 6, 2};
+  params.outlier_fraction = 0.05;
+  params.seed = options.seed;
+  return params;
+}
+
+ProclusParams DefaultProclus(size_t k, double l, uint64_t seed) {
+  ProclusParams params;
+  params.num_clusters = k;
+  params.avg_dims = l;
+  params.seed = seed;
+  return params;
+}
+
+HarnessRun RunProclusHarness(const SyntheticData& data,
+                             const ProclusParams& params) {
+  Timer timer;
+  auto result = RunProclus(data.dataset, params);
+  double seconds = timer.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "PROCLUS failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto confusion = ConfusionMatrix::Build(
+      result->labels, params.num_clusters, data.truth.labels,
+      data.truth.num_clusters());
+  if (!confusion.ok()) {
+    std::fprintf(stderr, "confusion failed: %s\n",
+                 confusion.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<int> match = MatchClusters(*confusion);
+  return HarnessRun{std::move(result).value(), std::move(confusion).value(),
+                    std::move(match), seconds};
+}
+
+void PrintKV(const std::string& key, const std::string& value) {
+  std::printf("%-32s = %s\n", key.c_str(), value.c_str());
+}
+
+void PrintKV(const std::string& key, double value) {
+  std::printf("%-32s = %.4f\n", key.c_str(), value);
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace proclus::bench

@@ -1,0 +1,249 @@
+// Google-benchmark microbenchmarks of the library's hot kernels: distance
+// functions, segmental distance, the synthetic generator, greedy medoid
+// selection, locality statistics, point assignment, and CLIQUE dense-unit
+// mining.
+
+#include <benchmark/benchmark.h>
+
+#include "clique/dense_units.h"
+#include "clique/grid.h"
+#include "common/eigen.h"
+#include "common/rng.h"
+#include "core/assign.h"
+#include "core/classify.h"
+#include "core/find_dimensions.h"
+#include "core/greedy.h"
+#include "core/proclus.h"
+#include "distance/metric.h"
+#include "distance/segmental.h"
+#include "extensions/orclus.h"
+#include "gen/synthetic.h"
+
+namespace proclus {
+namespace {
+
+std::vector<double> RandomPoint(size_t dims, Rng& rng) {
+  std::vector<double> p(dims);
+  for (double& v : p) v = rng.Uniform(0, 100);
+  return p;
+}
+
+void BM_ManhattanDistance(benchmark::State& state) {
+  Rng rng(1);
+  const size_t d = static_cast<size_t>(state.range(0));
+  auto a = RandomPoint(d, rng), b = RandomPoint(d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ManhattanDistance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_ManhattanDistance)->Arg(20)->Arg(100)->Arg(1000);
+
+void BM_EuclideanDistance(benchmark::State& state) {
+  Rng rng(2);
+  const size_t d = static_cast<size_t>(state.range(0));
+  auto a = RandomPoint(d, rng), b = RandomPoint(d, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EuclideanDistance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * d);
+}
+BENCHMARK(BM_EuclideanDistance)->Arg(20)->Arg(100);
+
+void BM_SegmentalDistance(benchmark::State& state) {
+  Rng rng(3);
+  const size_t d = 50;
+  const size_t subset = static_cast<size_t>(state.range(0));
+  auto a = RandomPoint(d, rng), b = RandomPoint(d, rng);
+  std::vector<uint32_t> dims;
+  for (size_t i = 0; i < subset; ++i)
+    dims.push_back(static_cast<uint32_t>(i * (d / subset)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ManhattanSegmentalDistance(a, b, dims));
+  }
+  state.SetItemsProcessed(state.iterations() * subset);
+}
+BENCHMARK(BM_SegmentalDistance)->Arg(2)->Arg(7)->Arg(25);
+
+void BM_SyntheticGenerator(benchmark::State& state) {
+  GeneratorParams params;
+  params.num_points = static_cast<size_t>(state.range(0));
+  params.space_dims = 20;
+  params.num_clusters = 5;
+  params.poisson_mean = 5.0;
+  params.seed = 5;
+  for (auto _ : state) {
+    auto result = GenerateSynthetic(params);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * params.num_points);
+}
+BENCHMARK(BM_SyntheticGenerator)->Arg(10000)->Arg(100000);
+
+void BM_GreedyPick(benchmark::State& state) {
+  GeneratorParams gen;
+  gen.num_points = 2000;
+  gen.space_dims = 20;
+  gen.num_clusters = 5;
+  gen.poisson_mean = 5.0;
+  gen.seed = 7;
+  auto data = GenerateSynthetic(gen);
+  std::vector<size_t> candidates(data->dataset.size());
+  for (size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+  for (auto _ : state) {
+    Rng rng(11);
+    benchmark::DoNotOptimize(GreedyPick(data->dataset, candidates,
+                                        static_cast<size_t>(state.range(0)),
+                                        MetricKind::kManhattan, rng));
+  }
+}
+BENCHMARK(BM_GreedyPick)->Arg(10)->Arg(50);
+
+void BM_LocalityStats(benchmark::State& state) {
+  GeneratorParams gen;
+  gen.num_points = static_cast<size_t>(state.range(0));
+  gen.space_dims = 20;
+  gen.num_clusters = 5;
+  gen.cluster_dim_counts = {5, 5, 5, 5, 5};
+  gen.seed = 13;
+  auto data = GenerateSynthetic(gen);
+  std::vector<size_t> medoids{0, gen.num_points / 5, 2 * gen.num_points / 5,
+                              3 * gen.num_points / 5,
+                              4 * gen.num_points / 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(internal::LocalityStats(data->dataset, medoids));
+  }
+  state.SetItemsProcessed(state.iterations() * gen.num_points);
+}
+BENCHMARK(BM_LocalityStats)->Arg(10000)->Arg(50000);
+
+void BM_AssignPoints(benchmark::State& state) {
+  GeneratorParams gen;
+  gen.num_points = static_cast<size_t>(state.range(0));
+  gen.space_dims = 20;
+  gen.num_clusters = 5;
+  gen.cluster_dim_counts = {5, 5, 5, 5, 5};
+  gen.seed = 17;
+  auto data = GenerateSynthetic(gen);
+  std::vector<size_t> medoids{0, gen.num_points / 5, 2 * gen.num_points / 5,
+                              3 * gen.num_points / 5,
+                              4 * gen.num_points / 5};
+  std::vector<DimensionSet> dims(5, DimensionSet(20, {0, 4, 9, 13, 19}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AssignPoints(data->dataset, medoids, dims));
+  }
+  state.SetItemsProcessed(state.iterations() * gen.num_points);
+}
+BENCHMARK(BM_AssignPoints)->Arg(10000)->Arg(50000);
+
+void BM_FindDimensions(benchmark::State& state) {
+  Rng rng(19);
+  const size_t k = 5, d = static_cast<size_t>(state.range(0));
+  Matrix X(k, d);
+  for (size_t i = 0; i < k; ++i)
+    for (size_t j = 0; j < d; ++j) X(i, j) = rng.Uniform(0, 30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindDimensions(X, 5.0));
+  }
+}
+BENCHMARK(BM_FindDimensions)->Arg(20)->Arg(100);
+
+void BM_CliqueDenseUnits(benchmark::State& state) {
+  GeneratorParams gen;
+  gen.num_points = static_cast<size_t>(state.range(0));
+  gen.space_dims = 10;
+  gen.num_clusters = 3;
+  gen.cluster_dim_counts = {4, 4, 4};
+  gen.seed = 23;
+  auto data = GenerateSynthetic(gen);
+  auto grid = Grid::Build(data->dataset, 10);
+  auto cells = grid->QuantizeAll(data->dataset);
+  MinerParams params;
+  params.xi = 10;
+  params.tau_percent = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MineDenseUnits(cells, gen.num_points, 10, params));
+  }
+  state.SetItemsProcessed(state.iterations() * gen.num_points);
+}
+BENCHMARK(BM_CliqueDenseUnits)->Arg(10000)->Arg(30000);
+
+void BM_ProclusEndToEnd(benchmark::State& state) {
+  GeneratorParams gen;
+  gen.num_points = static_cast<size_t>(state.range(0));
+  gen.space_dims = 20;
+  gen.num_clusters = 5;
+  gen.cluster_dim_counts = {5, 5, 5, 5, 5};
+  gen.seed = 29;
+  auto data = GenerateSynthetic(gen);
+  for (auto _ : state) {
+    ProclusParams params;
+    params.num_clusters = 5;
+    params.avg_dims = 5.0;
+    params.seed = 31;
+    benchmark::DoNotOptimize(RunProclus(data->dataset, params));
+  }
+  state.SetItemsProcessed(state.iterations() * gen.num_points);
+}
+BENCHMARK(BM_ProclusEndToEnd)->Unit(benchmark::kMillisecond)->Arg(10000);
+
+void BM_ClassifyPoints(benchmark::State& state) {
+  GeneratorParams gen;
+  gen.num_points = static_cast<size_t>(state.range(0));
+  gen.space_dims = 20;
+  gen.num_clusters = 5;
+  gen.cluster_dim_counts = {5, 5, 5, 5, 5};
+  gen.seed = 37;
+  auto data = GenerateSynthetic(gen);
+  ProclusParams params;
+  params.num_clusters = 5;
+  params.avg_dims = 5.0;
+  params.seed = 41;
+  auto model = RunProclus(data->dataset, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClassifyPoints(*model, data->dataset));
+  }
+  state.SetItemsProcessed(state.iterations() * gen.num_points);
+}
+BENCHMARK(BM_ClassifyPoints)->Arg(10000)->Arg(50000);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  Rng rng(43);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = i; j < n; ++j) {
+      m(i, j) = rng.Uniform(-1, 1);
+      m(j, i) = m(i, j);
+    }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JacobiEigen(m));
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_OrclusEndToEnd(benchmark::State& state) {
+  GeneratorParams gen;
+  gen.num_points = static_cast<size_t>(state.range(0));
+  gen.space_dims = 12;
+  gen.num_clusters = 3;
+  gen.cluster_dim_counts = {4, 4, 4};
+  gen.outlier_fraction = 0.0;
+  gen.seed = 47;
+  auto data = GenerateSynthetic(gen);
+  for (auto _ : state) {
+    OrclusParams params;
+    params.num_clusters = 3;
+    params.subspace_dims = 4;
+    params.seed = 53;
+    benchmark::DoNotOptimize(RunOrclus(data->dataset, params));
+  }
+  state.SetItemsProcessed(state.iterations() * gen.num_points);
+}
+BENCHMARK(BM_OrclusEndToEnd)->Unit(benchmark::kMillisecond)->Arg(5000);
+
+}  // namespace
+}  // namespace proclus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+// Reproduces Table 1 of the paper: dimensions of the input clusters versus
+// the output clusters on a Case 1 file (all five clusters generated in
+// 7-dimensional subspaces of a 20-dimensional space, N = 100,000, 5%
+// outliers; PROCLUS run with k = 5, l = 7).
+//
+// Expected shape: a one-to-one correspondence between output and input
+// clusters with identical dimension sets (the paper reports a perfect
+// match) and cluster sizes close to the generated ones.
+
+#include "table_common.h"
+
+int main(int argc, char** argv) {
+  using namespace proclus::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  return RunTableExperiment(
+      "Table 1: input vs output cluster dimensions (Case 1, l = 7)",
+      Case1Params(options), /*avg_dims=*/7.0, options,
+      TableKind::kDimensions);
+}

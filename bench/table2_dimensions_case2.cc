@@ -1,0 +1,19 @@
+// Reproduces Table 2 of the paper: dimensions of input vs output clusters
+// on a Case 2 file (clusters generated in subspaces of DIFFERENT
+// dimensionality: 7, 3, 2, 6 and 2 dimensions; average l = 4; N = 100,000,
+// d = 20, 5% outliers; PROCLUS run with k = 5, l = 4).
+//
+// Expected shape: the paper reports a perfect correspondence between the
+// dimension sets of matched input/output clusters even though the
+// cardinalities differ per cluster.
+
+#include "table_common.h"
+
+int main(int argc, char** argv) {
+  using namespace proclus::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  return RunTableExperiment(
+      "Table 2: input vs output cluster dimensions (Case 2, l = 4)",
+      Case2Params(options), /*avg_dims=*/4.0, options,
+      TableKind::kDimensions);
+}

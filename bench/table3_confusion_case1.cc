@@ -1,0 +1,17 @@
+// Reproduces Table 3 of the paper: the confusion matrix between output and
+// input clusters on the Case 1 file (same run configuration as Table 1).
+//
+// Expected shape: each output row dominated by a single input cluster,
+// a small number of generated outliers absorbed into clusters (they were
+// placed uniformly, so some land inside cluster regions), and a sizable
+// outlier row.
+
+#include "table_common.h"
+
+int main(int argc, char** argv) {
+  using namespace proclus::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  return RunTableExperiment(
+      "Table 3: confusion matrix (Case 1, l = 7)", Case1Params(options),
+      /*avg_dims=*/7.0, options, TableKind::kConfusion);
+}

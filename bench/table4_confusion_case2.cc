@@ -1,0 +1,16 @@
+// Reproduces Table 4 of the paper: the confusion matrix on the Case 2 file
+// with clusters of different dimensionality (same run as Table 2).
+//
+// Expected shape: like Table 3 a dominant input cluster per output row,
+// with slightly more misplaced points than Case 1 (the paper's Table 4
+// also shows small off-diagonal counts).
+
+#include "table_common.h"
+
+int main(int argc, char** argv) {
+  using namespace proclus::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  return RunTableExperiment(
+      "Table 4: confusion matrix (Case 2, l = 4)", Case2Params(options),
+      /*avg_dims=*/4.0, options, TableKind::kConfusion);
+}

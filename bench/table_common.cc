@@ -1,0 +1,80 @@
+#include "table_common.h"
+
+#include <cstdio>
+
+#include "eval/matching.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace proclus::bench {
+
+int RunTableExperiment(const char* title, const GeneratorParams& gen_params,
+                       double avg_dims, const BenchOptions& options,
+                       TableKind kind) {
+  PrintHeader(title);
+  PrintKV("N", static_cast<double>(gen_params.num_points));
+  PrintKV("d", static_cast<double>(gen_params.space_dims));
+  PrintKV("k", static_cast<double>(gen_params.num_clusters));
+  PrintKV("l (avg dims)", avg_dims);
+
+  auto data = GenerateSynthetic(gen_params);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+
+  ProclusParams params =
+      DefaultProclus(gen_params.num_clusters, avg_dims, options.algo_seed);
+  HarnessRun run = RunProclusHarness(*data, params);
+
+  const size_t k = gen_params.num_clusters;
+  if (kind == TableKind::kDimensions) {
+    std::vector<size_t> truth_sizes = data->truth.ClusterSizes();
+    std::vector<size_t> input_sizes(truth_sizes.begin(),
+                                    truth_sizes.begin() + k);
+    size_t input_outliers = truth_sizes[k];
+    std::vector<size_t> output_sizes(k, 0);
+    for (int label : run.clustering.labels)
+      if (label != kOutlierLabel) ++output_sizes[static_cast<size_t>(label)];
+    std::printf("%s\n",
+                RenderDimensionTable(data->truth.cluster_dims, input_sizes,
+                                     input_outliers,
+                                     run.clustering.dimensions, output_sizes,
+                                     run.clustering.NumOutliers())
+                    .c_str());
+    // Dimension-recovery summary under the optimal matching.
+    DimensionRecovery recovery = ScoreDimensionRecovery(
+        run.clustering.dimensions, data->truth.cluster_dims, run.match);
+    PrintKV("matched-dim mean Jaccard", recovery.mean_jaccard);
+    PrintKV("matched-dim exact fraction", recovery.exact_fraction);
+    for (size_t i = 0; i < k; ++i) {
+      std::printf("  output %zu -> input %s (dims found {%s} vs true {%s})\n",
+                  i + 1,
+                  run.match[i] >= 0
+                      ? ClusterLetter(static_cast<size_t>(run.match[i]))
+                            .c_str()
+                      : "-",
+                  run.clustering.dimensions[i].ToListString(1).c_str(),
+                  run.match[i] >= 0
+                      ? data->truth
+                            .cluster_dims[static_cast<size_t>(run.match[i])]
+                            .ToListString(1)
+                            .c_str()
+                      : "-");
+    }
+  } else {
+    std::printf("%s\n", RenderConfusionTable(run.confusion).c_str());
+    PrintKV("dominant accuracy", run.confusion.DominantAccuracy());
+    PrintKV("matched accuracy", MatchedAccuracy(run.confusion));
+    PrintKV("ARI", AdjustedRandIndex(run.clustering.labels,
+                                     data->truth.labels));
+  }
+  PrintKV("output outliers", static_cast<double>(
+                                 run.clustering.NumOutliers()));
+  PrintKV("iterations", static_cast<double>(run.clustering.iterations));
+  PrintKV("proclus seconds", run.seconds);
+  return 0;
+}
+
+}  // namespace proclus::bench

@@ -1,0 +1,23 @@
+// Shared implementation of the Table 1-4 harness binaries: runs PROCLUS on
+// a Case 1 / Case 2 input file and prints the paper's dimension table
+// (Tables 1/2) and confusion matrix (Tables 3/4).
+
+#ifndef PROCLUS_BENCH_TABLE_COMMON_H_
+#define PROCLUS_BENCH_TABLE_COMMON_H_
+
+#include "bench_util.h"
+
+namespace proclus::bench {
+
+/// Which of the two paper artifacts to print.
+enum class TableKind { kDimensions, kConfusion };
+
+/// Runs the full Table 1-4 experiment for the given case parameters and
+/// prints the requested table. Returns 0 on success.
+int RunTableExperiment(const char* title, const GeneratorParams& gen_params,
+                       double avg_dims, const BenchOptions& options,
+                       TableKind kind);
+
+}  // namespace proclus::bench
+
+#endif  // PROCLUS_BENCH_TABLE_COMMON_H_

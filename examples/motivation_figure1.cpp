@@ -1,0 +1,150 @@
+// Figure 1 of the paper, as a runnable demonstration: two clusters in
+// 3-dimensional space, one tight in the x-y plane (spread along z), the
+// other tight in the x-z plane (spread along y). Full-dimensional k-means
+// cannot separate them; PROCLUS recovers both the partition and the
+// relevant dimensions; and classic feature selection cannot help because
+// every dimension matters to at least one cluster.
+//
+// Run: ./build/examples/motivation_figure1
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "baselines/dbscan.h"
+#include "baselines/kmeans.h"
+#include "common/rng.h"
+#include "core/proclus.h"
+#include "eval/metrics.h"
+#include "gen/ground_truth.h"
+#include "gen/synthetic.h"
+
+int main() {
+  using namespace proclus;
+  Rng rng(7);
+
+  // Cluster 0: correlated in (x, y), uniform in z.
+  // Cluster 1: correlated in (x, z), uniform in y.
+  const size_t per_cluster = 2000;
+  Matrix m(2 * per_cluster, 3);
+  std::vector<int> truth(2 * per_cluster);
+  for (size_t i = 0; i < per_cluster; ++i) {
+    m(i, 0) = rng.Normal(30.0, 2.0);
+    m(i, 1) = rng.Normal(70.0, 2.0);
+    m(i, 2) = rng.Uniform(0.0, 100.0);
+    truth[i] = 0;
+    m(per_cluster + i, 0) = rng.Normal(60.0, 2.0);
+    m(per_cluster + i, 1) = rng.Uniform(0.0, 100.0);
+    m(per_cluster + i, 2) = rng.Normal(20.0, 2.0);
+    truth[per_cluster + i] = 1;
+  }
+  Dataset ds(std::move(m));
+  ds.set_dim_names({"x", "y", "z"});
+
+  std::printf("Two projected clusters in 3-d space:\n");
+  std::printf("  cluster A lives in the x-y plane (z is noise)\n");
+  std::printf("  cluster B lives in the x-z plane (y is noise)\n\n");
+
+  // Full-dimensional k-means.
+  KMeansParams kparams;
+  kparams.num_clusters = 2;
+  kparams.seed = 3;
+  auto kmeans = RunKMeans(ds, kparams);
+  if (!kmeans.ok()) return 1;
+  double kmeans_ari = AdjustedRandIndex(kmeans->labels, truth);
+
+  // Full-dimensional DBSCAN (best over a small eps sweep).
+  double dbscan_ari = -1.0;
+  for (double eps : {5.0, 10.0, 20.0, 40.0}) {
+    DbscanParams dparams;
+    dparams.eps = eps;
+    dparams.min_points = 10;
+    auto dbscan = RunDbscan(ds, dparams);
+    if (dbscan.ok())
+      dbscan_ari =
+          std::max(dbscan_ari, AdjustedRandIndex(dbscan->labels, truth));
+  }
+
+  // PROCLUS with k = 2, l = 2.
+  ProclusParams pparams;
+  pparams.num_clusters = 2;
+  pparams.avg_dims = 2.0;
+  pparams.seed = 3;
+  pparams.detect_outliers = false;
+  auto proclus_result = RunProclus(ds, pparams);
+  if (!proclus_result.ok()) return 1;
+  double proclus_ari = AdjustedRandIndex(proclus_result->labels, truth);
+
+  std::printf("full-dimensional k-means ARI: %.4f\n", kmeans_ari);
+  std::printf("full-dimensional DBSCAN ARI:  %.4f (best of eps sweep)\n",
+              dbscan_ari);
+  std::printf("PROCLUS ARI:                  %.4f\n\n", proclus_ari);
+  for (size_t i = 0; i < 2; ++i) {
+    std::printf("PROCLUS cluster %zu dimensions: {", i + 1);
+    bool first = true;
+    for (uint32_t dim : proclus_result->dimensions[i].ToVector()) {
+      std::printf("%s%s", first ? "" : ", ", ds.dim_names()[dim].c_str());
+      first = false;
+    }
+    std::printf("}\n");
+  }
+  std::printf("\nIn 3 dimensions a tuned density method can still cope "
+              "(only 1 of 3\ndimensions is noise per cluster). The gap "
+              "opens as dimensionality grows:\n\n");
+
+  // Act two: 20-dimensional space, clusters correlated in 2 dimensions.
+  GeneratorParams gen;
+  gen.num_points = 4000;
+  gen.space_dims = 20;
+  gen.num_clusters = 3;
+  gen.cluster_dim_counts = {2, 2, 2};
+  gen.outlier_fraction = 0.0;
+  gen.seed = 12;
+  auto high = GenerateSynthetic(gen);
+  if (!high.ok()) return 1;
+
+  KMeansParams kparams2;
+  kparams2.num_clusters = 3;
+  kparams2.seed = 3;
+  auto kmeans_high = RunKMeans(high->dataset, kparams2);
+  double kmeans_high_ari =
+      kmeans_high.ok()
+          ? AdjustedRandIndex(kmeans_high->labels, high->truth.labels)
+          : 0.0;
+
+  double dbscan_high_ari = -1.0;
+  for (double eps : {30.0, 50.0, 70.0, 90.0, 110.0}) {
+    DbscanParams dparams;
+    dparams.eps = eps;
+    dparams.min_points = 10;
+    auto dbscan = RunDbscan(high->dataset, dparams);
+    if (dbscan.ok())
+      dbscan_high_ari = std::max(
+          dbscan_high_ari,
+          AdjustedRandIndex(dbscan->labels, high->truth.labels));
+  }
+
+  ProclusParams pparams2;
+  pparams2.num_clusters = 3;
+  pparams2.avg_dims = 2.0;
+  pparams2.seed = 3;
+  pparams2.detect_outliers = false;
+  auto proclus_high = RunProclus(high->dataset, pparams2);
+  double proclus_high_ari =
+      proclus_high.ok()
+          ? AdjustedRandIndex(proclus_high->labels, high->truth.labels)
+          : 0.0;
+
+  std::printf("20 dims, clusters correlated in only 2:\n");
+  std::printf("  k-means ARI: %.4f\n", kmeans_high_ari);
+  std::printf("  DBSCAN ARI:  %.4f (best of eps sweep)\n",
+              dbscan_high_ari);
+  std::printf("  PROCLUS ARI: %.4f\n", proclus_high_ari);
+  std::printf("\nPROCLUS recovers the projections; full-dimensional "
+              "methods are blinded\nby the noise dimensions.\n");
+  return proclus_ari > kmeans_ari &&
+                 proclus_high_ari >
+                     std::max(kmeans_high_ari, dbscan_high_ari)
+             ? 0
+             : 1;
+}

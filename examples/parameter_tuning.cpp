@@ -1,0 +1,61 @@
+// Choosing the average cluster dimensionality l automatically.
+//
+// PROCLUS needs l as input, but Section 4.3 of the paper observes that
+// its runtime is nearly independent of l, so one can simply re-run with
+// several values. AutoTuneAvgDims automates this: it clusters, counts
+// the dimensions on which each cluster is genuinely correlated (average
+// deviation far below the dataset-wide level), and re-clusters with the
+// estimated l until the estimate stabilizes.
+//
+// Run: ./build/examples/parameter_tuning
+
+#include <cstdio>
+
+#include "core/tune.h"
+#include "gen/synthetic.h"
+
+int main() {
+  using namespace proclus;
+
+  // Hidden structure: clusters in 5-dimensional subspaces. We pretend
+  // not to know that and start the tuner from a wrong guess.
+  GeneratorParams gen;
+  gen.num_points = 8000;
+  gen.space_dims = 18;
+  gen.num_clusters = 4;
+  gen.cluster_dim_counts = {5, 5, 5, 5};
+  gen.seed = 911;
+  auto data = GenerateSynthetic(gen);
+  if (!data.ok()) return 1;
+
+  ProclusParams base;
+  base.num_clusters = 4;
+  base.seed = 3;
+
+  TuneParams tune;
+  tune.initial_avg_dims = 9.0;  // Deliberately far from the truth.
+  auto result = AutoTuneAvgDims(data->dataset, base, tune);
+  if (!result.ok()) {
+    std::fprintf(stderr, "tuning failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-8s %-14s %-14s %-12s\n", "round", "l used",
+              "l estimated", "objective");
+  for (size_t i = 0; i < result->rounds.size(); ++i) {
+    const TuneRound& round = result->rounds[i];
+    std::printf("%-8zu %-14.1f %-14.2f %-12.4f\n", i + 1,
+                round.avg_dims_used, round.avg_dims_estimated,
+                round.objective);
+  }
+  std::printf("\nselected l = %.1f (true average dimensionality: 5)\n",
+              result->selected_avg_dims);
+  for (size_t i = 0; i < result->clustering.num_clusters(); ++i) {
+    std::printf("cluster %zu dims: %s\n", i + 1,
+                result->clustering.dimensions[i].ToString().c_str());
+  }
+  bool close = result->selected_avg_dims >= 4.0 &&
+               result->selected_avg_dims <= 6.0;
+  return close ? 0 : 1;
+}

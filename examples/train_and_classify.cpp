@@ -1,0 +1,71 @@
+// The production workflow: fit a projected clustering once, persist it,
+// and classify new points against the saved model — no training data
+// needed at serving time.
+//
+// Run: ./build/examples/train_and_classify
+
+#include <cstdio>
+
+#include "core/classify.h"
+#include "core/model_io.h"
+#include "core/proclus.h"
+#include "eval/metrics.h"
+#include "gen/synthetic.h"
+
+int main() {
+  using namespace proclus;
+
+  // "Historical" data to fit on.
+  GeneratorParams gen;
+  gen.num_points = 12000;
+  gen.space_dims = 16;
+  gen.num_clusters = 4;
+  gen.cluster_dim_counts = {4, 4, 4, 4};
+  gen.seed = 63;
+  auto train = GenerateSynthetic(gen);
+  if (!train.ok()) return 1;
+
+  ProclusParams params;
+  params.num_clusters = 4;
+  params.avg_dims = 4.0;
+  params.seed = 3;
+  auto model = RunProclus(train->dataset, params);
+  if (!model.ok()) return 1;
+  std::printf("fitted: %zu clusters, objective %.4f\n",
+              model->num_clusters(), model->objective);
+
+  // Persist and reload (e.g. ship to a serving process).
+  const std::string path = "/tmp/proclus_demo.model";
+  if (!SaveModelFile(*model, path).ok()) return 1;
+  auto serving_model = LoadModelFile(path);
+  if (!serving_model.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 serving_model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("model saved to %s and reloaded (%zu clusters)\n",
+              path.c_str(), serving_model->num_clusters());
+
+  // "Tomorrow's" data: a fresh sample from the same population.
+  auto fresh = GenerateSynthetic(gen);
+  if (!fresh.ok()) return 1;
+  auto labels = ClassifyPoints(*serving_model, fresh->dataset);
+  if (!labels.ok()) return 1;
+
+  size_t outliers = 0;
+  for (int label : *labels)
+    if (label == kOutlierLabel) ++outliers;
+  double ari = AdjustedRandIndex(*labels, fresh->truth.labels);
+  std::printf("classified %zu fresh points: ARI vs their ground truth "
+              "%.4f, %zu flagged as outliers\n",
+              fresh->dataset.size(), ari, outliers);
+
+  // Single-point serving path.
+  auto one = ClassifyPoint(*serving_model, fresh->dataset.point(0));
+  if (!one.ok()) return 1;
+  std::printf("point 0 -> %s\n",
+              *one == kOutlierLabel
+                  ? "outlier"
+                  : ("cluster " + std::to_string(*one + 1)).c_str());
+  return ari > 0.8 ? 0 : 1;
+}

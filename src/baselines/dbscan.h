@@ -1,0 +1,52 @@
+// DBSCAN (Ester, Kriegel, Sander, Xu — KDD 1996): the canonical
+// density-based full-dimensional baseline, referenced by the paper as
+// the alternative clustering family ([9] in its bibliography). Included
+// to round out the full-dimensional comparison set: like k-means and
+// CLARANS it operates on all dimensions at once, so it inherits the same
+// blindness to projected clusters, and unlike the medoid methods it
+// labels low-density points as noise.
+
+#ifndef PROCLUS_BASELINES_DBSCAN_H_
+#define PROCLUS_BASELINES_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "distance/metric.h"
+
+namespace proclus {
+
+/// DBSCAN parameters.
+struct DbscanParams {
+  /// Neighborhood radius.
+  double eps = 1.0;
+  /// Minimum neighborhood size (the point itself included) for a core
+  /// point.
+  size_t min_points = 5;
+  MetricKind metric = MetricKind::kEuclidean;
+
+  Status Validate() const;
+};
+
+/// DBSCAN result.
+struct DbscanResult {
+  /// Per-point cluster id in [0, num_clusters), or kOutlierLabel for
+  /// noise points.
+  std::vector<int> labels;
+  /// Number of clusters discovered.
+  size_t num_clusters = 0;
+  /// Number of core points.
+  size_t core_points = 0;
+};
+
+/// Runs DBSCAN with a quadratic neighborhood search (exact; suitable for
+/// the evaluation scales used here). Deterministic: clusters are
+/// numbered by the lowest-index core point that seeds them.
+Result<DbscanResult> RunDbscan(const Dataset& dataset,
+                               const DbscanParams& params);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_BASELINES_DBSCAN_H_

@@ -1,0 +1,158 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "distance/metric.h"
+
+namespace proclus {
+
+Status KMeansParams::Validate(size_t num_points) const {
+  if (num_clusters == 0)
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  if (num_points < num_clusters)
+    return Status::InvalidArgument("fewer points than clusters");
+  if (max_iterations == 0)
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  if (tolerance < 0.0)
+    return Status::InvalidArgument("tolerance must be >= 0");
+  return Status::OK();
+}
+
+namespace {
+
+// k-means++ seeding: each next center drawn with probability proportional
+// to squared distance from the nearest existing center.
+std::vector<std::vector<double>> PlusPlusInit(const Dataset& dataset,
+                                              size_t k, Rng& rng) {
+  const size_t n = dataset.size();
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  size_t first = rng.UniformInt(static_cast<uint64_t>(n));
+  auto fp = dataset.point(first);
+  centers.emplace_back(fp.begin(), fp.end());
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    const auto& last = centers.back();
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d2 = SquaredEuclideanDistance(dataset.point(i), last);
+      if (d2 < dist2[i]) dist2[i] = d2;
+      total += dist2[i];
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.UniformDouble() * total;
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += dist2[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.UniformInt(static_cast<uint64_t>(n));
+    }
+    auto cp = dataset.point(chosen);
+    centers.emplace_back(cp.begin(), cp.end());
+  }
+  return centers;
+}
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(const Dataset& dataset,
+                               const KMeansParams& params) {
+  PROCLUS_RETURN_IF_ERROR(params.Validate(dataset.size()));
+  Rng rng(params.seed);
+  const size_t n = dataset.size();
+  const size_t d = dataset.dims();
+  const size_t k = params.num_clusters;
+
+  std::vector<std::vector<double>> centroids;
+  if (params.plus_plus_init) {
+    centroids = PlusPlusInit(dataset, k, rng);
+  } else {
+    std::vector<size_t> pick = rng.SampleWithoutReplacement(n, k);
+    for (size_t idx : pick) {
+      auto p = dataset.point(idx);
+      centroids.emplace_back(p.begin(), p.end());
+    }
+  }
+
+  KMeansResult result;
+  result.labels.assign(n, 0);
+  std::vector<std::vector<double>> sums(k, std::vector<double>(d));
+  std::vector<size_t> counts(k);
+
+  for (size_t iteration = 0; iteration < params.max_iterations; ++iteration) {
+    ++result.iterations;
+    // Assignment step.
+    double inertia = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      auto point = dataset.point(p);
+      double best = std::numeric_limits<double>::infinity();
+      int best_i = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d2 = SquaredEuclideanDistance(point, centroids[c]);
+        if (d2 < best) {
+          best = d2;
+          best_i = static_cast<int>(c);
+        }
+      }
+      result.labels[p] = best_i;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), size_t{0});
+    for (size_t p = 0; p < n; ++p) {
+      auto point = dataset.point(p);
+      auto& s = sums[static_cast<size_t>(result.labels[p])];
+      for (size_t j = 0; j < d; ++j) s[j] += point[j];
+      ++counts[static_cast<size_t>(result.labels[p])];
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with the point farthest from its
+        // current centroid.
+        size_t farthest = 0;
+        double best = -1.0;
+        for (size_t p = 0; p < n; ++p) {
+          double d2 = SquaredEuclideanDistance(
+              dataset.point(p),
+              centroids[static_cast<size_t>(result.labels[p])]);
+          if (d2 > best) {
+            best = d2;
+            farthest = p;
+          }
+        }
+        auto fp = dataset.point(farthest);
+        std::copy(fp.begin(), fp.end(), centroids[c].begin());
+        movement += 1.0;  // Force another iteration.
+        continue;
+      }
+      double move2 = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        double updated = sums[c][j] / static_cast<double>(counts[c]);
+        double diff = updated - centroids[c][j];
+        move2 += diff * diff;
+        centroids[c][j] = updated;
+      }
+      movement += std::sqrt(move2);
+    }
+    if (movement <= params.tolerance) break;
+  }
+
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace proclus

@@ -1,0 +1,50 @@
+// Lloyd's k-means: the canonical full-dimensional clustering baseline.
+// Used to demonstrate the paper's motivation (Figure 1): full-dimensional
+// algorithms cannot separate clusters that exist only in projections.
+
+#ifndef PROCLUS_BASELINES_KMEANS_H_
+#define PROCLUS_BASELINES_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace proclus {
+
+/// k-means configuration.
+struct KMeansParams {
+  size_t num_clusters = 5;
+  /// Maximum Lloyd iterations.
+  size_t max_iterations = 100;
+  /// Convergence threshold on total centroid movement (L2).
+  double tolerance = 1e-6;
+  /// Use k-means++ seeding (else uniform random points).
+  bool plus_plus_init = true;
+  uint64_t seed = 1;
+
+  Status Validate(size_t num_points) const;
+};
+
+/// k-means result.
+struct KMeansResult {
+  /// Per-point cluster id in [0, k).
+  std::vector<int> labels;
+  /// Final centroids (k rows).
+  std::vector<std::vector<double>> centroids;
+  /// Final sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+  /// Lloyd iterations performed.
+  size_t iterations = 0;
+};
+
+/// Runs Lloyd's algorithm with k-means++ (or uniform) seeding.
+/// Deterministic for a fixed seed. Empty clusters are re-seeded with the
+/// point farthest from its centroid.
+Result<KMeansResult> RunKMeans(const Dataset& dataset,
+                               const KMeansParams& params);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_BASELINES_KMEANS_H_

@@ -1,0 +1,205 @@
+#include "baselines/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace proclus {
+
+Status PamParams::Validate(size_t num_points) const {
+  if (num_clusters == 0)
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  if (num_points < num_clusters)
+    return Status::InvalidArgument("fewer points than clusters");
+  if (max_iterations == 0)
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  return Status::OK();
+}
+
+Status ClaransParams::Validate(size_t num_points) const {
+  if (num_clusters == 0)
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  if (num_points < num_clusters)
+    return Status::InvalidArgument("fewer points than clusters");
+  if (num_local == 0)
+    return Status::InvalidArgument("num_local must be >= 1");
+  return Status::OK();
+}
+
+namespace {
+
+// Assigns each point to its nearest medoid; returns total cost.
+double AssignToMedoids(const Dataset& dataset,
+                       const std::vector<size_t>& medoids, MetricKind metric,
+                       std::vector<int>* labels) {
+  const size_t n = dataset.size();
+  labels->assign(n, 0);
+  double cost = 0.0;
+  for (size_t p = 0; p < n; ++p) {
+    auto point = dataset.point(p);
+    double best = std::numeric_limits<double>::infinity();
+    int best_i = 0;
+    for (size_t m = 0; m < medoids.size(); ++m) {
+      double d = Distance(metric, point, dataset.point(medoids[m]));
+      if (d < best) {
+        best = d;
+        best_i = static_cast<int>(m);
+      }
+    }
+    (*labels)[p] = best_i;
+    cost += best;
+  }
+  return cost;
+}
+
+}  // namespace
+
+Result<MedoidClustering> RunPam(const Dataset& dataset,
+                                const PamParams& params) {
+  PROCLUS_RETURN_IF_ERROR(params.Validate(dataset.size()));
+  const size_t n = dataset.size();
+  const size_t k = params.num_clusters;
+  Rng rng(params.seed);
+
+  // BUILD: first medoid minimizes total distance; each next medoid is the
+  // point that reduces the cost most.
+  std::vector<size_t> medoids;
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  {
+    size_t best_point = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t candidate = 0; candidate < n; ++candidate) {
+      double cost = 0.0;
+      auto cp = dataset.point(candidate);
+      for (size_t p = 0; p < n; ++p)
+        cost += Distance(params.metric, cp, dataset.point(p));
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_point = candidate;
+      }
+    }
+    medoids.push_back(best_point);
+    auto mp = dataset.point(best_point);
+    for (size_t p = 0; p < n; ++p)
+      nearest[p] = Distance(params.metric, mp, dataset.point(p));
+  }
+  while (medoids.size() < k) {
+    size_t best_point = 0;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    for (size_t candidate = 0; candidate < n; ++candidate) {
+      if (std::find(medoids.begin(), medoids.end(), candidate) !=
+          medoids.end())
+        continue;
+      double gain = 0.0;
+      auto cp = dataset.point(candidate);
+      for (size_t p = 0; p < n; ++p) {
+        double d = Distance(params.metric, cp, dataset.point(p));
+        if (d < nearest[p]) gain += nearest[p] - d;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_point = candidate;
+      }
+    }
+    medoids.push_back(best_point);
+    auto mp = dataset.point(best_point);
+    for (size_t p = 0; p < n; ++p) {
+      double d = Distance(params.metric, mp, dataset.point(p));
+      if (d < nearest[p]) nearest[p] = d;
+    }
+  }
+
+  // SWAP: steepest-descent over (medoid, non-medoid) exchanges.
+  MedoidClustering result;
+  double cost = AssignToMedoids(dataset, medoids, params.metric,
+                                &result.labels);
+  for (size_t iteration = 0; iteration < params.max_iterations; ++iteration) {
+    ++result.iterations;
+    double best_cost = cost;
+    size_t best_m = k, best_p = n;
+    std::vector<int> scratch;
+    for (size_t m = 0; m < k; ++m) {
+      for (size_t candidate = 0; candidate < n; ++candidate) {
+        if (std::find(medoids.begin(), medoids.end(), candidate) !=
+            medoids.end())
+          continue;
+        std::vector<size_t> trial = medoids;
+        trial[m] = candidate;
+        double trial_cost =
+            AssignToMedoids(dataset, trial, params.metric, &scratch);
+        if (trial_cost < best_cost) {
+          best_cost = trial_cost;
+          best_m = m;
+          best_p = candidate;
+        }
+      }
+    }
+    if (best_m == k) break;  // Local optimum.
+    medoids[best_m] = best_p;
+    cost = AssignToMedoids(dataset, medoids, params.metric, &result.labels);
+  }
+  result.medoids = std::move(medoids);
+  result.cost = cost;
+  return result;
+}
+
+Result<MedoidClustering> RunClarans(const Dataset& dataset,
+                                    const ClaransParams& params) {
+  PROCLUS_RETURN_IF_ERROR(params.Validate(dataset.size()));
+  const size_t n = dataset.size();
+  const size_t k = params.num_clusters;
+  Rng rng(params.seed);
+
+  size_t max_neighbor = params.max_neighbor;
+  if (max_neighbor == 0) {
+    max_neighbor = std::max<size_t>(
+        250, static_cast<size_t>(0.0125 * static_cast<double>(k * (n - k))));
+  }
+
+  MedoidClustering best;
+  best.cost = std::numeric_limits<double>::infinity();
+
+  for (size_t local = 0; local < params.num_local; ++local) {
+    std::vector<size_t> current = rng.SampleWithoutReplacement(n, k);
+    std::vector<int> labels;
+    double cost =
+        AssignToMedoids(dataset, current, params.metric, &labels);
+    size_t examined = 0;
+    size_t iterations = 0;
+    while (examined < max_neighbor) {
+      ++iterations;
+      // Random neighbor: swap one random medoid with one random
+      // non-medoid.
+      size_t m = rng.UniformInt(static_cast<uint64_t>(k));
+      size_t candidate;
+      do {
+        candidate = rng.UniformInt(static_cast<uint64_t>(n));
+      } while (std::find(current.begin(), current.end(), candidate) !=
+               current.end());
+      std::vector<size_t> trial = current;
+      trial[m] = candidate;
+      std::vector<int> trial_labels;
+      double trial_cost =
+          AssignToMedoids(dataset, trial, params.metric, &trial_labels);
+      if (trial_cost < cost) {
+        current = std::move(trial);
+        labels = std::move(trial_labels);
+        cost = trial_cost;
+        examined = 0;  // Restart the neighbor count at the new node.
+      } else {
+        ++examined;
+      }
+    }
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.medoids = current;
+      best.labels = labels;
+      best.iterations += iterations;
+    }
+  }
+  return best;
+}
+
+}  // namespace proclus

@@ -1,0 +1,165 @@
+#include "clique/clusters.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace proclus {
+
+namespace {
+
+// Powers of xi per position: stride[pos] is the key increment of +1 on
+// interval `pos`.
+std::vector<uint64_t> PositionStrides(size_t level, size_t xi) {
+  std::vector<uint64_t> strides(level, 1);
+  for (size_t i = level; i-- > 1;) strides[i - 1] = strides[i] * xi;
+  return strides;
+}
+
+}  // namespace
+
+std::vector<UnitRegion> GreedyCover(const std::vector<uint64_t>& cells,
+                                    size_t level, size_t xi) {
+  std::unordered_set<uint64_t> cell_set(cells.begin(), cells.end());
+  std::unordered_set<uint64_t> covered;
+  std::vector<uint64_t> strides = PositionStrides(level, xi);
+
+  // Enumerates all cell keys inside `ranges`, invoking fn(key); returns
+  // false early if fn returns false.
+  auto for_each_in_region =
+      [&](const std::vector<std::pair<uint8_t, uint8_t>>& ranges,
+          auto&& fn) -> bool {
+    std::vector<uint8_t> cursor(level);
+    for (size_t i = 0; i < level; ++i) cursor[i] = ranges[i].first;
+    while (true) {
+      uint64_t key = 0;
+      for (size_t i = 0; i < level; ++i) key = key * xi + cursor[i];
+      if (!fn(key)) return false;
+      // Odometer increment.
+      size_t pos = level;
+      while (pos-- > 0) {
+        if (cursor[pos] < ranges[pos].second) {
+          ++cursor[pos];
+          for (size_t r = pos + 1; r < level; ++r)
+            cursor[r] = ranges[r].first;
+          break;
+        }
+        if (pos == 0) return true;
+      }
+    }
+  };
+
+  std::vector<UnitRegion> regions;
+  // Deterministic seed order: ascending cell key.
+  std::vector<uint64_t> order(cells);
+  std::sort(order.begin(), order.end());
+  for (uint64_t seed : order) {
+    if (covered.count(seed)) continue;
+    std::vector<uint8_t> intervals = DecodeCell(seed, level, xi);
+    UnitRegion region;
+    region.ranges.resize(level);
+    for (size_t i = 0; i < level; ++i)
+      region.ranges[i] = {intervals[i], intervals[i]};
+    // Grow greedily: for each dimension, extend as far as possible in both
+    // directions while the whole slab stays inside the dense cell set.
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (size_t pos = 0; pos < level; ++pos) {
+        // Try hi+1.
+        while (region.ranges[pos].second + 1 < static_cast<int>(xi)) {
+          auto slab = region.ranges;
+          slab[pos] = {static_cast<uint8_t>(region.ranges[pos].second + 1),
+                       static_cast<uint8_t>(region.ranges[pos].second + 1)};
+          bool all = for_each_in_region(slab, [&](uint64_t key) {
+            return cell_set.count(key) > 0;
+          });
+          if (!all) break;
+          ++region.ranges[pos].second;
+          grew = true;
+        }
+        // Try lo-1.
+        while (region.ranges[pos].first > 0) {
+          auto slab = region.ranges;
+          slab[pos] = {static_cast<uint8_t>(region.ranges[pos].first - 1),
+                       static_cast<uint8_t>(region.ranges[pos].first - 1)};
+          bool all = for_each_in_region(slab, [&](uint64_t key) {
+            return cell_set.count(key) > 0;
+          });
+          if (!all) break;
+          --region.ranges[pos].first;
+          grew = true;
+        }
+      }
+    }
+    for_each_in_region(region.ranges, [&](uint64_t key) {
+      covered.insert(key);
+      return true;
+    });
+    regions.push_back(std::move(region));
+  }
+  return regions;
+}
+
+std::vector<UnitCluster> ConnectedComponents(const Subspace& subspace,
+                                             const DenseCellMap& units,
+                                             size_t xi) {
+  const size_t level = subspace.size();
+  std::vector<uint64_t> strides = PositionStrides(level, xi);
+
+  // Union-find over the cell keys.
+  std::unordered_map<uint64_t, uint64_t> parent;
+  parent.reserve(units.size());
+  for (const auto& [key, count] : units) parent.emplace(key, key);
+  std::function<uint64_t(uint64_t)> find = [&](uint64_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](uint64_t a, uint64_t b) {
+    uint64_t ra = find(a), rb = find(b);
+    if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
+  };
+
+  for (const auto& [key, count] : units) {
+    std::vector<uint8_t> intervals = DecodeCell(key, level, xi);
+    for (size_t pos = 0; pos < level; ++pos) {
+      if (intervals[pos] + 1 < static_cast<int>(xi)) {
+        uint64_t neighbor = key + strides[pos];
+        if (parent.count(neighbor)) unite(key, neighbor);
+      }
+      // The -1 neighbor is handled symmetrically when visiting it.
+    }
+  }
+
+  // Group by root.
+  std::unordered_map<uint64_t, size_t> root_to_cluster;
+  std::vector<UnitCluster> clusters;
+  for (const auto& [key, count] : units) {
+    uint64_t root = find(key);
+    auto [it, inserted] =
+        root_to_cluster.emplace(root, clusters.size());
+    if (inserted) {
+      clusters.emplace_back();
+      clusters.back().subspace = subspace;
+    }
+    UnitCluster& c = clusters[it->second];
+    c.cells.push_back(key);
+    c.point_count += count;
+  }
+  for (auto& c : clusters) std::sort(c.cells.begin(), c.cells.end());
+  // Deterministic cluster order: by smallest cell key.
+  std::sort(clusters.begin(), clusters.end(),
+            [](const UnitCluster& a, const UnitCluster& b) {
+              return a.cells.front() < b.cells.front();
+            });
+  for (auto& c : clusters) c.regions = GreedyCover(c.cells, level, xi);
+  return clusters;
+}
+
+}  // namespace proclus

@@ -1,0 +1,60 @@
+// Cluster formation within a subspace: dense units are nodes of a graph
+// whose edges connect units sharing a (level-1)-dimensional face (interval
+// indices equal on all dimensions but one, where they differ by exactly 1);
+// clusters are the connected components. Each component additionally gets
+// a greedy cover of axis-parallel hyper-rectangular regions, the cluster
+// description CLIQUE reports.
+
+#ifndef PROCLUS_CLIQUE_CLUSTERS_H_
+#define PROCLUS_CLIQUE_CLUSTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/dense_units.h"
+#include "clique/subspace.h"
+
+namespace proclus {
+
+/// An axis-parallel rectangular block of units: inclusive interval ranges,
+/// one per subspace dimension.
+struct UnitRegion {
+  std::vector<std::pair<uint8_t, uint8_t>> ranges;
+
+  /// Number of units inside the region.
+  size_t UnitCount() const {
+    size_t n = 1;
+    for (auto [lo, hi] : ranges) n *= static_cast<size_t>(hi - lo + 1);
+    return n;
+  }
+};
+
+/// One connected component of dense units in a subspace.
+struct UnitCluster {
+  Subspace subspace;
+  /// Cell keys of the component's units (sorted).
+  std::vector<uint64_t> cells;
+  /// Greedy rectangular cover of the component.
+  std::vector<UnitRegion> regions;
+  /// Total points in the component's units (sum of unit counts; each point
+  /// lies in exactly one unit of a given subspace, so this is exact).
+  size_t point_count = 0;
+};
+
+/// Splits the dense units of one subspace into connected components and
+/// builds a greedy region cover for each. Deterministic (components and
+/// regions ordered by smallest cell key).
+std::vector<UnitCluster> ConnectedComponents(const Subspace& subspace,
+                                             const DenseCellMap& units,
+                                             size_t xi);
+
+/// Greedy cover of a set of cells (all in one component) by maximal
+/// rectangles: repeatedly grow an uncovered cell into a maximal rectangle
+/// fully contained in the cell set, dimension by dimension. Exposed for
+/// testing.
+std::vector<UnitRegion> GreedyCover(const std::vector<uint64_t>& cells,
+                                    size_t level, size_t xi);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_CLIQUE_CLUSTERS_H_

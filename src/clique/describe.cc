@@ -1,0 +1,99 @@
+#include "clique/describe.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace proclus {
+
+std::vector<UnitRegion> MergeAdjacentRegions(
+    std::vector<UnitRegion> regions) {
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (size_t a = 0; a < regions.size() && !merged; ++a) {
+      for (size_t b = a + 1; b < regions.size() && !merged; ++b) {
+        const auto& ra = regions[a].ranges;
+        const auto& rb = regions[b].ranges;
+        PROCLUS_CHECK(ra.size() == rb.size());
+        // Regions merge only when they differ on exactly one dimension.
+        size_t diff_pos = 0;
+        size_t diffs = 0;
+        for (size_t pos = 0; pos < ra.size(); ++pos) {
+          if (ra[pos] != rb[pos]) {
+            ++diffs;
+            diff_pos = pos;
+          }
+        }
+        if (diffs != 1) continue;
+        // Mergeable when the differing ranges touch or overlap.
+        auto [alo, ahi] = ra[diff_pos];
+        auto [blo, bhi] = rb[diff_pos];
+        if (static_cast<int>(blo) > static_cast<int>(ahi) + 1 ||
+            static_cast<int>(alo) > static_cast<int>(bhi) + 1)
+          continue;
+        regions[a].ranges[diff_pos] = {std::min(alo, blo),
+                                       std::max(ahi, bhi)};
+        regions.erase(regions.begin() + static_cast<long>(b));
+        merged = true;
+      }
+    }
+  }
+  return regions;
+}
+
+std::vector<RegionPredicate> DescribeCluster(const CliqueCluster& cluster,
+                                             const Grid& grid,
+                                             bool merge) {
+  std::vector<UnitRegion> regions = cluster.regions;
+  if (merge) regions = MergeAdjacentRegions(std::move(regions));
+  std::vector<RegionPredicate> description;
+  description.reserve(regions.size());
+  for (const UnitRegion& region : regions) {
+    RegionPredicate predicate;
+    predicate.reserve(region.ranges.size());
+    for (size_t pos = 0; pos < region.ranges.size(); ++pos) {
+      uint32_t dim = cluster.subspace[pos];
+      double lo, unused, hi;
+      grid.IntervalBounds(dim, region.ranges[pos].first, &lo, &unused);
+      grid.IntervalBounds(dim, region.ranges[pos].second, &unused, &hi);
+      predicate.push_back({dim, lo, hi});
+    }
+    description.push_back(std::move(predicate));
+  }
+  return description;
+}
+
+namespace {
+
+std::string FormatNumber(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string RenderDnf(const std::vector<RegionPredicate>& description,
+                      const std::vector<std::string>& dim_names) {
+  std::string out;
+  for (size_t r = 0; r < description.size(); ++r) {
+    if (r) out += " v ";
+    out += "(";
+    for (size_t p = 0; p < description[r].size(); ++p) {
+      if (p) out += " ^ ";
+      const IntervalPredicate& predicate = description[r][p];
+      std::string name =
+          predicate.dim < dim_names.size()
+              ? dim_names[predicate.dim]
+              : "d" + std::to_string(predicate.dim + 1);
+      out += "(" + FormatNumber(predicate.lo) + " <= " + name + " < " +
+             FormatNumber(predicate.hi) + ")";
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace proclus

@@ -1,0 +1,51 @@
+// Cluster descriptions: CLIQUE reports each cluster as a DNF expression
+// over interval predicates — a disjunction of the greedy rectangular
+// regions, each region a conjunction of per-dimension interval ranges,
+// e.g. ((30 <= age < 50) ^ (4 <= salary < 8)) v ((40 <= age < 60) ^ ...).
+// This module renders those expressions from the mined regions and the
+// grid geometry, merging adjacent co-linear regions first so the
+// expression is closer to minimal.
+
+#ifndef PROCLUS_CLIQUE_DESCRIBE_H_
+#define PROCLUS_CLIQUE_DESCRIBE_H_
+
+#include <string>
+#include <vector>
+
+#include "clique/clique.h"
+#include "clique/grid.h"
+
+namespace proclus {
+
+/// One conjunct of the DNF: numeric bounds per subspace dimension.
+struct IntervalPredicate {
+  uint32_t dim = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// One region of the description: a conjunction of interval predicates.
+using RegionPredicate = std::vector<IntervalPredicate>;
+
+/// Merges regions that agree on every dimension range except one where
+/// they are adjacent or overlapping (a simple pass toward a minimal
+/// cover; repeated until no merge applies). Exposed for testing on raw
+/// unit regions.
+std::vector<UnitRegion> MergeAdjacentRegions(
+    std::vector<UnitRegion> regions);
+
+/// Converts a cluster's unit regions into numeric interval predicates
+/// using the grid geometry.
+std::vector<RegionPredicate> DescribeCluster(const CliqueCluster& cluster,
+                                             const Grid& grid,
+                                             bool merge = true);
+
+/// Renders the DNF string for a cluster. Dimension names are taken from
+/// `dim_names` when provided (1-based "d<i>" otherwise). Example output:
+///   ((30 <= x1 < 50) ^ (4 <= x2 < 8)) v ((50 <= x1 < 60) ^ (4 <= x2 < 6))
+std::string RenderDnf(const std::vector<RegionPredicate>& description,
+                      const std::vector<std::string>& dim_names = {});
+
+}  // namespace proclus
+
+#endif  // PROCLUS_CLIQUE_DESCRIBE_H_

@@ -1,0 +1,116 @@
+#include "clique/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/parallel.h"
+
+namespace proclus {
+
+namespace {
+
+Result<Grid> BuildFromBounds(std::vector<double> mins,
+                             const std::vector<double>& maxs, size_t xi,
+                             Grid (*make)(size_t, std::vector<double>,
+                                          std::vector<double>)) {
+  std::vector<double> width(mins.size());
+  for (size_t j = 0; j < mins.size(); ++j) {
+    double range = maxs[j] - mins[j];
+    // Constant dimensions get a unit-width grid so every point lands in
+    // interval 0.
+    width[j] = range > 0.0 ? range / static_cast<double>(xi) : 1.0;
+  }
+  return make(xi, std::move(mins), std::move(width));
+}
+
+}  // namespace
+
+Result<Grid> Grid::Build(const Dataset& dataset, size_t xi) {
+  if (xi < 2 || xi > 255)
+    return Status::InvalidArgument("xi must be in [2, 255]");
+  if (dataset.empty()) return Status::InvalidArgument("dataset is empty");
+  std::vector<double> mins, maxs;
+  dataset.Bounds(&mins, &maxs);
+  return BuildFromBounds(std::move(mins), maxs, xi,
+                         [](size_t n, std::vector<double> lo,
+                            std::vector<double> w) {
+                           return Grid(n, std::move(lo), std::move(w));
+                         });
+}
+
+Result<Grid> Grid::BuildFromSource(const PointSource& source, size_t xi) {
+  if (xi < 2 || xi > 255)
+    return Status::InvalidArgument("xi must be in [2, 255]");
+  if (source.size() == 0)
+    return Status::InvalidArgument("source is empty");
+  const size_t d = source.dims();
+  std::vector<double> mins(d, std::numeric_limits<double>::infinity());
+  std::vector<double> maxs(d, -std::numeric_limits<double>::infinity());
+  Status status = source.Scan(
+      kDefaultBlockRows,
+      [&](size_t, std::span<const double> data, size_t rows) {
+        for (size_t r = 0; r < rows; ++r) {
+          const double* point = data.data() + r * d;
+          for (size_t j = 0; j < d; ++j) {
+            if (point[j] < mins[j]) mins[j] = point[j];
+            if (point[j] > maxs[j]) maxs[j] = point[j];
+          }
+        }
+      });
+  PROCLUS_RETURN_IF_ERROR(status);
+  return BuildFromBounds(std::move(mins), maxs, xi,
+                         [](size_t n, std::vector<double> lo,
+                            std::vector<double> w) {
+                           return Grid(n, std::move(lo), std::move(w));
+                         });
+}
+
+Result<std::vector<uint8_t>> Grid::QuantizeSource(
+    const PointSource& source) const {
+  const size_t d = dims();
+  if (source.dims() != d)
+    return Status::InvalidArgument("source dimensionality mismatch");
+  std::vector<uint8_t> cells(source.size() * d);
+  Status status = source.Scan(
+      kDefaultBlockRows,
+      [&](size_t first, std::span<const double> data, size_t rows) {
+        for (size_t r = 0; r < rows; ++r) {
+          const double* point = data.data() + r * d;
+          uint8_t* out = cells.data() + (first + r) * d;
+          for (size_t j = 0; j < d; ++j) out[j] = Interval(j, point[j]);
+        }
+      });
+  PROCLUS_RETURN_IF_ERROR(status);
+  return cells;
+}
+
+uint8_t Grid::Interval(size_t dim, double value) const {
+  PROCLUS_DCHECK(dim < dims());
+  double offset = (value - lo_[dim]) / width_[dim];
+  long idx = static_cast<long>(std::floor(offset));
+  idx = std::clamp<long>(idx, 0, static_cast<long>(xi_) - 1);
+  return static_cast<uint8_t>(idx);
+}
+
+void Grid::IntervalBounds(size_t dim, uint8_t idx, double* lo,
+                          double* hi) const {
+  PROCLUS_DCHECK(dim < dims());
+  PROCLUS_DCHECK(idx < xi_);
+  *lo = lo_[dim] + width_[dim] * static_cast<double>(idx);
+  *hi = *lo + width_[dim];
+}
+
+std::vector<uint8_t> Grid::QuantizeAll(const Dataset& dataset) const {
+  const size_t n = dataset.size();
+  const size_t d = dims();
+  PROCLUS_CHECK(dataset.dims() == d);
+  std::vector<uint8_t> cells(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    auto p = dataset.point(i);
+    for (size_t j = 0; j < d; ++j) cells[i * d + j] = Interval(j, p[j]);
+  }
+  return cells;
+}
+
+}  // namespace proclus

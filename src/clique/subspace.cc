@@ -1,0 +1,77 @@
+#include "clique/subspace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proclus {
+
+size_t MaxEncodableLevel(size_t xi) {
+  PROCLUS_CHECK(xi >= 2);
+  size_t level = 0;
+  // Largest L with xi^L <= 2^64: accumulate multiplicatively with overflow
+  // guard.
+  unsigned __int128 acc = 1;
+  const unsigned __int128 limit = (unsigned __int128)1 << 64;
+  while (true) {
+    acc *= xi;
+    if (acc > limit) break;
+    ++level;
+  }
+  return level;
+}
+
+std::vector<uint8_t> DecodeCell(uint64_t key, size_t level, size_t xi) {
+  std::vector<uint8_t> out(level);
+  for (size_t i = level; i-- > 0;) {
+    out[i] = static_cast<uint8_t>(key % xi);
+    key /= xi;
+  }
+  return out;
+}
+
+uint8_t CellIntervalAt(uint64_t key, size_t level, size_t pos, size_t xi) {
+  PROCLUS_DCHECK(pos < level);
+  for (size_t i = level - 1; i > pos; --i) key /= xi;
+  return static_cast<uint8_t>(key % xi);
+}
+
+bool TryJoinSubspaces(const Subspace& a, const Subspace& b, Subspace* joined) {
+  PROCLUS_DCHECK(a.size() == b.size());
+  PROCLUS_DCHECK(!a.empty());
+  const size_t prefix = a.size() - 1;
+  for (size_t i = 0; i < prefix; ++i)
+    if (a[i] != b[i]) return false;
+  if (a.back() >= b.back()) return false;
+  *joined = a;
+  joined->push_back(b.back());
+  return true;
+}
+
+std::vector<Subspace> SubspaceProjections(const Subspace& s) {
+  std::vector<Subspace> out;
+  out.reserve(s.size());
+  for (size_t drop = 0; drop < s.size(); ++drop) {
+    Subspace proj;
+    proj.reserve(s.size() - 1);
+    for (size_t i = 0; i < s.size(); ++i)
+      if (i != drop) proj.push_back(s[i]);
+    out.push_back(std::move(proj));
+  }
+  return out;
+}
+
+uint64_t ProjectCell(uint64_t key, const Subspace& from, const Subspace& onto,
+                     size_t xi) {
+  std::vector<uint8_t> intervals = DecodeCell(key, from.size(), xi);
+  std::vector<uint8_t> projected;
+  projected.reserve(onto.size());
+  size_t fi = 0;
+  for (uint32_t dim : onto) {
+    while (fi < from.size() && from[fi] != dim) ++fi;
+    PROCLUS_CHECK(fi < from.size());
+    projected.push_back(intervals[fi]);
+  }
+  return EncodeCell(projected, xi);
+}
+
+}  // namespace proclus

@@ -1,0 +1,59 @@
+// Subspaces and unit (cell) keys for the CLIQUE miner.
+//
+// A subspace is a sorted list of dimension indices. Within a subspace, a
+// unit is identified by one interval index per dimension; we encode that
+// interval vector as a base-xi integer ("cell key") so units can live in
+// flat hash maps. With xi <= 255 and levels <= 7 the key fits easily in 64
+// bits; the miner checks the level bound explicitly.
+
+#ifndef PROCLUS_CLIQUE_SUBSPACE_H_
+#define PROCLUS_CLIQUE_SUBSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace proclus {
+
+/// Sorted list of dimension indices identifying a subspace.
+using Subspace = std::vector<uint32_t>;
+
+/// Maximum subspace level such that cell keys fit in 64 bits for the given
+/// xi (floor(64 / log2(xi))).
+size_t MaxEncodableLevel(size_t xi);
+
+/// Encodes the interval indices `intervals` (one per subspace dimension,
+/// in subspace order) as a base-`xi` integer.
+inline uint64_t EncodeCell(const std::vector<uint8_t>& intervals, size_t xi) {
+  uint64_t key = 0;
+  for (uint8_t v : intervals) {
+    PROCLUS_DCHECK(v < xi);
+    key = key * static_cast<uint64_t>(xi) + v;
+  }
+  return key;
+}
+
+/// Decodes a cell key back into `level` interval indices.
+std::vector<uint8_t> DecodeCell(uint64_t key, size_t level, size_t xi);
+
+/// Extracts interval `pos` (0-based, subspace order) from a cell key of the
+/// given level.
+uint8_t CellIntervalAt(uint64_t key, size_t level, size_t pos, size_t xi);
+
+/// Apriori-style join: true iff `a` and `b` (equal-length sorted subspaces)
+/// share their first |a|-1 dimensions and a.back() < b.back(); then
+/// `*joined` is the (|a|+1)-dimensional union.
+bool TryJoinSubspaces(const Subspace& a, const Subspace& b, Subspace* joined);
+
+/// All level-1-lower sub-subspaces of `s` (drop one dimension each).
+std::vector<Subspace> SubspaceProjections(const Subspace& s);
+
+/// Re-encodes cell `key` of subspace `from` (level |from|) projected onto
+/// subspace `onto`, which must be a subsequence of `from`.
+uint64_t ProjectCell(uint64_t key, const Subspace& from, const Subspace& onto,
+                     size_t xi);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_CLIQUE_SUBSPACE_H_

@@ -1,0 +1,41 @@
+// Internal invariant checking. PROCLUS_CHECK aborts with a message when an
+// internal invariant is violated; it is enabled in all build types because
+// the cost is negligible next to the clustering work and silent corruption
+// of a clustering result is much worse than a crash.
+
+#ifndef PROCLUS_COMMON_CHECK_H_
+#define PROCLUS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace proclus::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "PROCLUS_CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace proclus::internal
+
+/// Aborts the process if `cond` is false. For internal invariants only;
+/// user-input validation must return Status instead.
+#define PROCLUS_CHECK(cond)                                         \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::proclus::internal::CheckFailed(__FILE__, __LINE__, #cond);  \
+    }                                                               \
+  } while (0)
+
+/// Debug-only check (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define PROCLUS_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define PROCLUS_DCHECK(cond) PROCLUS_CHECK(cond)
+#endif
+
+#endif  // PROCLUS_COMMON_CHECK_H_

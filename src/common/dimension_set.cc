@@ -1,0 +1,20 @@
+#include "common/dimension_set.h"
+
+namespace proclus {
+
+std::string DimensionSet::ToString() const {
+  return "{" + ToListString(0) + "}";
+}
+
+std::string DimensionSet::ToListString(uint32_t base) const {
+  std::string out;
+  bool first = true;
+  for (uint32_t d : ToVector()) {
+    if (!first) out += ", ";
+    out += std::to_string(d + base);
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace proclus

@@ -1,0 +1,159 @@
+// DimensionSet: a compact set of dimension indices.
+//
+// Projected clusters carry a subset of dimensions; CLIQUE subspaces are also
+// dimension subsets. Operations needed everywhere: membership, iteration in
+// increasing order, set algebra (intersection/union size for evaluation),
+// and ordering so sets can be used as map keys (CLIQUE groups dense units by
+// subspace). A sorted vector<uint32_t> would work but membership tests sit
+// inside the hot segmental-distance loop, so we store a fixed bitset of
+// 64-bit blocks with a cached list view.
+
+#ifndef PROCLUS_COMMON_DIMENSION_SET_H_
+#define PROCLUS_COMMON_DIMENSION_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace proclus {
+
+/// A set of dimension indices in [0, capacity).
+class DimensionSet {
+ public:
+  /// Empty set over a zero-dimensional space.
+  DimensionSet() : capacity_(0) {}
+
+  /// Empty set over a `capacity`-dimensional space.
+  explicit DimensionSet(size_t capacity)
+      : capacity_(capacity), blocks_((capacity + 63) / 64, 0) {}
+
+  /// Set over a `capacity`-dimensional space containing `dims`.
+  DimensionSet(size_t capacity, std::initializer_list<uint32_t> dims)
+      : DimensionSet(capacity) {
+    for (uint32_t d : dims) Add(d);
+  }
+
+  /// Set over a `capacity`-dimensional space containing `dims`.
+  DimensionSet(size_t capacity, const std::vector<uint32_t>& dims)
+      : DimensionSet(capacity) {
+    for (uint32_t d : dims) Add(d);
+  }
+
+  /// Full set {0, ..., capacity-1}.
+  static DimensionSet All(size_t capacity) {
+    DimensionSet s(capacity);
+    for (size_t d = 0; d < capacity; ++d) s.Add(static_cast<uint32_t>(d));
+    return s;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Number of dimensions in the set.
+  size_t size() const {
+    size_t n = 0;
+    for (uint64_t b : blocks_) n += static_cast<size_t>(std::popcount(b));
+    return n;
+  }
+
+  bool empty() const {
+    for (uint64_t b : blocks_)
+      if (b != 0) return false;
+    return true;
+  }
+
+  /// Adds dimension `d`. Requires d < capacity().
+  void Add(uint32_t d) {
+    PROCLUS_DCHECK(d < capacity_);
+    blocks_[d >> 6] |= (1ULL << (d & 63));
+  }
+
+  /// Removes dimension `d` if present.
+  void Remove(uint32_t d) {
+    PROCLUS_DCHECK(d < capacity_);
+    blocks_[d >> 6] &= ~(1ULL << (d & 63));
+  }
+
+  /// Membership test.
+  bool Contains(uint32_t d) const {
+    PROCLUS_DCHECK(d < capacity_);
+    return (blocks_[d >> 6] >> (d & 63)) & 1ULL;
+  }
+
+  /// Dimensions in increasing order.
+  std::vector<uint32_t> ToVector() const {
+    std::vector<uint32_t> out;
+    out.reserve(size());
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      uint64_t b = blocks_[i];
+      while (b) {
+        int bit = std::countr_zero(b);
+        out.push_back(static_cast<uint32_t>(i * 64 + bit));
+        b &= b - 1;
+      }
+    }
+    return out;
+  }
+
+  /// |this ∩ other|. Requires equal capacity.
+  size_t IntersectionSize(const DimensionSet& other) const {
+    PROCLUS_DCHECK(capacity_ == other.capacity_);
+    size_t n = 0;
+    for (size_t i = 0; i < blocks_.size(); ++i)
+      n += static_cast<size_t>(std::popcount(blocks_[i] & other.blocks_[i]));
+    return n;
+  }
+
+  /// |this ∪ other|. Requires equal capacity.
+  size_t UnionSize(const DimensionSet& other) const {
+    PROCLUS_DCHECK(capacity_ == other.capacity_);
+    size_t n = 0;
+    for (size_t i = 0; i < blocks_.size(); ++i)
+      n += static_cast<size_t>(std::popcount(blocks_[i] | other.blocks_[i]));
+    return n;
+  }
+
+  /// True iff every dimension of this set is also in `other`.
+  bool IsSubsetOf(const DimensionSet& other) const {
+    PROCLUS_DCHECK(capacity_ == other.capacity_);
+    for (size_t i = 0; i < blocks_.size(); ++i)
+      if ((blocks_[i] & ~other.blocks_[i]) != 0) return false;
+    return true;
+  }
+
+  /// Jaccard similarity |A∩B| / |A∪B|; 1.0 when both are empty.
+  double Jaccard(const DimensionSet& other) const {
+    size_t u = UnionSize(other);
+    if (u == 0) return 1.0;
+    return static_cast<double>(IntersectionSize(other)) /
+           static_cast<double>(u);
+  }
+
+  bool operator==(const DimensionSet& other) const {
+    return capacity_ == other.capacity_ && blocks_ == other.blocks_;
+  }
+
+  /// Lexicographic order on the block representation (stable map key).
+  bool operator<(const DimensionSet& other) const {
+    if (capacity_ != other.capacity_) return capacity_ < other.capacity_;
+    return blocks_ < other.blocks_;
+  }
+
+  /// Renders "{3, 4, 7}" with 0-based dimension indices.
+  std::string ToString() const;
+
+  /// Renders "3, 4, 7" using `base` offset (the paper's tables are 1-based;
+  /// pass base=1 to match them).
+  std::string ToListString(uint32_t base = 0) const;
+
+ private:
+  size_t capacity_;
+  std::vector<uint64_t> blocks_;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_DIMENSION_SET_H_

@@ -1,0 +1,115 @@
+#include "common/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace proclus {
+
+Result<EigenDecomposition> JacobiEigen(const Matrix& a,
+                                       double symmetry_tolerance) {
+  const size_t n = a.rows();
+  if (n == 0 || a.cols() != n)
+    return Status::InvalidArgument("matrix must be square and non-empty");
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = r + 1; c < n; ++c)
+      if (std::fabs(a(r, c) - a(c, r)) > symmetry_tolerance)
+        return Status::InvalidArgument("matrix is not symmetric");
+
+  // Working copy and accumulated rotations (V starts as identity).
+  Matrix m = a;
+  Matrix v(n, n);
+  for (size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  auto off_diagonal_norm = [&]() {
+    double sum = 0.0;
+    for (size_t r = 0; r < n; ++r)
+      for (size_t c = r + 1; c < n; ++c) sum += m(r, c) * m(r, c);
+    return std::sqrt(sum);
+  };
+
+  const double kTolerance = 1e-12;
+  const int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    if (off_diagonal_norm() <= kTolerance) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = m(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        double app = m(p, p);
+        double aqq = m(q, q);
+        // Rotation angle zeroing m(p, q).
+        double theta = 0.5 * (aqq - app) / apq;
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Apply rotation to m (both sides) and accumulate into v.
+        for (size_t i = 0; i < n; ++i) {
+          double mip = m(i, p);
+          double miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          double mpi = m(p, i);
+          double mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          double vip = v(i, p);
+          double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort ascending by eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return m(x, x) < m(y, y);
+  });
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t rank = 0; rank < n; ++rank) {
+    size_t column = order[rank];
+    out.values[rank] = m(column, column);
+    for (size_t i = 0; i < n; ++i) out.vectors(rank, i) = v(i, column);
+  }
+  return out;
+}
+
+Result<Matrix> CovarianceMatrix(const Matrix& points) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  if (n == 0) return Status::InvalidArgument("no points");
+  std::vector<double> mean(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    auto row = points.row(r);
+    for (size_t c = 0; c < d; ++c) mean[c] += row[c];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+  Matrix cov(d, d);
+  for (size_t r = 0; r < n; ++r) {
+    auto row = points.row(r);
+    for (size_t i = 0; i < d; ++i) {
+      double di = row[i] - mean[i];
+      for (size_t j = i; j < d; ++j)
+        cov(i, j) += di * (row[j] - mean[j]);
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < d; ++i)
+    for (size_t j = i; j < d; ++j) {
+      cov(i, j) *= inv;
+      cov(j, i) = cov(i, j);
+    }
+  return cov;
+}
+
+}  // namespace proclus

@@ -1,0 +1,39 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// The ORCLUS extension (generalized projected clustering) needs the
+// eigenvectors of per-cluster covariance matrices — small (d x d for
+// d up to ~100), symmetric, and required to full accuracy. Cyclic Jacobi
+// is exact to machine precision for symmetric inputs, simple to verify,
+// and fast at these sizes; no external linear algebra dependency needed.
+
+#ifndef PROCLUS_COMMON_EIGEN_H_
+#define PROCLUS_COMMON_EIGEN_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace proclus {
+
+/// Eigendecomposition A = V diag(values) V^T of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in ASCENDING order.
+  std::vector<double> values;
+  /// Eigenvectors as rows (row i pairs with values[i]), orthonormal.
+  Matrix vectors;
+};
+
+/// Decomposes the symmetric matrix `a` (validated for symmetry up to
+/// `symmetry_tolerance`). Returns InvalidArgument for non-square or
+/// non-symmetric input.
+Result<EigenDecomposition> JacobiEigen(const Matrix& a,
+                                       double symmetry_tolerance = 1e-9);
+
+/// Covariance matrix (d x d, population normalization) of the rows of
+/// `points` around their mean. Requires at least one row.
+Result<Matrix> CovarianceMatrix(const Matrix& points);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_EIGEN_H_

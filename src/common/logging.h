@@ -1,0 +1,56 @@
+// Minimal leveled logging. Benchmarks and examples print results on stdout;
+// diagnostics from library internals go through this logger on stderr so
+// harness output stays machine-parseable.
+
+#ifndef PROCLUS_COMMON_LOGGING_H_
+#define PROCLUS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace proclus {
+
+/// Severity levels in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted (default: kWarning,
+/// so library internals are quiet unless asked).
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted line to stderr if `level` passes the global filter.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+/// Stream-style log statement collector.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace proclus
+
+#define PROCLUS_LOG(level)                                      \
+  ::proclus::internal::LogStream(::proclus::LogLevel::k##level, \
+                                 __FILE__, __LINE__)
+
+#endif  // PROCLUS_COMMON_LOGGING_H_

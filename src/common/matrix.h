@@ -1,0 +1,87 @@
+// Dense row-major matrix of doubles: the storage format for point sets.
+//
+// Points are rows, dimensions are columns. Row-major layout keeps a single
+// point contiguous, which is the access pattern of every distance kernel in
+// this library (iterate dimensions of one point).
+
+#ifndef PROCLUS_COMMON_MATRIX_H_
+#define PROCLUS_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace proclus {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix adopting `data` (size must equal rows*cols).
+  Matrix(size_t rows, size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    PROCLUS_CHECK(data_.size() == rows_ * cols_);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Element access (no bounds check in release builds).
+  double& operator()(size_t r, size_t c) {
+    PROCLUS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    PROCLUS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of row `r`.
+  std::span<const double> row(size_t r) const {
+    PROCLUS_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<double> row(size_t r) {
+    PROCLUS_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Raw storage access.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Appends a row (must have exactly cols() elements; sets cols on the
+  /// first append to an empty matrix).
+  void AppendRow(std::span<const double> values) {
+    if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+    PROCLUS_CHECK(values.size() == cols_);
+    data_.insert(data_.end(), values.begin(), values.end());
+    ++rows_;
+  }
+
+  /// Reserves capacity for `rows` rows.
+  void ReserveRows(size_t rows) { data_.reserve(rows * cols_); }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_MATRIX_H_

@@ -1,0 +1,34 @@
+// Wall-clock timing for the scalability experiments (Figures 7-9).
+
+#ifndef PROCLUS_COMMON_TIMER_H_
+#define PROCLUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace proclus {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  /// Starts the stopwatch immediately.
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_TIMER_H_

@@ -1,0 +1,30 @@
+#include "core/assign.h"
+
+#include "common/check.h"
+#include "core/passes.h"
+#include "data/point_source.h"
+
+namespace proclus {
+
+std::vector<int> AssignPoints(const Dataset& dataset,
+                              const std::vector<size_t>& medoids,
+                              const std::vector<DimensionSet>& dims,
+                              bool segmental_normalization) {
+  MemorySource source(dataset);
+  auto coords = source.Fetch(medoids);
+  PROCLUS_CHECK(coords.ok());
+  auto labels =
+      AssignPointsPass(source, *coords, dims, segmental_normalization);
+  PROCLUS_CHECK(labels.ok());
+  return std::move(labels).value();
+}
+
+double EvaluateClusters(const Dataset& dataset, const std::vector<int>& labels,
+                        const std::vector<DimensionSet>& dims) {
+  MemorySource source(dataset);
+  auto objective = EvaluateClustersPass(source, labels, dims);
+  PROCLUS_CHECK(objective.ok());
+  return *objective;
+}
+
+}  // namespace proclus

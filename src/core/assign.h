@@ -1,0 +1,37 @@
+// AssignPoints / EvaluateClusters (Figures 5 and 6 of the paper).
+
+#ifndef PROCLUS_CORE_ASSIGN_H_
+#define PROCLUS_CORE_ASSIGN_H_
+
+#include <vector>
+
+#include "common/dimension_set.h"
+#include "data/dataset.h"
+
+namespace proclus {
+
+/// Assigns every point to the medoid with the smallest Manhattan segmental
+/// distance relative to that medoid's dimension set (Figure 5). One pass
+/// over the data; ties go to the lower cluster index. Returns per-point
+/// cluster ids in [0, k).
+///
+/// When `segmental_normalization` is false the plain (unnormalized)
+/// restricted Manhattan distance is used instead — the ablation of the
+/// paper's |D|-normalization.
+std::vector<int> AssignPoints(const Dataset& dataset,
+                              const std::vector<size_t>& medoids,
+                              const std::vector<DimensionSet>& dims,
+                              bool segmental_normalization = true);
+
+/// Evaluates a clustering (Figure 6): for each non-empty cluster, the
+/// average over its dimensions of the average per-dimension distance of
+/// its points to its centroid; weighted by cluster size and divided by the
+/// number of clustered points. Lower is better. `labels` may contain
+/// kOutlierLabel entries, which are ignored. Returns 0 when no point is
+/// clustered.
+double EvaluateClusters(const Dataset& dataset, const std::vector<int>& labels,
+                        const std::vector<DimensionSet>& dims);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_CORE_ASSIGN_H_

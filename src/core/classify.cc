@@ -1,0 +1,64 @@
+#include "core/classify.h"
+
+#include <limits>
+
+namespace proclus {
+
+namespace {
+
+Status ValidateModel(const ProjectedClustering& model, size_t dims) {
+  const size_t k = model.num_clusters();
+  if (k == 0) return Status::InvalidArgument("model has no clusters");
+  if (model.medoid_coords.rows() != k)
+    return Status::InvalidArgument(
+        "model is missing medoid coordinates (fit with this library "
+        "version, or fill medoid_coords)");
+  if (model.medoid_coords.cols() != dims)
+    return Status::InvalidArgument("model dimensionality " +
+                                   std::to_string(model.medoid_coords.cols()) +
+                                   " != data dimensionality " +
+                                   std::to_string(dims));
+  if (model.dimensions.size() != k)
+    return Status::InvalidArgument("model dimension sets inconsistent");
+  if (!model.spheres.empty() && model.spheres.size() != k)
+    return Status::InvalidArgument("model spheres inconsistent");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<int>> ClassifyPoints(const ProjectedClustering& model,
+                                        const PointSource& source,
+                                        const ClassifyOptions& options) {
+  PROCLUS_RETURN_IF_ERROR(ValidateModel(model, source.dims()));
+  const size_t k = model.num_clusters();
+  const bool detect =
+      options.detect_outliers && model.spheres.size() == k;
+  std::vector<double> spheres =
+      detect ? model.spheres
+             : std::vector<double>(
+                   k, std::numeric_limits<double>::infinity());
+  return RefineAssignPass(source, model.medoid_coords, model.dimensions,
+                          spheres, options.segmental_normalization, detect,
+                          options.pass);
+}
+
+Result<std::vector<int>> ClassifyPoints(const ProjectedClustering& model,
+                                        const Dataset& dataset,
+                                        const ClassifyOptions& options) {
+  MemorySource source(dataset);
+  return ClassifyPoints(model, source, options);
+}
+
+Result<int> ClassifyPoint(const ProjectedClustering& model,
+                          std::span<const double> point,
+                          const ClassifyOptions& options) {
+  Matrix one(1, point.size());
+  std::copy(point.begin(), point.end(), one.row(0).begin());
+  Dataset dataset(std::move(one));
+  auto labels = ClassifyPoints(model, dataset, options);
+  PROCLUS_RETURN_IF_ERROR(labels.status());
+  return (*labels)[0];
+}
+
+}  // namespace proclus

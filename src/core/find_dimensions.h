@@ -1,0 +1,47 @@
+// FindDimensions (Figure 4 of the paper): given, for each medoid i, the
+// average distance X_{i,j} along each dimension j from a reference point
+// set (the locality L_i during the iterative phase, the cluster C_i during
+// refinement) to the medoid, select the dimension subsets D_1..D_k.
+//
+// For each medoid the per-dimension averages are standardized,
+//
+//   Y_i = mean_j X_{i,j},   sigma_i = stddev_j X_{i,j},
+//   Z_{i,j} = (X_{i,j} - Y_i) / sigma_i,
+//
+// and the k*l most negative Z values are chosen subject to >= 2 dimensions
+// per medoid — an instance of the separable convex resource allocation
+// problem (Ibaraki & Katoh), solved exactly by a greedy: preallocate the 2
+// smallest Z per medoid, then take the globally smallest remaining values.
+
+#ifndef PROCLUS_CORE_FIND_DIMENSIONS_H_
+#define PROCLUS_CORE_FIND_DIMENSIONS_H_
+
+#include <vector>
+
+#include "common/dimension_set.h"
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace proclus {
+
+/// Standardizes each row of the k x d matrix `X` to Z-scores. Rows with
+/// zero spread map to all-zero Z rows (any dimension is then equally good).
+Matrix ComputeZScores(const Matrix& X);
+
+/// Exact greedy solution of the constrained selection: picks `total`
+/// entries of the k x d matrix `Z` minimizing their sum, with at least
+/// `min_per_row` entries per row. Requires min_per_row * k <= total <= k*d.
+/// Ties are broken deterministically by (value, row, column).
+Result<std::vector<DimensionSet>> AllocateDimensions(const Matrix& Z,
+                                                     size_t total,
+                                                     size_t min_per_row = 2);
+
+/// Full FindDimensions step: Z-scores of the per-dimension average
+/// distances `X` (k rows, d columns), then allocation of round(k * l)
+/// dimensions with at least 2 per medoid.
+Result<std::vector<DimensionSet>> FindDimensions(const Matrix& X,
+                                                 double avg_dims);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_CORE_FIND_DIMENSIONS_H_

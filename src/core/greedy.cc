@@ -1,0 +1,54 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace proclus {
+
+std::vector<size_t> GreedyPick(const Dataset& dataset,
+                               const std::vector<size_t>& candidates,
+                               size_t count, MetricKind metric, Rng& rng) {
+  count = std::min(count, candidates.size());
+  std::vector<size_t> chosen;
+  if (count == 0) return chosen;
+  PROCLUS_CHECK(!candidates.empty());
+  chosen.reserve(count);
+
+  const size_t n = candidates.size();
+  // dist[c] = distance from candidate c to the nearest chosen point.
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> taken(n, false);
+
+  size_t first = rng.UniformInt(static_cast<uint64_t>(n));
+  chosen.push_back(candidates[first]);
+  taken[first] = true;
+
+  for (size_t round = 1; round <= count; ++round) {
+    // Relax distances against the most recently chosen point.
+    auto last = dataset.point(chosen.back());
+    for (size_t c = 0; c < n; ++c) {
+      if (taken[c]) continue;
+      double d = Distance(metric, dataset.point(candidates[c]), last);
+      if (d < dist[c]) dist[c] = d;
+    }
+    if (round == count) break;
+    // Pick the candidate farthest from all chosen points.
+    size_t best = n;
+    double best_dist = -1.0;
+    for (size_t c = 0; c < n; ++c) {
+      if (taken[c]) continue;
+      if (dist[c] > best_dist) {
+        best_dist = dist[c];
+        best = c;
+      }
+    }
+    PROCLUS_CHECK(best < n);
+    chosen.push_back(candidates[best]);
+    taken[best] = true;
+  }
+  return chosen;
+}
+
+}  // namespace proclus

@@ -1,0 +1,30 @@
+// Gonzalez's farthest-first greedy (Figure 3 of the paper; Gonzalez 1985).
+//
+// Starting from one random point, repeatedly adds the candidate whose
+// distance to the nearest already-chosen point is maximal. On well
+// separated full-dimensional clusters this returns a piercing set; PROCLUS
+// runs it on a small random sample so that the outliers it is attracted to
+// are mostly absent.
+
+#ifndef PROCLUS_CORE_GREEDY_H_
+#define PROCLUS_CORE_GREEDY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "distance/metric.h"
+
+namespace proclus {
+
+/// Picks `count` points from `candidates` (point indices into `dataset`)
+/// via farthest-first traversal under `metric`. The first pick is uniform
+/// random from `candidates`. Returns min(count, |candidates|) distinct
+/// point indices. Requires candidates non-empty when count > 0.
+std::vector<size_t> GreedyPick(const Dataset& dataset,
+                               const std::vector<size_t>& candidates,
+                               size_t count, MetricKind metric, Rng& rng);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_CORE_GREEDY_H_

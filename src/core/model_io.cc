@@ -1,0 +1,136 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace proclus {
+
+namespace {
+constexpr const char* kHeader = "PROCLUS-MODEL";
+constexpr int kVersion = 1;
+}  // namespace
+
+Status SaveModel(const ProjectedClustering& model, std::ostream& out) {
+  const size_t k = model.num_clusters();
+  const size_t d = model.medoid_coords.cols();
+  if (model.medoid_coords.rows() != k)
+    return Status::InvalidArgument(
+        "model has no medoid coordinates; cannot be saved as a "
+        "self-contained model");
+  out << kHeader << ' ' << kVersion << '\n';
+  out << "k " << k << " d " << d << '\n';
+  out << std::setprecision(17);
+  out << "objective " << model.objective << '\n';
+  out << "iterations " << model.iterations << " improvements "
+      << model.improvements << '\n';
+  for (size_t i = 0; i < k; ++i) {
+    out << "medoid " << model.medoids[i];
+    for (size_t j = 0; j < d; ++j) out << ' ' << model.medoid_coords(i, j);
+    out << '\n';
+  }
+  for (size_t i = 0; i < k; ++i) {
+    std::vector<uint32_t> dims = model.dimensions[i].ToVector();
+    out << "dims " << dims.size();
+    for (uint32_t dim : dims) out << ' ' << dim;
+    out << '\n';
+  }
+  if (model.spheres.empty()) {
+    out << "spheres none\n";
+  } else {
+    out << "spheres " << model.spheres.size();
+    for (double sphere : model.spheres) out << ' ' << sphere;
+    out << '\n';
+  }
+  if (!out) return Status::IOError("model write failed");
+  return Status::OK();
+}
+
+Status SaveModelFile(const ProjectedClustering& model,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return SaveModel(model, out);
+}
+
+Result<ProjectedClustering> LoadModel(std::istream& in) {
+  std::string header;
+  int version = 0;
+  in >> header >> version;
+  if (!in || header != kHeader)
+    return Status::Corruption("not a PROCLUS model file");
+  if (version != kVersion)
+    return Status::Corruption("unsupported model version " +
+                              std::to_string(version));
+  std::string tag;
+  size_t k = 0, d = 0;
+  in >> tag >> k;
+  if (!in || tag != "k") return Status::Corruption("expected 'k'");
+  in >> tag >> d;
+  if (!in || tag != "d") return Status::Corruption("expected 'd'");
+  if (k == 0 || d == 0) return Status::Corruption("degenerate model shape");
+
+  ProjectedClustering model;
+  in >> tag >> model.objective;
+  if (!in || tag != "objective")
+    return Status::Corruption("expected 'objective'");
+  in >> tag >> model.iterations;
+  if (!in || tag != "iterations")
+    return Status::Corruption("expected 'iterations'");
+  in >> tag >> model.improvements;
+  if (!in || tag != "improvements")
+    return Status::Corruption("expected 'improvements'");
+
+  model.medoids.resize(k);
+  model.medoid_coords = Matrix(k, d);
+  for (size_t i = 0; i < k; ++i) {
+    in >> tag >> model.medoids[i];
+    if (!in || tag != "medoid")
+      return Status::Corruption("expected 'medoid' row " +
+                                std::to_string(i));
+    for (size_t j = 0; j < d; ++j) in >> model.medoid_coords(i, j);
+    if (!in) return Status::Corruption("truncated medoid coordinates");
+  }
+  model.dimensions.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    size_t count = 0;
+    in >> tag >> count;
+    if (!in || tag != "dims")
+      return Status::Corruption("expected 'dims' row " + std::to_string(i));
+    DimensionSet set(d);
+    for (size_t c = 0; c < count; ++c) {
+      uint32_t dim;
+      in >> dim;
+      if (!in || dim >= d)
+        return Status::Corruption("bad dimension index in model");
+      set.Add(dim);
+    }
+    if (set.empty())
+      return Status::Corruption("empty dimension set in model");
+    model.dimensions.push_back(std::move(set));
+  }
+  in >> tag;
+  if (!in || tag != "spheres")
+    return Status::Corruption("expected 'spheres'");
+  std::string count_token;
+  in >> count_token;
+  if (count_token != "none") {
+    size_t count = 0;
+    std::istringstream parse(count_token);
+    parse >> count;
+    if (parse.fail() || count != k)
+      return Status::Corruption("bad sphere count");
+    model.spheres.resize(k);
+    for (size_t i = 0; i < k; ++i) in >> model.spheres[i];
+    if (!in) return Status::Corruption("truncated spheres");
+  }
+  return model;
+}
+
+Result<ProjectedClustering> LoadModelFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return LoadModel(in);
+}
+
+}  // namespace proclus

@@ -1,0 +1,34 @@
+// Persistence for fitted models: a small, versioned, human-readable text
+// format holding everything ClassifyPoints needs (medoid coordinates,
+// dimension subsets, spheres of influence, objective) — deliberately NOT
+// the training labels, which belong to the training data, can be large,
+// and are reproducible via ClassifyPoints on the training set.
+
+#ifndef PROCLUS_CORE_MODEL_IO_H_
+#define PROCLUS_CORE_MODEL_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/model.h"
+
+namespace proclus {
+
+/// Writes `model` (without labels) to a stream.
+Status SaveModel(const ProjectedClustering& model, std::ostream& out);
+
+/// Writes `model` to the file at `path`.
+Status SaveModelFile(const ProjectedClustering& model,
+                     const std::string& path);
+
+/// Reads a model previously written with SaveModel. The result has empty
+/// `labels` (re-derive them with ClassifyPoints if needed).
+Result<ProjectedClustering> LoadModel(std::istream& in);
+
+/// Reads a model from the file at `path`.
+Result<ProjectedClustering> LoadModelFile(const std::string& path);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_CORE_MODEL_IO_H_

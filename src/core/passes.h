@@ -1,0 +1,88 @@
+// The data passes of PROCLUS, expressed over a PointSource.
+//
+// Each pass is one scan over the data (the database-algorithm contract
+// of the paper) producing either per-point outputs (labels) or small
+// aggregates (k x d statistics). Scans over in-memory sources may be
+// block-parallel: every block computes an independent partial and the
+// partials are merged sequentially in block order, so results are
+// bit-identical for any thread count. Disk-backed sources scan
+// sequentially (the pass is I/O bound there anyway).
+//
+// Medoids are passed by coordinates (a k x d matrix) rather than point
+// indices so the passes never need random access into the source.
+
+#ifndef PROCLUS_CORE_PASSES_H_
+#define PROCLUS_CORE_PASSES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dimension_set.h"
+#include "common/parallel.h"
+#include "common/status.h"
+#include "data/point_source.h"
+
+namespace proclus {
+
+/// Execution options shared by all passes.
+struct PassOptions {
+  /// Worker threads for in-memory sources (1 = sequential). Results are
+  /// independent of this value.
+  size_t num_threads = 1;
+  /// Rows per block (and per disk read).
+  size_t block_rows = kDefaultBlockRows;
+};
+
+/// Visits every block of the source; in-memory sources are processed
+/// block-parallel with `options.num_threads`. The visitor is invoked
+/// concurrently for distinct blocks and must only touch state owned by
+/// its block (index it by first_row / block_rows).
+Status ForEachBlock(const PointSource& source, const PassOptions& options,
+                    const BlockVisitor& visit);
+
+/// Locality statistics (iterative phase): X(i, j) = average |p_j - m_ij|
+/// over the points within delta_i of medoid i, where delta_i is the
+/// full-space segmental distance from medoid i to its nearest other
+/// medoid and the medoid rows come from `medoids` (k x d).
+Result<Matrix> LocalityStatsPass(const PointSource& source,
+                                 const Matrix& medoids,
+                                 const PassOptions& options = {});
+
+/// Cluster statistics (refinement phase): X(i, j) = average |p_j - m_ij|
+/// over the points labeled i (outliers skipped; empty clusters keep
+/// all-zero rows).
+Result<Matrix> ClusterStatsPass(const PointSource& source,
+                                const Matrix& medoids,
+                                const std::vector<int>& labels,
+                                const PassOptions& options = {});
+
+/// Assignment (Figure 5): each point goes to the medoid minimizing the
+/// Manhattan segmental distance on that medoid's dimensions (or the
+/// unnormalized restricted distance when `segmental_normalization` is
+/// false). Ties to the lower index.
+Result<std::vector<int>> AssignPointsPass(
+    const PointSource& source, const Matrix& medoids,
+    const std::vector<DimensionSet>& dims, bool segmental_normalization,
+    const PassOptions& options = {});
+
+/// Evaluation (Figure 6): size-weighted average, over non-empty
+/// clusters, of the mean per-dimension distance of cluster points to
+/// their centroid on the cluster's dimensions. Two scans (centroids,
+/// then deviations).
+Result<double> EvaluateClustersPass(const PointSource& source,
+                                    const std::vector<int>& labels,
+                                    const std::vector<DimensionSet>& dims,
+                                    const PassOptions& options = {});
+
+/// Refinement assignment: like AssignPointsPass but with outlier
+/// handling — a point whose distance to medoid i exceeds `spheres[i]`
+/// for every i is labeled kOutlierLabel (when `detect_outliers`).
+Result<std::vector<int>> RefineAssignPass(
+    const PointSource& source, const Matrix& medoids,
+    const std::vector<DimensionSet>& dims,
+    const std::vector<double>& spheres, bool segmental_normalization,
+    bool detect_outliers, const PassOptions& options = {});
+
+}  // namespace proclus
+
+#endif  // PROCLUS_CORE_PASSES_H_

@@ -1,0 +1,292 @@
+#include "core/proclus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/find_dimensions.h"
+#include "core/greedy.h"
+#include "core/passes.h"
+#include "distance/metric.h"
+#include "distance/segmental.h"
+
+namespace proclus {
+
+Status ProclusParams::Validate(size_t num_points, size_t dims) const {
+  if (num_clusters == 0)
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  if (num_points < num_clusters)
+    return Status::InvalidArgument("fewer points than clusters");
+  if (dims < 2) return Status::InvalidArgument("need at least 2 dimensions");
+  if (avg_dims < 2.0)
+    return Status::InvalidArgument("avg_dims must be >= 2");
+  if (avg_dims > static_cast<double>(dims))
+    return Status::InvalidArgument("avg_dims exceeds space dimensionality");
+  size_t total = static_cast<size_t>(
+      std::llround(avg_dims * static_cast<double>(num_clusters)));
+  if (total > num_clusters * dims)
+    return Status::InvalidArgument("k*l exceeds k*d dimension slots");
+  if (sample_factor == 0)
+    return Status::InvalidArgument("sample_factor must be >= 1");
+  if (candidate_factor == 0)
+    return Status::InvalidArgument("candidate_factor must be >= 1");
+  if (min_deviation <= 0.0 || min_deviation > 1.0)
+    return Status::InvalidArgument("min_deviation must be in (0, 1]");
+  if (max_iterations == 0)
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  if (num_restarts == 0)
+    return Status::InvalidArgument("num_restarts must be >= 1");
+  if (block_rows == 0)
+    return Status::InvalidArgument("block_rows must be >= 1");
+  return Status::OK();
+}
+
+namespace internal {
+
+Matrix LocalityStats(const Dataset& dataset,
+                     const std::vector<size_t>& medoids) {
+  MemorySource source(dataset);
+  auto coords = source.Fetch(medoids);
+  PROCLUS_CHECK(coords.ok());
+  auto result = LocalityStatsPass(source, *coords);
+  PROCLUS_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Matrix ClusterStats(const Dataset& dataset,
+                    const std::vector<size_t>& medoids,
+                    const std::vector<int>& labels) {
+  MemorySource source(dataset);
+  auto coords = source.Fetch(medoids);
+  PROCLUS_CHECK(coords.ok());
+  auto result = ClusterStatsPass(source, *coords, labels);
+  PROCLUS_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+std::vector<size_t> FindBadMedoids(const std::vector<int>& labels, size_t k,
+                                   double min_deviation) {
+  std::vector<size_t> count(k, 0);
+  size_t n = labels.size();
+  for (int label : labels) {
+    if (label == kOutlierLabel) continue;
+    PROCLUS_CHECK(label >= 0 && static_cast<size_t>(label) < k);
+    ++count[static_cast<size_t>(label)];
+  }
+  const double threshold =
+      (static_cast<double>(n) / static_cast<double>(k)) * min_deviation;
+  std::vector<size_t> bad;
+  size_t smallest = 0;
+  for (size_t i = 1; i < k; ++i)
+    if (count[i] < count[smallest]) smallest = i;
+  bad.push_back(smallest);
+  for (size_t i = 0; i < k; ++i) {
+    if (i == smallest) continue;
+    if (static_cast<double>(count[i]) < threshold) bad.push_back(i);
+  }
+  return bad;
+}
+
+}  // namespace internal
+
+namespace {
+
+// Replaces the clusters listed in `bad` within `medoids` (positions into
+// the candidate pool) by random unused candidates.
+void ReplaceBadMedoids(size_t pool_size, const std::vector<size_t>& bad,
+                       std::vector<size_t>* medoid_slots, Rng& rng) {
+  std::unordered_set<size_t> used(medoid_slots->begin(),
+                                  medoid_slots->end());
+  std::vector<size_t> free_slots;
+  free_slots.reserve(pool_size);
+  for (size_t slot = 0; slot < pool_size; ++slot)
+    if (!used.count(slot)) free_slots.push_back(slot);
+  rng.Shuffle(free_slots);
+  size_t next = 0;
+  for (size_t cluster : bad) {
+    if (next >= free_slots.size()) break;  // Pool exhausted.
+    (*medoid_slots)[cluster] = free_slots[next++];
+  }
+}
+
+// Builds the k x d coordinate matrix of the medoids at `slots` within
+// the candidate coordinate matrix.
+Matrix SlotsToCoords(const Matrix& candidate_coords,
+                     const std::vector<size_t>& slots) {
+  Matrix out(slots.size(), candidate_coords.cols());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    auto src = candidate_coords.row(slots[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
+                                               const ProclusParams& params) {
+  PROCLUS_RETURN_IF_ERROR(params.Validate(source.size(), source.dims()));
+  Rng rng(params.seed);
+  const size_t k = params.num_clusters;
+  const size_t n = source.size();
+  PassOptions pass_options{params.num_threads, params.block_rows};
+
+  // ----- Phase 1: Initialization -----
+  // Sample A*k points, then reduce to B*k medoid candidates by greedy
+  // farthest-first (or take a plain random candidate set in the
+  // ablation). Only these few points are ever fetched by position.
+  const size_t sample_size = std::min(n, params.sample_factor * k);
+  const size_t candidate_size =
+      std::max(k, std::min(sample_size, params.candidate_factor * k));
+  std::vector<size_t> candidates;  // Global point indices.
+  if (params.two_step_init) {
+    std::vector<size_t> sample =
+        rng.SampleWithoutReplacement(n, sample_size);
+    auto sample_coords = source.Fetch(sample);
+    PROCLUS_RETURN_IF_ERROR(sample_coords.status());
+    Dataset sample_dataset(std::move(sample_coords).value());
+    std::vector<size_t> local(sample.size());
+    std::iota(local.begin(), local.end(), size_t{0});
+    std::vector<size_t> picked = GreedyPick(
+        sample_dataset, local, candidate_size, params.init_metric, rng);
+    candidates.reserve(picked.size());
+    for (size_t local_index : picked)
+      candidates.push_back(sample[local_index]);
+  } else {
+    candidates = rng.SampleWithoutReplacement(n, candidate_size);
+  }
+  PROCLUS_CHECK(candidates.size() >= k);
+  auto candidate_coords_result = source.Fetch(candidates);
+  PROCLUS_RETURN_IF_ERROR(candidate_coords_result.status());
+  const Matrix& candidate_coords = *candidate_coords_result;
+
+  // ----- Phase 2: Iterative (hill climbing with restarts) -----
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::vector<size_t> best_slots;
+  std::vector<DimensionSet> best_dims;
+  std::vector<int> best_labels;
+
+  size_t iterations = 0;
+  size_t improvements = 0;
+  for (size_t restart = 0; restart < params.num_restarts; ++restart) {
+    std::vector<size_t> current =
+        rng.SampleWithoutReplacement(candidates.size(), k);
+    double local_best = std::numeric_limits<double>::infinity();
+    std::vector<size_t> local_slots;
+    std::vector<DimensionSet> local_dims;
+    std::vector<int> local_labels;
+    std::vector<size_t> bad;
+
+    size_t local_iterations = 0;
+    size_t since_improvement = 0;
+    while (local_iterations < params.max_iterations &&
+           since_improvement < params.max_no_improve) {
+      ++local_iterations;
+      Matrix medoid_coords = SlotsToCoords(candidate_coords, current);
+      auto X = LocalityStatsPass(source, medoid_coords, pass_options);
+      PROCLUS_RETURN_IF_ERROR(X.status());
+      auto dims = FindDimensions(*X, params.avg_dims);
+      PROCLUS_RETURN_IF_ERROR(dims.status());
+      auto labels =
+          AssignPointsPass(source, medoid_coords, *dims,
+                           params.segmental_normalization, pass_options);
+      PROCLUS_RETURN_IF_ERROR(labels.status());
+      auto objective =
+          EvaluateClustersPass(source, *labels, *dims, pass_options);
+      PROCLUS_RETURN_IF_ERROR(objective.status());
+
+      if (*objective < local_best) {
+        local_best = *objective;
+        local_slots = current;
+        local_dims = std::move(dims).value();
+        local_labels = std::move(labels).value();
+        bad = internal::FindBadMedoids(local_labels, k,
+                                       params.min_deviation);
+        ++improvements;
+        since_improvement = 0;
+      } else {
+        ++since_improvement;
+      }
+      current = local_slots;
+      ReplaceBadMedoids(candidates.size(), bad, &current, rng);
+      if (current == local_slots) break;  // Candidate pool exhausted.
+    }
+    iterations += local_iterations;
+    if (local_best < best_objective) {
+      best_objective = local_best;
+      best_slots = std::move(local_slots);
+      best_dims = std::move(local_dims);
+      best_labels = std::move(local_labels);
+    }
+  }
+  PROCLUS_CHECK(!best_slots.empty());
+
+  ProjectedClustering result;
+  result.iterations = iterations;
+  result.improvements = improvements;
+  result.medoids.reserve(k);
+  for (size_t slot : best_slots) result.medoids.push_back(candidates[slot]);
+  Matrix medoid_coords = SlotsToCoords(candidate_coords, best_slots);
+  result.medoid_coords = medoid_coords;
+
+  if (!params.refine) {
+    result.dimensions = std::move(best_dims);
+    result.labels = std::move(best_labels);
+    result.objective = best_objective;
+    return result;
+  }
+
+  // ----- Phase 3: Refinement -----
+  // Recompute dimensions from the best clusters (not localities), then
+  // reassign once more, detecting outliers by spheres of influence.
+  auto X = ClusterStatsPass(source, medoid_coords, best_labels,
+                            pass_options);
+  PROCLUS_RETURN_IF_ERROR(X.status());
+  auto refined_dims = FindDimensions(*X, params.avg_dims);
+  PROCLUS_RETURN_IF_ERROR(refined_dims.status());
+
+  std::vector<std::vector<uint32_t>> dim_lists(k);
+  for (size_t i = 0; i < k; ++i) dim_lists[i] = (*refined_dims)[i].ToVector();
+  auto restricted_dist = [&](std::span<const double> a,
+                             std::span<const double> b,
+                             const std::vector<uint32_t>& dims) {
+    return params.segmental_normalization
+               ? ManhattanSegmentalDistance(a, b, dims)
+               : RestrictedManhattanDistance(a, b, dims);
+  };
+  std::vector<double> spheres(k, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      double dist = restricted_dist(medoid_coords.row(i),
+                                    medoid_coords.row(j), dim_lists[i]);
+      if (dist < spheres[i]) spheres[i] = dist;
+    }
+  }
+
+  auto labels = RefineAssignPass(source, medoid_coords, *refined_dims,
+                                 spheres, params.segmental_normalization,
+                                 params.detect_outliers, pass_options);
+  PROCLUS_RETURN_IF_ERROR(labels.status());
+
+  result.spheres = spheres;
+  result.dimensions = std::move(refined_dims).value();
+  result.labels = std::move(labels).value();
+  auto objective = EvaluateClustersPass(source, result.labels,
+                                        result.dimensions, pass_options);
+  PROCLUS_RETURN_IF_ERROR(objective.status());
+  result.objective = *objective;
+  return result;
+}
+
+Result<ProjectedClustering> RunProclus(const Dataset& dataset,
+                                       const ProclusParams& params) {
+  MemorySource source(dataset);
+  return RunProclusOnSource(source, params);
+}
+
+}  // namespace proclus

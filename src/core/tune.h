@@ -1,0 +1,79 @@
+// Automatic selection of the average cluster dimensionality l.
+//
+// PROCLUS takes l as a user parameter. Section 4.3 of the paper notes
+// that the runtime is nearly flat in l, so "it is easy to simply run the
+// algorithm a few times and try different values for l". This module
+// automates the procedure:
+//
+//  1. Cluster once with a starting l.
+//  2. For each cluster, count the dimensions on which its points are
+//     genuinely correlated: average |x_j - centroid_j| below
+//     `correlation_fraction` times the dataset-wide average deviation on
+//     dimension j (uniform/noise dimensions sit at the global level;
+//     correlated ones far below it).
+//  3. Re-run PROCLUS with l = (total correlated dims) / k and repeat
+//     until the estimate stabilizes.
+//
+// The count in step 2 does not depend on the l used to produce the
+// partition (any reasonable partition reveals which dimensions are
+// tight), which is what makes the fixed-point iteration converge fast —
+// usually in two rounds.
+
+#ifndef PROCLUS_CORE_TUNE_H_
+#define PROCLUS_CORE_TUNE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/proclus.h"
+
+namespace proclus {
+
+/// Options of the l auto-tuner.
+struct TuneParams {
+  /// l used for the first clustering round.
+  double initial_avg_dims = 4.0;
+  /// A dimension counts as correlated for a cluster when the cluster's
+  /// average deviation on it is below this fraction of the dataset-wide
+  /// average deviation on the same dimension.
+  double correlation_fraction = 0.5;
+  /// Maximum estimate/re-cluster rounds.
+  size_t max_rounds = 4;
+};
+
+/// One tuning round.
+struct TuneRound {
+  /// l the round clustered with.
+  double avg_dims_used = 0.0;
+  /// l estimated from the round's partition.
+  double avg_dims_estimated = 0.0;
+  /// The paper objective of the round's clustering.
+  double objective = 0.0;
+};
+
+/// Result of the auto-tuning loop.
+struct TuneResult {
+  /// Clustering from the final round.
+  ProjectedClustering clustering;
+  /// The l the final clustering used.
+  double selected_avg_dims = 0.0;
+  /// Per-round trace.
+  std::vector<TuneRound> rounds;
+};
+
+/// Estimates the average number of correlated dimensions per cluster of
+/// an existing partition (outliers ignored; every cluster contributes at
+/// least 2, matching PROCLUS's own constraint). Exposed for testing.
+double EstimateAvgDims(const Dataset& dataset,
+                       const std::vector<int>& labels, size_t num_clusters,
+                       double correlation_fraction = 0.5);
+
+/// Runs the fixed-point tuning loop. `base.avg_dims` is ignored; all
+/// other PROCLUS parameters are taken from `base`.
+Result<TuneResult> AutoTuneAvgDims(const Dataset& dataset,
+                                   const ProclusParams& base,
+                                   const TuneParams& tune = {});
+
+}  // namespace proclus
+
+#endif  // PROCLUS_CORE_TUNE_H_

@@ -1,0 +1,72 @@
+#include "data/binary_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace proclus {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'C', 'L', 'S'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void PutRaw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+Status WriteBinary(const Dataset& dataset, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  PutRaw(out, kVersion);
+  PutRaw(out, static_cast<uint64_t>(dataset.size()));
+  PutRaw(out, static_cast<uint64_t>(dataset.dims()));
+  const auto& data = dataset.matrix().data();
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(double)));
+  if (!out) return Status::IOError("binary write failed");
+  return Status::OK();
+}
+
+Status WriteBinaryFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return WriteBinary(dataset, out);
+}
+
+Result<Dataset> ReadBinary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return Status::Corruption("bad magic; not a PROCLUS binary dataset");
+  uint32_t version;
+  if (!GetRaw(in, &version)) return Status::Corruption("truncated header");
+  if (version != kVersion)
+    return Status::Corruption("unsupported version " +
+                              std::to_string(version));
+  uint64_t rows, cols;
+  if (!GetRaw(in, &rows) || !GetRaw(in, &cols))
+    return Status::Corruption("truncated header");
+  if (cols > 0 && rows > (1ULL << 40) / cols)
+    return Status::Corruption("implausible dataset shape");
+  std::vector<double> data(static_cast<size_t>(rows * cols));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(double)));
+  if (!in) return Status::Corruption("truncated payload");
+  return Dataset(Matrix(static_cast<size_t>(rows), static_cast<size_t>(cols),
+                        std::move(data)));
+}
+
+Result<Dataset> ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadBinary(in);
+}
+
+}  // namespace proclus

@@ -1,0 +1,34 @@
+// Binary snapshot format for datasets: a fixed little-endian layout with a
+// magic header, used to cache large generated datasets between benchmark
+// runs (the Figure 7 sweep re-uses the same 500k-point file across
+// algorithms).
+//
+// Layout: magic "PCLS" (4 bytes) | version u32 | rows u64 | cols u64 |
+//         rows*cols f64 values (row-major).
+
+#ifndef PROCLUS_DATA_BINARY_IO_H_
+#define PROCLUS_DATA_BINARY_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace proclus {
+
+/// Writes the dataset's points to a binary stream.
+Status WriteBinary(const Dataset& dataset, std::ostream& out);
+
+/// Writes the dataset's points to the file at `path`.
+Status WriteBinaryFile(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written with WriteBinary.
+Result<Dataset> ReadBinary(std::istream& in);
+
+/// Reads a dataset from the file at `path`.
+Result<Dataset> ReadBinaryFile(const std::string& path);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_DATA_BINARY_IO_H_

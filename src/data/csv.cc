@@ -1,0 +1,141 @@
+#include "data/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace proclus {
+
+namespace {
+
+// Splits `line` on `delim`, trimming surrounding whitespace per field.
+std::vector<std::string> SplitFields(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t end = line.find(delim, start);
+    std::string field = line.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    size_t b = field.find_first_not_of(" \t\r");
+    size_t e = field.find_last_not_of(" \t\r");
+    fields.push_back(b == std::string::npos ? std::string()
+                                            : field.substr(b, e - b + 1));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool AllNumeric(const std::vector<std::string>& fields) {
+  double unused;
+  for (const auto& f : fields)
+    if (!ParseDouble(f, &unused)) return false;
+  return true;
+}
+
+}  // namespace
+
+Result<Dataset> ReadCsv(std::istream& in, const CsvOptions& options) {
+  if (options.force_header && options.force_no_header) {
+    return Status::InvalidArgument(
+        "force_header and force_no_header are mutually exclusive");
+  }
+  Matrix points;
+  std::vector<std::string> dim_names;
+  std::string line;
+  size_t line_no = 0;
+  bool first_data_row = true;
+  std::vector<double> row;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (options.skip_comments) {
+      size_t b = line.find_first_not_of(" \t\r");
+      if (b == std::string::npos || line[b] == '#') continue;
+    } else if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> fields = SplitFields(line, options.delimiter);
+    if (first_data_row) {
+      bool header = options.force_header ||
+                    (!options.force_no_header && !AllNumeric(fields));
+      if (header) {
+        dim_names = fields;
+        first_data_row = false;
+        continue;
+      }
+    }
+    row.clear();
+    row.reserve(fields.size());
+    for (const auto& f : fields) {
+      double v;
+      if (!ParseDouble(f, &v)) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": non-numeric field '" + f + "'");
+      }
+      row.push_back(v);
+    }
+    if (points.rows() > 0 && row.size() != points.cols()) {
+      return Status::Corruption(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(points.cols()) + " fields, got " +
+          std::to_string(row.size()));
+    }
+    if (!dim_names.empty() && row.size() != dim_names.size()) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": field count does not match header");
+    }
+    points.AppendRow(row);
+    first_data_row = false;
+  }
+  Dataset ds(std::move(points));
+  if (!dim_names.empty()) ds.set_dim_names(std::move(dim_names));
+  return ds;
+}
+
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadCsv(in, options);
+}
+
+Status WriteCsv(const Dataset& dataset, std::ostream& out, char delimiter) {
+  if (!dataset.dim_names().empty()) {
+    for (size_t j = 0; j < dataset.dims(); ++j) {
+      if (j) out << delimiter;
+      out << dataset.dim_names()[j];
+    }
+    out << '\n';
+  }
+  std::ostringstream buf;
+  buf.precision(17);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    auto p = dataset.point(i);
+    for (size_t j = 0; j < dataset.dims(); ++j) {
+      if (j) buf << delimiter;
+      buf << p[j];
+    }
+    buf << '\n';
+  }
+  out << buf.str();
+  if (!out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return WriteCsv(dataset, out, delimiter);
+}
+
+}  // namespace proclus

@@ -1,0 +1,47 @@
+// CSV import/export for datasets, so the examples can cluster user data.
+//
+// Format: one point per line, comma-separated numeric fields. An optional
+// header row provides dimension names (auto-detected: a row whose fields do
+// not all parse as numbers is treated as a header).
+
+#ifndef PROCLUS_DATA_CSV_H_
+#define PROCLUS_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace proclus {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  /// Field separator.
+  char delimiter = ',';
+  /// Treat the first row as dimension names instead of auto-detecting.
+  bool force_header = false;
+  /// Never treat the first row as a header.
+  bool force_no_header = false;
+  /// Skip blank lines and lines starting with '#'.
+  bool skip_comments = true;
+};
+
+/// Parses a dataset from a CSV stream.
+Result<Dataset> ReadCsv(std::istream& in, const CsvOptions& options = {});
+
+/// Parses a dataset from a CSV file at `path`.
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvOptions& options = {});
+
+/// Writes `dataset` as CSV (header row emitted iff dimension names exist).
+Status WriteCsv(const Dataset& dataset, std::ostream& out,
+                char delimiter = ',');
+
+/// Writes `dataset` as CSV to the file at `path`.
+Status WriteCsvFile(const Dataset& dataset, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace proclus
+
+#endif  // PROCLUS_DATA_CSV_H_

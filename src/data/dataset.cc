@@ -1,0 +1,57 @@
+#include "data/dataset.h"
+
+#include <limits>
+
+namespace proclus {
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), dims());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    PROCLUS_CHECK(indices[r] < size());
+    auto src = points_.row(indices[r]);
+    auto dst = out.row(r);
+    for (size_t c = 0; c < dims(); ++c) dst[c] = src[c];
+  }
+  return Dataset(std::move(out), dim_names_);
+}
+
+void Dataset::Bounds(std::vector<double>* mins,
+                     std::vector<double>* maxs) const {
+  PROCLUS_CHECK(!empty());
+  mins->assign(dims(), std::numeric_limits<double>::infinity());
+  maxs->assign(dims(), -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < size(); ++i) {
+    auto p = point(i);
+    for (size_t j = 0; j < dims(); ++j) {
+      if (p[j] < (*mins)[j]) (*mins)[j] = p[j];
+      if (p[j] > (*maxs)[j]) (*maxs)[j] = p[j];
+    }
+  }
+}
+
+std::vector<double> Dataset::Centroid(
+    const std::vector<size_t>& indices) const {
+  PROCLUS_CHECK(!indices.empty());
+  std::vector<double> c(dims(), 0.0);
+  for (size_t i : indices) {
+    auto p = point(i);
+    for (size_t j = 0; j < dims(); ++j) c[j] += p[j];
+  }
+  const double inv = 1.0 / static_cast<double>(indices.size());
+  for (double& v : c) v *= inv;
+  return c;
+}
+
+std::vector<double> Dataset::Centroid() const {
+  PROCLUS_CHECK(!empty());
+  std::vector<double> c(dims(), 0.0);
+  for (size_t i = 0; i < size(); ++i) {
+    auto p = point(i);
+    for (size_t j = 0; j < dims(); ++j) c[j] += p[j];
+  }
+  const double inv = 1.0 / static_cast<double>(size());
+  for (double& v : c) v *= inv;
+  return c;
+}
+
+}  // namespace proclus

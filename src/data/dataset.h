@@ -1,0 +1,80 @@
+// Dataset: an immutable-shape point set with optional metadata.
+//
+// The dataset layer decouples the clustering algorithms from how points were
+// produced (synthetic generator, CSV file, binary snapshot). Points are rows
+// of a dense row-major Matrix; dimension names are optional and only used
+// for reporting.
+
+#ifndef PROCLUS_DATA_DATASET_H_
+#define PROCLUS_DATA_DATASET_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace proclus {
+
+/// A set of d-dimensional points.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Wraps an existing matrix of points (rows = points).
+  explicit Dataset(Matrix points) : points_(std::move(points)) {}
+
+  /// Wraps a matrix with per-dimension names (size must match columns).
+  Dataset(Matrix points, std::vector<std::string> dim_names)
+      : points_(std::move(points)), dim_names_(std::move(dim_names)) {
+    PROCLUS_CHECK(dim_names_.empty() ||
+                  dim_names_.size() == points_.cols());
+  }
+
+  /// Number of points N.
+  size_t size() const { return points_.rows(); }
+
+  /// Dimensionality d of the space.
+  size_t dims() const { return points_.cols(); }
+
+  bool empty() const { return points_.rows() == 0; }
+
+  /// Point `i` as a contiguous span of `dims()` coordinates.
+  std::span<const double> point(size_t i) const { return points_.row(i); }
+
+  /// Coordinate `j` of point `i`.
+  double at(size_t i, size_t j) const { return points_(i, j); }
+
+  /// Underlying matrix.
+  const Matrix& matrix() const { return points_; }
+  Matrix& matrix() { return points_; }
+
+  /// Dimension names; empty if unnamed.
+  const std::vector<std::string>& dim_names() const { return dim_names_; }
+  void set_dim_names(std::vector<std::string> names) {
+    PROCLUS_CHECK(names.empty() || names.size() == dims());
+    dim_names_ = std::move(names);
+  }
+
+  /// Returns the dataset restricted to the given point indices.
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Per-dimension minima/maxima over all points. Requires non-empty.
+  void Bounds(std::vector<double>* mins, std::vector<double>* maxs) const;
+
+  /// Centroid (algebraic mean) of the points with the given indices.
+  /// Requires `indices` non-empty.
+  std::vector<double> Centroid(const std::vector<size_t>& indices) const;
+
+  /// Centroid of the full dataset. Requires non-empty.
+  std::vector<double> Centroid() const;
+
+ private:
+  Matrix points_;
+  std::vector<std::string> dim_names_;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_DATA_DATASET_H_

@@ -1,0 +1,83 @@
+#include "data/normalize.h"
+
+#include <cmath>
+
+namespace proclus {
+
+void AffineTransform::Apply(Dataset* dataset) const {
+  PROCLUS_CHECK(offset.size() == dataset->dims());
+  PROCLUS_CHECK(scale.size() == dataset->dims());
+  Matrix& m = dataset->matrix();
+  for (size_t i = 0; i < m.rows(); ++i) {
+    auto row = m.row(i);
+    for (size_t j = 0; j < m.cols(); ++j)
+      row[j] = (row[j] - offset[j]) * scale[j];
+  }
+}
+
+void AffineTransform::InvertPoint(std::vector<double>* point) const {
+  PROCLUS_CHECK(point->size() == offset.size());
+  for (size_t j = 0; j < point->size(); ++j) {
+    double s = scale[j];
+    (*point)[j] = (s != 0.0 ? (*point)[j] / s : 0.0) + offset[j];
+  }
+}
+
+Result<AffineTransform> MinMaxTransform(const Dataset& dataset, double lo,
+                                        double hi) {
+  if (dataset.empty())
+    return Status::InvalidArgument("dataset is empty");
+  if (!(lo < hi))
+    return Status::InvalidArgument("require lo < hi");
+  std::vector<double> mins, maxs;
+  dataset.Bounds(&mins, &maxs);
+  AffineTransform t;
+  t.offset.resize(dataset.dims());
+  t.scale.resize(dataset.dims());
+  for (size_t j = 0; j < dataset.dims(); ++j) {
+    double range = maxs[j] - mins[j];
+    // Map [min, max] -> [lo, hi]; offset then scale, then shift by lo.
+    // x' = (x - min) * (hi-lo)/range + lo  ==  (x - (min - lo*range/(hi-lo)))
+    // * (hi-lo)/range. To keep the struct simple we fold lo into offset.
+    if (range > 0.0) {
+      double s = (hi - lo) / range;
+      t.scale[j] = s;
+      t.offset[j] = mins[j] - lo / s;
+    } else {
+      t.scale[j] = 1.0;
+      t.offset[j] = mins[j] - lo;
+    }
+  }
+  return t;
+}
+
+Result<AffineTransform> ZScoreTransform(const Dataset& dataset) {
+  if (dataset.empty())
+    return Status::InvalidArgument("dataset is empty");
+  const size_t n = dataset.size();
+  const size_t d = dataset.dims();
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    auto p = dataset.point(i);
+    for (size_t j = 0; j < d; ++j) mean[j] += p[j];
+  }
+  for (double& v : mean) v /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    auto p = dataset.point(i);
+    for (size_t j = 0; j < d; ++j) {
+      double diff = p[j] - mean[j];
+      var[j] += diff * diff;
+    }
+  }
+  AffineTransform t;
+  t.offset = mean;
+  t.scale.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    double sd = n > 1 ? std::sqrt(var[j] / static_cast<double>(n - 1)) : 0.0;
+    t.scale[j] = sd > 0.0 ? 1.0 / sd : 1.0;
+  }
+  return t;
+}
+
+}  // namespace proclus

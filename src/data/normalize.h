@@ -1,0 +1,39 @@
+// Normalization transforms. PROCLUS and CLIQUE both compare coordinate
+// differences across dimensions, so dimensions on wildly different scales
+// must be normalized first (the paper's synthetic data is already uniform
+// on [0,100] per dimension; real data usually is not).
+
+#ifndef PROCLUS_DATA_NORMALIZE_H_
+#define PROCLUS_DATA_NORMALIZE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace proclus {
+
+/// A per-dimension affine transform x' = (x - offset) * scale, invertible.
+struct AffineTransform {
+  std::vector<double> offset;
+  std::vector<double> scale;
+
+  /// Applies the transform to `dataset` in place.
+  void Apply(Dataset* dataset) const;
+
+  /// Applies the inverse transform to one point in place.
+  void InvertPoint(std::vector<double>* point) const;
+};
+
+/// Computes a min-max transform mapping each dimension onto [lo, hi].
+/// Constant dimensions map to lo. Requires a non-empty dataset and lo < hi.
+Result<AffineTransform> MinMaxTransform(const Dataset& dataset,
+                                        double lo = 0.0, double hi = 100.0);
+
+/// Computes a z-score transform (mean 0, stddev 1 per dimension). Constant
+/// dimensions are centered but not scaled. Requires a non-empty dataset.
+Result<AffineTransform> ZScoreTransform(const Dataset& dataset);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_DATA_NORMALIZE_H_

@@ -1,0 +1,113 @@
+#include "data/point_source.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace proclus {
+
+// ---------- MemorySource ----------
+
+Status MemorySource::Scan(size_t block_rows, const BlockVisitor& visit)
+    const {
+  if (block_rows == 0)
+    return Status::InvalidArgument("block_rows must be > 0");
+  const size_t n = dataset_->size();
+  const size_t d = dataset_->dims();
+  const std::vector<double>& data = dataset_->matrix().data();
+  for (size_t first = 0; first < n; first += block_rows) {
+    size_t rows = std::min(block_rows, n - first);
+    visit(first, std::span<const double>(data.data() + first * d, rows * d),
+          rows);
+  }
+  return Status::OK();
+}
+
+Result<Matrix> MemorySource::Fetch(std::span<const size_t> indices) const {
+  Matrix out(indices.size(), dims());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    if (indices[r] >= size())
+      return Status::OutOfRange("point index " +
+                                std::to_string(indices[r]) +
+                                " out of range");
+    auto src = dataset_->point(indices[r]);
+    std::copy(src.begin(), src.end(), out.row(r).begin());
+  }
+  return out;
+}
+
+// ---------- DiskSource ----------
+
+namespace {
+constexpr char kMagic[4] = {'P', 'C', 'L', 'S'};
+constexpr uint32_t kSupportedVersion = 1;
+// magic(4) + version(4) + rows(8) + cols(8)
+constexpr size_t kHeaderBytes = 24;
+}  // namespace
+
+Result<DiskSource> DiskSource::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  char magic[4];
+  uint32_t version;
+  uint64_t rows, cols;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return Status::Corruption("'" + path + "' is not a PROCLUS snapshot");
+  if (version != kSupportedVersion)
+    return Status::Corruption("unsupported snapshot version " +
+                              std::to_string(version));
+  // Validate the payload length against the header.
+  in.seekg(0, std::ios::end);
+  uint64_t expected =
+      kHeaderBytes + rows * cols * static_cast<uint64_t>(sizeof(double));
+  if (static_cast<uint64_t>(in.tellg()) < expected)
+    return Status::Corruption("'" + path + "' is truncated");
+  return DiskSource(path, static_cast<size_t>(rows),
+                    static_cast<size_t>(cols), kHeaderBytes);
+}
+
+Status DiskSource::Scan(size_t block_rows, const BlockVisitor& visit) const {
+  if (block_rows == 0)
+    return Status::InvalidArgument("block_rows must be > 0");
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::IOError("cannot reopen '" + path_ + "'");
+  in.seekg(static_cast<std::streamoff>(data_offset_));
+  std::vector<double> buffer(block_rows * cols_);
+  for (size_t first = 0; first < rows_; first += block_rows) {
+    size_t rows = std::min(block_rows, rows_ - first);
+    in.read(reinterpret_cast<char*>(buffer.data()),
+            static_cast<std::streamsize>(rows * cols_ * sizeof(double)));
+    if (!in) return Status::IOError("read failed at row " +
+                                    std::to_string(first));
+    visit(first, std::span<const double>(buffer.data(), rows * cols_),
+          rows);
+  }
+  return Status::OK();
+}
+
+Result<Matrix> DiskSource::Fetch(std::span<const size_t> indices) const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::IOError("cannot reopen '" + path_ + "'");
+  Matrix out(indices.size(), cols_);
+  const size_t row_bytes = cols_ * sizeof(double);
+  for (size_t r = 0; r < indices.size(); ++r) {
+    if (indices[r] >= rows_)
+      return Status::OutOfRange("point index " +
+                                std::to_string(indices[r]) +
+                                " out of range");
+    in.seekg(static_cast<std::streamoff>(data_offset_ +
+                                         indices[r] * row_bytes));
+    in.read(reinterpret_cast<char*>(out.row(r).data()),
+            static_cast<std::streamsize>(row_bytes));
+    if (!in) return Status::IOError("read failed for point " +
+                                    std::to_string(indices[r]));
+  }
+  return out;
+}
+
+}  // namespace proclus

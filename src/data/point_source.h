@@ -1,0 +1,111 @@
+// PointSource: sequential-scan + point-fetch access to a point set,
+// decoupling the clustering passes from where the data lives.
+//
+// PROCLUS is a database algorithm: every phase is one scan over the data
+// plus random access to a handful of points (medoid candidates). This
+// interface captures exactly that contract, so the same algorithm runs
+// over an in-memory Dataset or a disk-resident binary snapshot that
+// never fits in RAM.
+//
+//  * Scan(block_rows, visit) — visits consecutive blocks of row-major
+//    coordinates in order. In-memory sources pass zero-copy spans; the
+//    disk source reads through a reusable buffer.
+//  * Fetch(indices) — materializes a small set of points (samples,
+//    medoids) by position.
+//
+// Implementations must support concurrent Scan/Fetch calls from multiple
+// threads (the disk source opens a private stream per call).
+
+#ifndef PROCLUS_DATA_POINT_SOURCE_H_
+#define PROCLUS_DATA_POINT_SOURCE_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace proclus {
+
+/// Receives one block: index of its first row, row-major coordinate data
+/// (`rows` x dims() values), and the number of rows in the block.
+using BlockVisitor =
+    std::function<void(size_t first_row, std::span<const double> data,
+                       size_t rows)>;
+
+/// Abstract scan/fetch access to N points in d dimensions.
+class PointSource {
+ public:
+  virtual ~PointSource() = default;
+
+  /// Number of points N.
+  virtual size_t size() const = 0;
+  /// Dimensionality d.
+  virtual size_t dims() const = 0;
+
+  /// Visits all points in consecutive blocks of at most `block_rows`
+  /// rows, in order of increasing row index. Every block except possibly
+  /// the last has exactly `block_rows` rows. Thread-compatible: may be
+  /// called concurrently from several threads.
+  virtual Status Scan(size_t block_rows, const BlockVisitor& visit)
+      const = 0;
+
+  /// Materializes the points at `indices` (any order, duplicates
+  /// allowed) as the rows of a Matrix. Returns OutOfRange for bad
+  /// indices.
+  virtual Result<Matrix> Fetch(std::span<const size_t> indices) const = 0;
+
+  /// Non-null when the full point set is addressable in memory; enables
+  /// the zero-copy parallel pass path.
+  virtual const Dataset* InMemory() const { return nullptr; }
+};
+
+/// PointSource view over an in-memory Dataset (not owned).
+class MemorySource final : public PointSource {
+ public:
+  /// Wraps `dataset`, which must outlive this source.
+  explicit MemorySource(const Dataset& dataset) : dataset_(&dataset) {}
+
+  size_t size() const override { return dataset_->size(); }
+  size_t dims() const override { return dataset_->dims(); }
+  Status Scan(size_t block_rows, const BlockVisitor& visit) const override;
+  Result<Matrix> Fetch(std::span<const size_t> indices) const override;
+  const Dataset* InMemory() const override { return dataset_; }
+
+ private:
+  const Dataset* dataset_;
+};
+
+/// PointSource over a binary dataset snapshot on disk (the format of
+/// data/binary_io.h), reading blocks through a bounded buffer so the
+/// full data never needs to fit in memory.
+class DiskSource final : public PointSource {
+ public:
+  /// Opens and validates the snapshot at `path`.
+  static Result<DiskSource> Open(const std::string& path);
+
+  size_t size() const override { return rows_; }
+  size_t dims() const override { return cols_; }
+  Status Scan(size_t block_rows, const BlockVisitor& visit) const override;
+  Result<Matrix> Fetch(std::span<const size_t> indices) const override;
+
+ private:
+  DiskSource(std::string path, size_t rows, size_t cols,
+             size_t data_offset)
+      : path_(std::move(path)),
+        rows_(rows),
+        cols_(cols),
+        data_offset_(data_offset) {}
+
+  std::string path_;
+  size_t rows_;
+  size_t cols_;
+  size_t data_offset_;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_DATA_POINT_SOURCE_H_

@@ -1,0 +1,24 @@
+#include "data/sample.h"
+
+#include <algorithm>
+
+namespace proclus {
+
+std::vector<size_t> SampleIndices(const Dataset& dataset, size_t k,
+                                  Rng& rng) {
+  size_t n = dataset.size();
+  return rng.SampleWithoutReplacement(n, std::min(k, n));
+}
+
+std::vector<size_t> ReservoirSampleIndices(size_t n, size_t k, Rng& rng) {
+  k = std::min(k, n);
+  std::vector<size_t> reservoir(k);
+  for (size_t i = 0; i < k; ++i) reservoir[i] = i;
+  for (size_t i = k; i < n; ++i) {
+    size_t j = rng.UniformInt(static_cast<uint64_t>(i + 1));
+    if (j < k) reservoir[j] = i;
+  }
+  return reservoir;
+}
+
+}  // namespace proclus

@@ -1,0 +1,26 @@
+// Sampling utilities. The PROCLUS initialization phase draws a uniform
+// random sample of size A*k from the database (Section 2.1); the reservoir
+// variant supports the same operation over streams whose size is unknown
+// in advance.
+
+#ifndef PROCLUS_DATA_SAMPLE_H_
+#define PROCLUS_DATA_SAMPLE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace proclus {
+
+/// Draws min(k, dataset.size()) distinct point indices uniformly at random.
+std::vector<size_t> SampleIndices(const Dataset& dataset, size_t k, Rng& rng);
+
+/// Reservoir sampling (Algorithm R) over a sequence of `n` items: returns
+/// min(k, n) distinct indices, each subset of size k equally likely, using
+/// one pass regardless of n.
+std::vector<size_t> ReservoirSampleIndices(size_t n, size_t k, Rng& rng);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_DATA_SAMPLE_H_

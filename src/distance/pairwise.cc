@@ -1,0 +1,40 @@
+#include "distance/pairwise.h"
+
+#include <limits>
+
+namespace proclus {
+
+Matrix PairwiseDistances(const Dataset& dataset,
+                         const std::vector<size_t>& indices,
+                         MetricKind metric) {
+  const size_t n = indices.size();
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = Distance(metric, dataset.point(indices[i]),
+                          dataset.point(indices[j]));
+      out(i, j) = d;
+      out(j, i) = d;
+    }
+  }
+  return out;
+}
+
+std::vector<double> NearestNeighborDistances(
+    const Dataset& dataset, const std::vector<size_t>& indices,
+    MetricKind metric) {
+  PROCLUS_CHECK(indices.size() >= 2);
+  const size_t n = indices.size();
+  std::vector<double> nearest(n, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = Distance(metric, dataset.point(indices[i]),
+                          dataset.point(indices[j]));
+      if (d < nearest[i]) nearest[i] = d;
+      if (d < nearest[j]) nearest[j] = d;
+    }
+  }
+  return nearest;
+}
+
+}  // namespace proclus

@@ -1,0 +1,29 @@
+// Pairwise distance helpers used by the medoid-selection phases.
+
+#ifndef PROCLUS_DISTANCE_PAIRWISE_H_
+#define PROCLUS_DISTANCE_PAIRWISE_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "data/dataset.h"
+#include "distance/metric.h"
+
+namespace proclus {
+
+/// Full symmetric pairwise distance matrix among the points with the given
+/// indices (used on the small B*k medoid candidate set, never on the full
+/// database).
+Matrix PairwiseDistances(const Dataset& dataset,
+                         const std::vector<size_t>& indices,
+                         MetricKind metric);
+
+/// For each point in `indices`, the distance to its nearest other point in
+/// `indices` (ties broken by lower index). Requires |indices| >= 2.
+std::vector<double> NearestNeighborDistances(
+    const Dataset& dataset, const std::vector<size_t>& indices,
+    MetricKind metric);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_DISTANCE_PAIRWISE_H_

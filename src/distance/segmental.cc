@@ -1,0 +1,26 @@
+#include "distance/segmental.h"
+
+#include <cmath>
+
+namespace proclus {
+
+double ManhattanSegmentalDistance(std::span<const double> a,
+                                  std::span<const double> b,
+                                  const DimensionSet& dims) {
+  std::vector<uint32_t> list = dims.ToVector();
+  return ManhattanSegmentalDistance(a, b, list);
+}
+
+double RestrictedEuclideanDistance(std::span<const double> a,
+                                   std::span<const double> b,
+                                   std::span<const uint32_t> dims) {
+  PROCLUS_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (uint32_t d : dims) {
+    double diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace proclus

@@ -1,0 +1,81 @@
+#include "eval/confusion.h"
+
+#include "gen/ground_truth.h"
+
+namespace proclus {
+
+Result<ConfusionMatrix> ConfusionMatrix::Build(
+    const std::vector<int>& output_labels, size_t num_output_clusters,
+    const std::vector<int>& input_labels, size_t num_input_clusters) {
+  if (output_labels.size() != input_labels.size())
+    return Status::InvalidArgument("label vector sizes differ");
+  ConfusionMatrix m(num_output_clusters + 1, num_input_clusters + 1);
+  for (size_t p = 0; p < output_labels.size(); ++p) {
+    int out = output_labels[p];
+    int in = input_labels[p];
+    size_t row = out == kOutlierLabel ? num_output_clusters
+                                      : static_cast<size_t>(out);
+    size_t col =
+        in == kOutlierLabel ? num_input_clusters : static_cast<size_t>(in);
+    if (row >= m.rows_ || col >= m.cols_)
+      return Status::InvalidArgument("label value out of range");
+    ++m.counts_[row * m.cols_ + col];
+  }
+  return m;
+}
+
+size_t ConfusionMatrix::RowTotal(size_t i) const {
+  PROCLUS_DCHECK(i < rows_);
+  size_t total = 0;
+  for (size_t j = 0; j < cols_; ++j) total += counts_[i * cols_ + j];
+  return total;
+}
+
+size_t ConfusionMatrix::ColTotal(size_t j) const {
+  PROCLUS_DCHECK(j < cols_);
+  size_t total = 0;
+  for (size_t i = 0; i < rows_; ++i) total += counts_[i * cols_ + j];
+  return total;
+}
+
+size_t ConfusionMatrix::Total() const {
+  size_t total = 0;
+  for (size_t c : counts_) total += c;
+  return total;
+}
+
+std::vector<int> ConfusionMatrix::DominantInput() const {
+  std::vector<int> dominant(output_clusters(), kOutlierLabel);
+  for (size_t i = 0; i < output_clusters(); ++i) {
+    size_t best = 0;
+    int best_j = kOutlierLabel;
+    for (size_t j = 0; j < input_clusters(); ++j) {
+      if (at(i, j) > best) {
+        best = at(i, j);
+        best_j = static_cast<int>(j);
+      }
+    }
+    // Input outliers dominating keeps kOutlierLabel.
+    if (at(i, input_clusters()) > best) best_j = kOutlierLabel;
+    dominant[i] = best_j;
+  }
+  return dominant;
+}
+
+double ConfusionMatrix::DominantAccuracy() const {
+  size_t total = Total();
+  if (total == 0) return 0.0;
+  std::vector<int> dominant = DominantInput();
+  size_t correct = 0;
+  for (size_t i = 0; i < output_clusters(); ++i) {
+    if (dominant[i] == kOutlierLabel)
+      correct += at(i, input_clusters());
+    else
+      correct += at(i, static_cast<size_t>(dominant[i]));
+  }
+  // Output outliers are correct when they are input outliers.
+  correct += at(output_clusters(), input_clusters());
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace proclus

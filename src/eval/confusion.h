@@ -1,0 +1,70 @@
+// Confusion matrix between a clustering and ground truth (Section 4.2):
+// entry (i, j) counts points assigned to output cluster i that were
+// generated as part of input cluster j; the extra row/column hold output
+// and input outliers.
+
+#ifndef PROCLUS_EVAL_CONFUSION_H_
+#define PROCLUS_EVAL_CONFUSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace proclus {
+
+/// Confusion matrix with outlier row/column.
+class ConfusionMatrix {
+ public:
+  /// Builds the matrix from per-point output and input labels (values in
+  /// [0, k) or kOutlierLabel). Sizes must match; label values must be
+  /// below the provided cluster counts.
+  static Result<ConfusionMatrix> Build(const std::vector<int>& output_labels,
+                                       size_t num_output_clusters,
+                                       const std::vector<int>& input_labels,
+                                       size_t num_input_clusters);
+
+  /// Number of output clusters (rows excluding the outlier row).
+  size_t output_clusters() const { return rows_ - 1; }
+  /// Number of input clusters (columns excluding the outlier column).
+  size_t input_clusters() const { return cols_ - 1; }
+
+  /// Count of points in output cluster i and input cluster j. Index
+  /// output_clusters() selects the output-outlier row; input_clusters()
+  /// the input-outlier column.
+  size_t at(size_t i, size_t j) const {
+    PROCLUS_DCHECK(i < rows_ && j < cols_);
+    return counts_[i * cols_ + j];
+  }
+
+  /// Total points in output cluster i (outlier row included via
+  /// i == output_clusters()).
+  size_t RowTotal(size_t i) const;
+  /// Total points from input cluster j.
+  size_t ColTotal(size_t j) const;
+  /// Total number of points.
+  size_t Total() const;
+
+  /// For each output cluster, the input cluster contributing the most
+  /// points (kOutlierLabel if the largest contribution is input outliers
+  /// or the row is empty).
+  std::vector<int> DominantInput() const;
+
+  /// Fraction of points whose output cluster's dominant input cluster
+  /// matches their own input cluster, treating outliers as their own
+  /// class. A perfect recovery scores 1.0.
+  double DominantAccuracy() const;
+
+ private:
+  ConfusionMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), counts_(rows * cols, 0) {}
+
+  size_t rows_;  // num_output_clusters + 1
+  size_t cols_;  // num_input_clusters + 1
+  std::vector<size_t> counts_;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_EVAL_CONFUSION_H_

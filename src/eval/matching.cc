@@ -1,0 +1,121 @@
+#include "eval/matching.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace proclus {
+
+namespace {
+
+// Jonker-Volgenant augmenting path assignment on an R x C cost matrix,
+// R <= C (caller pads/transposes). Returns row -> column.
+std::vector<int> SolveRectangular(const Matrix& cost) {
+  const size_t rows = cost.rows();
+  const size_t cols = cost.cols();
+  PROCLUS_CHECK(rows <= cols);
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // Potentials and matching; 1-based internal arrays per the classic
+  // formulation.
+  std::vector<double> u(rows + 1, 0.0), v(cols + 1, 0.0);
+  std::vector<int> match(cols + 1, 0);  // column -> row (0 = free)
+
+  for (size_t r = 1; r <= rows; ++r) {
+    std::vector<double> min_v(cols + 1, kInf);
+    std::vector<bool> used(cols + 1, false);
+    std::vector<int> way(cols + 1, 0);
+    match[0] = static_cast<int>(r);
+    size_t j0 = 0;
+    do {
+      used[j0] = true;
+      int i0 = match[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= cols; ++j) {
+        if (used[j]) continue;
+        double cur = cost(static_cast<size_t>(i0) - 1, j - 1) -
+                     u[static_cast<size_t>(i0)] - v[j];
+        if (cur < min_v[j]) {
+          min_v[j] = cur;
+          way[j] = static_cast<int>(j0);
+        }
+        if (min_v[j] < delta) {
+          delta = min_v[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= cols; ++j) {
+        if (used[j]) {
+          u[static_cast<size_t>(match[j])] += delta;
+          v[j] -= delta;
+        } else {
+          min_v[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the path.
+    do {
+      size_t j1 = static_cast<size_t>(way[j0]);
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> row_to_col(rows, -1);
+  for (size_t j = 1; j <= cols; ++j) {
+    if (match[j] > 0)
+      row_to_col[static_cast<size_t>(match[j]) - 1] = static_cast<int>(j) - 1;
+  }
+  return row_to_col;
+}
+
+}  // namespace
+
+std::vector<int> SolveAssignmentMin(const Matrix& cost) {
+  if (cost.rows() == 0 || cost.cols() == 0)
+    return std::vector<int>(cost.rows(), -1);
+  if (cost.rows() <= cost.cols()) return SolveRectangular(cost);
+  // More rows than columns: transpose, solve, invert the mapping.
+  Matrix transposed(cost.cols(), cost.rows());
+  for (size_t r = 0; r < cost.rows(); ++r)
+    for (size_t c = 0; c < cost.cols(); ++c) transposed(c, r) = cost(r, c);
+  std::vector<int> col_to_row = SolveRectangular(transposed);
+  std::vector<int> row_to_col(cost.rows(), -1);
+  for (size_t c = 0; c < col_to_row.size(); ++c)
+    if (col_to_row[c] >= 0)
+      row_to_col[static_cast<size_t>(col_to_row[c])] = static_cast<int>(c);
+  return row_to_col;
+}
+
+std::vector<int> SolveAssignmentMax(const Matrix& score) {
+  Matrix negated(score.rows(), score.cols());
+  for (size_t r = 0; r < score.rows(); ++r)
+    for (size_t c = 0; c < score.cols(); ++c) negated(r, c) = -score(r, c);
+  return SolveAssignmentMin(negated);
+}
+
+std::vector<int> MatchClusters(const ConfusionMatrix& confusion) {
+  const size_t out_k = confusion.output_clusters();
+  const size_t in_k = confusion.input_clusters();
+  if (out_k == 0 || in_k == 0) return std::vector<int>(out_k, -1);
+  Matrix score(out_k, in_k);
+  for (size_t i = 0; i < out_k; ++i)
+    for (size_t j = 0; j < in_k; ++j)
+      score(i, j) = static_cast<double>(confusion.at(i, j));
+  return SolveAssignmentMax(score);
+}
+
+double MatchedAccuracy(const ConfusionMatrix& confusion) {
+  size_t total = confusion.Total();
+  if (total == 0) return 0.0;
+  std::vector<int> match = MatchClusters(confusion);
+  size_t agree = 0;
+  for (size_t i = 0; i < match.size(); ++i)
+    if (match[i] >= 0) agree += confusion.at(i, static_cast<size_t>(match[i]));
+  agree += confusion.at(confusion.output_clusters(),
+                        confusion.input_clusters());
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace proclus

@@ -1,0 +1,41 @@
+// Optimal cluster matching via the Hungarian algorithm (Kuhn-Munkres).
+//
+// The paper's tables pair output clusters with input clusters by
+// inspection; we automate the pairing by solving the assignment problem
+// that maximizes total agreement (the sum of confusion-matrix entries on
+// the matched pairs), so every table is rendered with a principled,
+// deterministic correspondence.
+
+#ifndef PROCLUS_EVAL_MATCHING_H_
+#define PROCLUS_EVAL_MATCHING_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "eval/confusion.h"
+
+namespace proclus {
+
+/// Solves the rectangular assignment problem: picks one column per row
+/// (each column used at most once) minimizing the total cost. Returns
+/// per-row column indices (-1 for unassigned rows when rows > cols).
+/// O(n^3) Jonker-Volgenant style augmenting-path implementation.
+std::vector<int> SolveAssignmentMin(const Matrix& cost);
+
+/// Maximizing variant of SolveAssignmentMin.
+std::vector<int> SolveAssignmentMax(const Matrix& score);
+
+/// Matches output clusters (rows of the confusion matrix) to input
+/// clusters maximizing total matched points. Returns per-output-cluster
+/// input cluster index, -1 where unmatched. Outlier row/column do not
+/// participate.
+std::vector<int> MatchClusters(const ConfusionMatrix& confusion);
+
+/// Total points on the matched diagonal divided by all points — the
+/// "matched accuracy" of the clustering under the optimal pairing
+/// (outliers count as matched when output and input agree).
+double MatchedAccuracy(const ConfusionMatrix& confusion);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_EVAL_MATCHING_H_

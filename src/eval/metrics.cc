@@ -1,0 +1,88 @@
+#include "eval/metrics.h"
+
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "gen/ground_truth.h"
+
+namespace proclus {
+
+DimensionRecovery ScoreDimensionRecovery(
+    const std::vector<DimensionSet>& found,
+    const std::vector<DimensionSet>& truth, const std::vector<int>& match) {
+  PROCLUS_CHECK(match.size() == found.size());
+  DimensionRecovery score;
+  score.per_cluster.assign(found.size(), 0.0);
+  size_t matched = 0;
+  size_t exact = 0;
+  double jaccard_sum = 0.0;
+  for (size_t i = 0; i < found.size(); ++i) {
+    if (match[i] < 0) continue;
+    const DimensionSet& t = truth[static_cast<size_t>(match[i])];
+    double j = found[i].Jaccard(t);
+    score.per_cluster[i] = j;
+    jaccard_sum += j;
+    if (found[i] == t) ++exact;
+    ++matched;
+  }
+  if (matched > 0) {
+    score.mean_jaccard = jaccard_sum / static_cast<double>(matched);
+    score.exact_fraction =
+        static_cast<double>(exact) / static_cast<double>(matched);
+  }
+  return score;
+}
+
+double AdjustedRandIndex(const std::vector<int>& a,
+                         const std::vector<int>& b) {
+  PROCLUS_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+  // Contingency counts.
+  std::map<std::pair<int, int>, size_t> cells;
+  std::map<int, size_t> row_sums, col_sums;
+  for (size_t i = 0; i < n; ++i) {
+    ++cells[{a[i], b[i]}];
+    ++row_sums[a[i]];
+    ++col_sums[b[i]];
+  }
+  auto choose2 = [](size_t x) {
+    return static_cast<double>(x) * static_cast<double>(x - 1) / 2.0;
+  };
+  double sum_cells = 0.0;
+  for (const auto& [key, count] : cells) sum_cells += choose2(count);
+  double sum_rows = 0.0;
+  for (const auto& [key, count] : row_sums) sum_rows += choose2(count);
+  double sum_cols = 0.0;
+  for (const auto& [key, count] : col_sums) sum_cols += choose2(count);
+  double total = choose2(n);
+  double expected = sum_rows * sum_cols / total;
+  double max_index = (sum_rows + sum_cols) / 2.0;
+  if (max_index == expected) return 1.0;
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+OutlierScore ScoreOutliers(const std::vector<int>& predicted,
+                           const std::vector<int>& truth) {
+  PROCLUS_CHECK(predicted.size() == truth.size());
+  size_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    bool pred = predicted[i] == kOutlierLabel;
+    bool real = truth[i] == kOutlierLabel;
+    if (pred && real) ++tp;
+    if (pred && !real) ++fp;
+    if (!pred && real) ++fn;
+  }
+  OutlierScore score;
+  if (tp + fp > 0)
+    score.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+  if (tp + fn > 0)
+    score.recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+  if (score.precision + score.recall > 0.0)
+    score.f1 = 2.0 * score.precision * score.recall /
+               (score.precision + score.recall);
+  return score;
+}
+
+}  // namespace proclus

@@ -1,0 +1,47 @@
+// Clustering quality metrics beyond the confusion matrix: dimension-set
+// recovery scores and standard external indices.
+
+#ifndef PROCLUS_EVAL_METRICS_H_
+#define PROCLUS_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "common/dimension_set.h"
+#include "eval/confusion.h"
+
+namespace proclus {
+
+/// Per-cluster dimension recovery under a given output->input matching
+/// (-1 entries skipped).
+struct DimensionRecovery {
+  /// Average Jaccard similarity between matched dimension sets.
+  double mean_jaccard = 0.0;
+  /// Fraction of matched pairs whose dimension sets are exactly equal.
+  double exact_fraction = 0.0;
+  /// Per-output-cluster Jaccard (NaN-free: unmatched clusters get 0).
+  std::vector<double> per_cluster;
+};
+
+/// Scores how well `found` dimension sets recover `truth` sets under the
+/// pairing `match` (found[i] vs truth[match[i]]).
+DimensionRecovery ScoreDimensionRecovery(
+    const std::vector<DimensionSet>& found,
+    const std::vector<DimensionSet>& truth, const std::vector<int>& match);
+
+/// Adjusted Rand Index between two labelings (outlier label treated as its
+/// own class). 1.0 = identical partitions, ~0 = random agreement.
+double AdjustedRandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Precision / recall / F1 of outlier detection: `predicted` vs `truth`
+/// labels, where the positive class is kOutlierLabel.
+struct OutlierScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+OutlierScore ScoreOutliers(const std::vector<int>& predicted,
+                           const std::vector<int>& truth);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_EVAL_METRICS_H_

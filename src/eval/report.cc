@@ -1,0 +1,100 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace proclus {
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  PROCLUS_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-");
+    out << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string ClusterLetter(size_t index) {
+  std::string out;
+  ++index;  // 1-based for the usual spreadsheet scheme.
+  while (index > 0) {
+    --index;
+    out.insert(out.begin(), static_cast<char>('A' + index % 26));
+    index /= 26;
+  }
+  return out;
+}
+
+std::string RenderDimensionTable(
+    const std::vector<DimensionSet>& input_dims,
+    const std::vector<size_t>& input_sizes, size_t input_outliers,
+    const std::vector<DimensionSet>& output_dims,
+    const std::vector<size_t>& output_sizes, size_t output_outliers) {
+  PROCLUS_CHECK(input_dims.size() == input_sizes.size());
+  PROCLUS_CHECK(output_dims.size() == output_sizes.size());
+  std::ostringstream out;
+  {
+    TableWriter table({"Input", "Dimensions", "Points"});
+    for (size_t i = 0; i < input_dims.size(); ++i) {
+      table.AddRow({ClusterLetter(i), input_dims[i].ToListString(1),
+                    std::to_string(input_sizes[i])});
+    }
+    table.AddRow({"Outliers", "-", std::to_string(input_outliers)});
+    out << table.ToString();
+  }
+  out << '\n';
+  {
+    TableWriter table({"Found", "Dimensions", "Points"});
+    for (size_t i = 0; i < output_dims.size(); ++i) {
+      table.AddRow({std::to_string(i + 1), output_dims[i].ToListString(1),
+                    std::to_string(output_sizes[i])});
+    }
+    table.AddRow({"Outliers", "-", std::to_string(output_outliers)});
+    out << table.ToString();
+  }
+  return out.str();
+}
+
+std::string RenderConfusionTable(const ConfusionMatrix& confusion) {
+  std::vector<std::string> headers;
+  headers.push_back("Output\\Input");
+  for (size_t j = 0; j < confusion.input_clusters(); ++j)
+    headers.push_back(ClusterLetter(j));
+  headers.push_back("Out.");
+  TableWriter table(std::move(headers));
+  for (size_t i = 0; i <= confusion.output_clusters(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(i == confusion.output_clusters() ? "Outliers"
+                                                   : std::to_string(i + 1));
+    for (size_t j = 0; j <= confusion.input_clusters(); ++j)
+      row.push_back(std::to_string(confusion.at(i, j)));
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+}  // namespace proclus

@@ -1,0 +1,52 @@
+// ASCII table rendering for the benchmark harness, matching the layout of
+// the paper's tables (input/output dimension listings, confusion matrices).
+
+#ifndef PROCLUS_EVAL_REPORT_H_
+#define PROCLUS_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dimension_set.h"
+#include "eval/confusion.h"
+
+namespace proclus {
+
+/// Generic fixed-width ASCII table.
+class TableWriter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns and a header separator.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders the paper's Tables 1/2 layout: input clusters (letters) with
+/// their dimensions and sizes on top, output clusters (numbers) below.
+/// Dimension indices are printed 1-based like the paper.
+std::string RenderDimensionTable(
+    const std::vector<DimensionSet>& input_dims,
+    const std::vector<size_t>& input_sizes, size_t input_outliers,
+    const std::vector<DimensionSet>& output_dims,
+    const std::vector<size_t>& output_sizes, size_t output_outliers);
+
+/// Renders the paper's Tables 3/4 layout: confusion matrix with input
+/// clusters as lettered columns (plus "Out.") and output clusters as
+/// numbered rows (plus "Outliers").
+std::string RenderConfusionTable(const ConfusionMatrix& confusion);
+
+/// Excel-style column letters for input clusters: A, B, ..., Z, AA, ...
+std::string ClusterLetter(size_t index);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_EVAL_REPORT_H_

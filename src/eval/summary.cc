@@ -1,0 +1,84 @@
+#include "eval/summary.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "eval/report.h"
+#include "gen/ground_truth.h"
+
+namespace proclus {
+
+Result<ClusteringSummary> SummarizeClustering(
+    const Dataset& dataset, const ProjectedClustering& clustering) {
+  if (clustering.labels.size() != dataset.size())
+    return Status::InvalidArgument("label count != dataset size");
+  const size_t k = clustering.num_clusters();
+  if (clustering.dimensions.size() != k)
+    return Status::InvalidArgument("dimension set count != cluster count");
+
+  ClusteringSummary summary;
+  summary.total_points = dataset.size();
+  summary.objective = clustering.objective;
+  summary.outliers = clustering.NumOutliers();
+
+  std::vector<std::vector<size_t>> members = clustering.ClusterIndices();
+  for (size_t i = 0; i < k; ++i) {
+    ClusterSummary cluster;
+    cluster.cluster = i;
+    cluster.size = members[i].size();
+    cluster.medoid = clustering.medoids[i];
+    cluster.dimensions = clustering.dimensions[i];
+    std::vector<uint32_t> dims = cluster.dimensions.ToVector();
+    cluster.center.assign(dims.size(), 0.0);
+    cluster.spread.assign(dims.size(), 0.0);
+    if (!members[i].empty()) {
+      std::vector<double> centroid = dataset.Centroid(members[i]);
+      for (size_t pos = 0; pos < dims.size(); ++pos)
+        cluster.center[pos] = centroid[dims[pos]];
+      double radius = 0.0;
+      for (size_t p : members[i]) {
+        auto point = dataset.point(p);
+        double segmental = 0.0;
+        for (size_t pos = 0; pos < dims.size(); ++pos) {
+          double diff = std::fabs(point[dims[pos]] - cluster.center[pos]);
+          cluster.spread[pos] += diff;
+          segmental += diff;
+        }
+        radius += segmental / static_cast<double>(dims.size());
+      }
+      const double inv = 1.0 / static_cast<double>(members[i].size());
+      for (double& s : cluster.spread) s *= inv;
+      cluster.radius = radius * inv;
+    }
+    summary.clusters.push_back(std::move(cluster));
+  }
+  return summary;
+}
+
+std::string RenderSummary(const ClusteringSummary& summary,
+                          const std::vector<std::string>& dim_names) {
+  auto dim_name = [&](uint32_t dim) {
+    return dim < dim_names.size() ? dim_names[dim]
+                                  : "d" + std::to_string(dim + 1);
+  };
+  std::ostringstream out;
+  out << "clusters: " << summary.clusters.size()
+      << "   points: " << summary.total_points
+      << "   outliers: " << summary.outliers << "   objective: ";
+  out.precision(4);
+  out << std::fixed << summary.objective << "\n";
+  for (const ClusterSummary& cluster : summary.clusters) {
+    out << "  cluster " << cluster.cluster + 1 << ": " << cluster.size
+        << " points, medoid #" << cluster.medoid << ", radius ";
+    out << cluster.radius << "\n";
+    std::vector<uint32_t> dims = cluster.dimensions.ToVector();
+    for (size_t pos = 0; pos < dims.size(); ++pos) {
+      out << "      " << dim_name(dims[pos]) << " ~ "
+          << cluster.center[pos] << " (+/- " << cluster.spread[pos]
+          << ")\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace proclus

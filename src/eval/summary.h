@@ -1,0 +1,55 @@
+// Human-readable per-cluster summaries of a projected clustering: size,
+// medoid, dimension subset, per-dimension center and spread on the
+// cluster's own dimensions, and the projected radius (the paper's
+// definition: average distance from points to the centroid, here under
+// the Manhattan segmental distance on the cluster's dimensions).
+
+#ifndef PROCLUS_EVAL_SUMMARY_H_
+#define PROCLUS_EVAL_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+#include "data/dataset.h"
+
+namespace proclus {
+
+/// Statistics of one projected cluster.
+struct ClusterSummary {
+  size_t cluster = 0;
+  size_t size = 0;
+  size_t medoid = 0;
+  DimensionSet dimensions;
+  /// Centroid coordinates restricted to `dimensions` (same order as
+  /// dimensions.ToVector()).
+  std::vector<double> center;
+  /// Average absolute deviation per dimension of `dimensions`.
+  std::vector<double> spread;
+  /// Average Manhattan segmental distance of members to the centroid on
+  /// the cluster's dimensions (the paper's projected radius).
+  double radius = 0.0;
+};
+
+/// Summary of a whole clustering.
+struct ClusteringSummary {
+  std::vector<ClusterSummary> clusters;
+  size_t outliers = 0;
+  size_t total_points = 0;
+  double objective = 0.0;
+};
+
+/// Computes summaries of `clustering` over `dataset`. Empty clusters get
+/// size 0 and zeroed statistics.
+Result<ClusteringSummary> SummarizeClustering(
+    const Dataset& dataset, const ProjectedClustering& clustering);
+
+/// Renders the summary as an aligned text report; dimension names from
+/// `dataset.dim_names()` are used when present.
+std::string RenderSummary(const ClusteringSummary& summary,
+                          const std::vector<std::string>& dim_names = {});
+
+}  // namespace proclus
+
+#endif  // PROCLUS_EVAL_SUMMARY_H_

@@ -1,0 +1,87 @@
+// ORCLUS (Aggarwal & Yu, SIGMOD 2000): generalized projected clustering
+// with arbitrarily ORIENTED subspaces — the follow-up work that removes
+// PROCLUS's axis-parallel restriction, implemented here as the library's
+// future-work extension (see bench/limitation_rotation for the failure
+// mode it addresses).
+//
+// Where PROCLUS associates each cluster with a subset of the coordinate
+// axes, ORCLUS associates it with an arbitrary orthonormal basis: the
+// eigenvectors of the cluster's covariance matrix with the SMALLEST
+// eigenvalues — the directions in which the cluster is tight. The
+// algorithm is agglomerative-iterative:
+//
+//   * start from k0 >> k random seeds with full-dimensional subspaces;
+//   * alternate (1) assignment of points to the seed minimizing the
+//     projected distance in the seed's subspace, (2) recomputation of
+//     centroids and subspaces from the assigned points, and (3) merging
+//     of the cluster pairs whose union has the least projected energy,
+//   * while the cluster count decays toward k (factor alpha) and the
+//     subspace dimensionality decays toward l (factor beta, chosen so
+//     both targets are reached together).
+//
+// The projected energy of a cluster in its own s-dimensional subspace
+// equals the sum of the s smallest eigenvalues of its covariance, which
+// lets merge costs be computed from sufficient statistics (counts,
+// means, covariances) without rescanning points.
+
+#ifndef PROCLUS_EXTENSIONS_ORCLUS_H_
+#define PROCLUS_EXTENSIONS_ORCLUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace proclus {
+
+/// ORCLUS parameters.
+struct OrclusParams {
+  /// Final number of clusters k.
+  size_t num_clusters = 5;
+  /// Final subspace dimensionality l (per cluster, all equal).
+  size_t subspace_dims = 4;
+  /// Initial seed count k0 (0 = 15 * num_clusters, the original paper's
+  /// recommendation; capped by N). Small k0 degrades accuracy sharply —
+  /// the agglomeration needs enough seeds to pierce every cluster
+  /// several times over.
+  size_t initial_seeds = 0;
+  /// Cluster-count decay per iteration (paper: 0.5).
+  double alpha = 0.5;
+  /// Seed for the deterministic run.
+  uint64_t seed = 1;
+
+  Status Validate(size_t num_points, size_t dims) const;
+};
+
+/// ORCLUS output.
+struct OrclusResult {
+  /// Per-point cluster id in [0, k).
+  std::vector<int> labels;
+  /// Cluster centroids (k x d).
+  Matrix centroids;
+  /// Per-cluster orthonormal subspace basis (l rows x d columns each):
+  /// the tight directions the cluster is defined by.
+  std::vector<Matrix> subspaces;
+  /// Average projected distance of points to their centroid in their
+  /// cluster's subspace (lower is better).
+  double objective = 0.0;
+  /// Outer iterations performed.
+  size_t iterations = 0;
+};
+
+/// Runs ORCLUS on an in-memory dataset. Deterministic for a fixed seed.
+Result<OrclusResult> RunOrclus(const Dataset& dataset,
+                               const OrclusParams& params);
+
+/// Distance from `point` to `center` within the subspace spanned by the
+/// rows of `basis` (orthonormal, s x d): the L2 norm of the projection
+/// of (point - center) onto the basis. Exposed for testing.
+double ProjectedDistance(std::span<const double> point,
+                         std::span<const double> center,
+                         const Matrix& basis);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_EXTENSIONS_ORCLUS_H_

@@ -1,0 +1,46 @@
+// Ground truth emitted by the synthetic generator and consumed by the
+// evaluation layer (confusion matrices, dimension-recovery tables).
+
+#ifndef PROCLUS_GEN_GROUND_TRUTH_H_
+#define PROCLUS_GEN_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dimension_set.h"
+
+namespace proclus {
+
+/// Label value marking an outlier point in ground truth and in clustering
+/// results alike.
+inline constexpr int kOutlierLabel = -1;
+
+/// What the generator knows about the data it produced.
+struct GroundTruth {
+  /// Per-point cluster id in [0, k), or kOutlierLabel for generated outliers.
+  std::vector<int> labels;
+  /// Per-cluster set of correlated dimensions.
+  std::vector<DimensionSet> cluster_dims;
+  /// Per-cluster anchor point (the normal-distribution means on cluster
+  /// dimensions).
+  std::vector<std::vector<double>> anchors;
+
+  /// Number of clusters.
+  size_t num_clusters() const { return cluster_dims.size(); }
+
+  /// Number of points carrying each cluster id (index k == outliers).
+  std::vector<size_t> ClusterSizes() const {
+    std::vector<size_t> sizes(num_clusters() + 1, 0);
+    for (int label : labels) {
+      if (label == kOutlierLabel)
+        ++sizes[num_clusters()];
+      else
+        ++sizes[static_cast<size_t>(label)];
+    }
+    return sizes;
+  }
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_GEN_GROUND_TRUTH_H_

@@ -1,0 +1,154 @@
+#include "clique/clusters.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+DenseCellMap MakeUnits(std::initializer_list<std::pair<uint64_t, uint32_t>>
+                           entries) {
+  DenseCellMap map;
+  for (auto [key, count] : entries) map.emplace(key, count);
+  return map;
+}
+
+TEST(ConnectedComponentsTest, SingleComponentOfAdjacentCells) {
+  // 1-d subspace, xi=10: intervals 2, 3, 4 are one chain.
+  DenseCellMap units = MakeUnits({{2, 5}, {3, 6}, {4, 7}});
+  auto clusters = ConnectedComponents({0}, units, 10);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].cells, (std::vector<uint64_t>{2, 3, 4}));
+  EXPECT_EQ(clusters[0].point_count, 18u);
+}
+
+TEST(ConnectedComponentsTest, GapSplitsComponents) {
+  DenseCellMap units = MakeUnits({{1, 5}, {2, 5}, {7, 5}});
+  auto clusters = ConnectedComponents({0}, units, 10);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].cells, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(clusters[1].cells, (std::vector<uint64_t>{7}));
+}
+
+TEST(ConnectedComponentsTest, TwoDimensionalAdjacency) {
+  // xi=10, cells (1,1), (1,2), (2,1) share faces; (5,5) isolated.
+  // Diagonal (2,2) absent, so no diagonal adjacency is implied.
+  DenseCellMap units = MakeUnits({{EncodeCell({1, 1}, 10), 3},
+                                  {EncodeCell({1, 2}, 10), 3},
+                                  {EncodeCell({2, 1}, 10), 3},
+                                  {EncodeCell({5, 5}, 10), 3}});
+  auto clusters = ConnectedComponents({0, 1}, units, 10);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].cells.size(), 3u);
+  EXPECT_EQ(clusters[1].cells.size(), 1u);
+}
+
+TEST(ConnectedComponentsTest, DiagonalIsNotAdjacent) {
+  DenseCellMap units = MakeUnits({{EncodeCell({1, 1}, 10), 3},
+                                  {EncodeCell({2, 2}, 10), 3}});
+  auto clusters = ConnectedComponents({0, 1}, units, 10);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(ConnectedComponentsTest, WrapAroundDoesNotConnect) {
+  // Interval 0 and xi-1 on the same dim are NOT adjacent (no wraparound):
+  // in 1-d with xi=4, cells 0 and 3 stay separate.
+  DenseCellMap units = MakeUnits({{0, 2}, {3, 2}});
+  auto clusters = ConnectedComponents({0}, units, 4);
+  EXPECT_EQ(clusters.size(), 2u);
+  // But key arithmetic must not connect (x, 3) to (x+1, 0) in 2-d, where
+  // the raw keys differ by 1.
+  DenseCellMap units2 = MakeUnits({{EncodeCell({1, 3}, 4), 2},
+                                   {EncodeCell({2, 0}, 4), 2}});
+  auto clusters2 = ConnectedComponents({0, 1}, units2, 4);
+  EXPECT_EQ(clusters2.size(), 2u);
+}
+
+TEST(GreedyCoverTest, SingleCellRegion) {
+  std::vector<uint64_t> cells{EncodeCell({3, 4}, 10)};
+  auto regions = GreedyCover(cells, 2, 10);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].ranges[0], (std::pair<uint8_t, uint8_t>{3, 3}));
+  EXPECT_EQ(regions[0].ranges[1], (std::pair<uint8_t, uint8_t>{4, 4}));
+  EXPECT_EQ(regions[0].UnitCount(), 1u);
+}
+
+TEST(GreedyCoverTest, FullRectangleCoveredByOneRegion) {
+  // 2x3 rectangle of cells.
+  std::vector<uint64_t> cells;
+  for (uint8_t a = 2; a <= 3; ++a)
+    for (uint8_t b = 5; b <= 7; ++b)
+      cells.push_back(EncodeCell({a, b}, 10));
+  auto regions = GreedyCover(cells, 2, 10);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].UnitCount(), 6u);
+  EXPECT_EQ(regions[0].ranges[0], (std::pair<uint8_t, uint8_t>{2, 3}));
+  EXPECT_EQ(regions[0].ranges[1], (std::pair<uint8_t, uint8_t>{5, 7}));
+}
+
+TEST(GreedyCoverTest, LShapeNeedsTwoRegions) {
+  // L-shape: column (0,0),(1,0) plus row (1,1),(1,2).
+  std::vector<uint64_t> cells{
+      EncodeCell({0, 0}, 10), EncodeCell({1, 0}, 10),
+      EncodeCell({1, 1}, 10), EncodeCell({1, 2}, 10)};
+  auto regions = GreedyCover(cells, 2, 10);
+  EXPECT_GE(regions.size(), 2u);
+  // Every cell is covered by some region.
+  std::set<uint64_t> cell_set(cells.begin(), cells.end());
+  for (uint64_t cell : cells) {
+    bool covered = false;
+    for (const auto& region : regions) {
+      auto intervals = DecodeCell(cell, 2, 10);
+      bool inside = true;
+      for (size_t pos = 0; pos < 2; ++pos) {
+        if (intervals[pos] < region.ranges[pos].first ||
+            intervals[pos] > region.ranges[pos].second)
+          inside = false;
+      }
+      if (inside) covered = true;
+    }
+    EXPECT_TRUE(covered);
+  }
+  // Regions never include a non-member cell.
+  for (const auto& region : regions) {
+    for (uint8_t a = region.ranges[0].first; a <= region.ranges[0].second;
+         ++a) {
+      for (uint8_t b = region.ranges[1].first; b <= region.ranges[1].second;
+           ++b) {
+        EXPECT_TRUE(cell_set.count(EncodeCell({a, b}, 10)));
+      }
+    }
+  }
+}
+
+TEST(GreedyCoverTest, CoverIsExactOnRandomBlob) {
+  // Property: on an arbitrary cell set, the union of regions equals the
+  // set exactly (no cell outside, none uncovered).
+  std::vector<uint64_t> cells{
+      EncodeCell({0, 0}, 5), EncodeCell({0, 1}, 5), EncodeCell({1, 1}, 5),
+      EncodeCell({2, 1}, 5), EncodeCell({2, 2}, 5), EncodeCell({1, 0}, 5)};
+  auto regions = GreedyCover(cells, 2, 5);
+  std::set<uint64_t> covered;
+  for (const auto& region : regions) {
+    for (uint8_t a = region.ranges[0].first; a <= region.ranges[0].second;
+         ++a)
+      for (uint8_t b = region.ranges[1].first; b <= region.ranges[1].second;
+           ++b)
+        covered.insert(EncodeCell({a, b}, 5));
+  }
+  EXPECT_EQ(covered, std::set<uint64_t>(cells.begin(), cells.end()));
+}
+
+TEST(ConnectedComponentsTest, RegionsComputedForEachComponent) {
+  DenseCellMap units = MakeUnits({{1, 2}, {2, 2}, {8, 2}});
+  auto clusters = ConnectedComponents({0}, units, 10);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].regions.size(), 1u);
+  EXPECT_EQ(clusters[0].regions[0].ranges[0],
+            (std::pair<uint8_t, uint8_t>{1, 2}));
+  EXPECT_EQ(clusters[1].regions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,79 @@
+#include "clique/subspace.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+TEST(CellCodecTest, EncodeDecodeRoundTrip) {
+  std::vector<uint8_t> intervals{3, 0, 9, 7};
+  uint64_t key = EncodeCell(intervals, 10);
+  EXPECT_EQ(key, 3097u);
+  EXPECT_EQ(DecodeCell(key, 4, 10), intervals);
+}
+
+TEST(CellCodecTest, IntervalAt) {
+  std::vector<uint8_t> intervals{3, 0, 9, 7};
+  uint64_t key = EncodeCell(intervals, 10);
+  for (size_t pos = 0; pos < 4; ++pos)
+    EXPECT_EQ(CellIntervalAt(key, 4, pos, 10), intervals[pos]);
+}
+
+TEST(CellCodecTest, NonDecimalBase) {
+  std::vector<uint8_t> intervals{1, 2, 0};
+  uint64_t key = EncodeCell(intervals, 3);
+  EXPECT_EQ(key, 1u * 9 + 2u * 3 + 0u);
+  EXPECT_EQ(DecodeCell(key, 3, 3), intervals);
+}
+
+TEST(MaxEncodableLevelTest, KnownValues) {
+  // 10^19 < 2^64 < 10^20.
+  EXPECT_EQ(MaxEncodableLevel(10), 19u);
+  EXPECT_EQ(MaxEncodableLevel(2), 64u);
+  EXPECT_EQ(MaxEncodableLevel(16), 16u);
+}
+
+TEST(JoinTest, JoinsOnSharedPrefix) {
+  Subspace joined;
+  EXPECT_TRUE(TryJoinSubspaces({1, 3}, {1, 5}, &joined));
+  EXPECT_EQ(joined, (Subspace{1, 3, 5}));
+}
+
+TEST(JoinTest, RejectsMismatchedPrefix) {
+  Subspace joined;
+  EXPECT_FALSE(TryJoinSubspaces({1, 3}, {2, 5}, &joined));
+}
+
+TEST(JoinTest, RejectsWrongOrder) {
+  Subspace joined;
+  EXPECT_FALSE(TryJoinSubspaces({1, 5}, {1, 3}, &joined));
+  EXPECT_FALSE(TryJoinSubspaces({1, 5}, {1, 5}, &joined));
+}
+
+TEST(JoinTest, SingleDimensionJoin) {
+  Subspace joined;
+  EXPECT_TRUE(TryJoinSubspaces({2}, {7}, &joined));
+  EXPECT_EQ(joined, (Subspace{2, 7}));
+}
+
+TEST(ProjectionsTest, DropsEachDimension) {
+  std::vector<Subspace> projections = SubspaceProjections({1, 4, 9});
+  ASSERT_EQ(projections.size(), 3u);
+  EXPECT_EQ(projections[0], (Subspace{4, 9}));
+  EXPECT_EQ(projections[1], (Subspace{1, 9}));
+  EXPECT_EQ(projections[2], (Subspace{1, 4}));
+}
+
+TEST(ProjectCellTest, ExtractsSubsequenceIntervals) {
+  // Subspace {1, 4, 9} with intervals {5, 2, 8}.
+  Subspace from{1, 4, 9};
+  uint64_t key = EncodeCell({5, 2, 8}, 10);
+  EXPECT_EQ(ProjectCell(key, from, {1, 4}, 10), EncodeCell({5, 2}, 10));
+  EXPECT_EQ(ProjectCell(key, from, {1, 9}, 10), EncodeCell({5, 8}, 10));
+  EXPECT_EQ(ProjectCell(key, from, {4, 9}, 10), EncodeCell({2, 8}, 10));
+  EXPECT_EQ(ProjectCell(key, from, {4}, 10), EncodeCell({2}, 10));
+  EXPECT_EQ(ProjectCell(key, from, from, 10), key);
+}
+
+}  // namespace
+}  // namespace proclus

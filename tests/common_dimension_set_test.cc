@@ -1,0 +1,113 @@
+#include "common/dimension_set.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+TEST(DimensionSetTest, EmptyByDefault) {
+  DimensionSet s(20);
+  EXPECT_EQ(s.capacity(), 20u);
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(DimensionSetTest, AddRemoveContains) {
+  DimensionSet s(100);
+  s.Add(0);
+  s.Add(63);
+  s.Add(64);
+  s.Add(99);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_TRUE(s.Contains(99));
+  EXPECT_FALSE(s.Contains(1));
+  s.Remove(63);
+  EXPECT_FALSE(s.Contains(63));
+  EXPECT_EQ(s.size(), 3u);
+  s.Remove(63);  // Idempotent.
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(DimensionSetTest, InitializerListConstructor) {
+  DimensionSet s(20, {3, 4, 7});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_TRUE(s.Contains(7));
+}
+
+TEST(DimensionSetTest, VectorConstructorAndToVector) {
+  std::vector<uint32_t> dims{9, 2, 17};
+  DimensionSet s(20, dims);
+  std::vector<uint32_t> sorted = s.ToVector();
+  EXPECT_EQ(sorted, (std::vector<uint32_t>{2, 9, 17}));
+}
+
+TEST(DimensionSetTest, AllFactory) {
+  DimensionSet s = DimensionSet::All(70);
+  EXPECT_EQ(s.size(), 70u);
+  for (uint32_t d = 0; d < 70; ++d) EXPECT_TRUE(s.Contains(d));
+}
+
+TEST(DimensionSetTest, SetAlgebra) {
+  DimensionSet a(20, {1, 2, 3});
+  DimensionSet b(20, {2, 3, 4, 5});
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(a.UnionSize(b), 5u);
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 2.0 / 5.0);
+}
+
+TEST(DimensionSetTest, JaccardOfEmptySetsIsOne) {
+  DimensionSet a(10), b(10);
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 1.0);
+}
+
+TEST(DimensionSetTest, JaccardIdentical) {
+  DimensionSet a(20, {5, 9});
+  EXPECT_DOUBLE_EQ(a.Jaccard(a), 1.0);
+}
+
+TEST(DimensionSetTest, SubsetCheck) {
+  DimensionSet a(20, {2, 3});
+  DimensionSet b(20, {1, 2, 3, 4});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(DimensionSetTest, EqualityAndOrdering) {
+  DimensionSet a(20, {1, 2});
+  DimensionSet b(20, {1, 2});
+  DimensionSet c(20, {1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c || c < a);
+  EXPECT_FALSE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(DimensionSetTest, ToStringFormats) {
+  DimensionSet s(20, {3, 4, 7});
+  EXPECT_EQ(s.ToString(), "{3, 4, 7}");
+  EXPECT_EQ(s.ToListString(1), "4, 5, 8");
+  EXPECT_EQ(DimensionSet(5).ToString(), "{}");
+}
+
+TEST(DimensionSetTest, CrossBlockOperations) {
+  DimensionSet a(130), b(130);
+  a.Add(10);
+  a.Add(70);
+  a.Add(129);
+  b.Add(70);
+  b.Add(129);
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(a.UnionSize(b), 3u);
+  EXPECT_TRUE(b.IsSubsetOf(a));
+}
+
+}  // namespace
+}  // namespace proclus

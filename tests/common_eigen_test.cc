@@ -1,0 +1,119 @@
+#include "common/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace proclus {
+namespace {
+
+TEST(JacobiTest, ValidationErrors) {
+  EXPECT_FALSE(JacobiEigen(Matrix()).ok());
+  EXPECT_FALSE(JacobiEigen(Matrix(2, 3)).ok());
+  Matrix asym(2, 2, {1, 2, 3, 4});
+  EXPECT_FALSE(JacobiEigen(asym).ok());
+}
+
+TEST(JacobiTest, DiagonalMatrix) {
+  Matrix m(3, 3, {5, 0, 0, 0, 1, 0, 0, 0, 3});
+  auto eigen = JacobiEigen(m);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eigen->values[1], 3.0, 1e-10);
+  EXPECT_NEAR(eigen->values[2], 5.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3 with eigenvectors
+  // (1,-1)/sqrt(2) and (1,1)/sqrt(2).
+  Matrix m(2, 2, {2, 1, 1, 2});
+  auto eigen = JacobiEigen(m);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eigen->values[1], 3.0, 1e-10);
+  // First eigenvector proportional to (1, -1).
+  double ratio = eigen->vectors(0, 0) / eigen->vectors(0, 1);
+  EXPECT_NEAR(ratio, -1.0, 1e-9);
+}
+
+TEST(JacobiTest, ReconstructsRandomSymmetricMatrices) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 6;
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+      for (size_t j = i; j < n; ++j) {
+        m(i, j) = rng.Uniform(-5, 5);
+        m(j, i) = m(i, j);
+      }
+    auto eigen = JacobiEigen(m);
+    ASSERT_TRUE(eigen.ok());
+    // A v = lambda v for every pair.
+    for (size_t e = 0; e < n; ++e) {
+      for (size_t i = 0; i < n; ++i) {
+        double av = 0.0;
+        for (size_t j = 0; j < n; ++j)
+          av += m(i, j) * eigen->vectors(e, j);
+        EXPECT_NEAR(av, eigen->values[e] * eigen->vectors(e, i), 1e-8);
+      }
+    }
+    // Eigenvectors orthonormal.
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t b = a; b < n; ++b) {
+        double dot = 0.0;
+        for (size_t j = 0; j < n; ++j)
+          dot += eigen->vectors(a, j) * eigen->vectors(b, j);
+        EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+      }
+    }
+    // Ascending order.
+    for (size_t e = 1; e < n; ++e)
+      EXPECT_LE(eigen->values[e - 1], eigen->values[e] + 1e-12);
+    // Trace preserved.
+    double trace = 0.0, sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      trace += m(i, i);
+      sum += eigen->values[i];
+    }
+    EXPECT_NEAR(trace, sum, 1e-8);
+  }
+}
+
+TEST(CovarianceTest, KnownValues) {
+  // Points (0,0), (2,0), (0,2), (2,2): variance 1 per dim, covariance 0.
+  Matrix points(4, 2, {0, 0, 2, 0, 0, 2, 2, 2});
+  auto cov = CovarianceMatrix(points);
+  ASSERT_TRUE(cov.ok());
+  EXPECT_NEAR((*cov)(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*cov)(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR((*cov)(0, 1), 0.0, 1e-12);
+}
+
+TEST(CovarianceTest, CorrelatedData) {
+  // Points on the line y = x have full positive covariance.
+  Matrix points(3, 2, {0, 0, 1, 1, 2, 2});
+  auto cov = CovarianceMatrix(points);
+  ASSERT_TRUE(cov.ok());
+  EXPECT_NEAR((*cov)(0, 1), (*cov)(0, 0), 1e-12);
+  // Smallest eigenvalue ~0: the data is one-dimensional.
+  auto eigen = JacobiEigen(*cov);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen->values[0], 0.0, 1e-10);
+}
+
+TEST(CovarianceTest, EmptyRejected) {
+  EXPECT_FALSE(CovarianceMatrix(Matrix(0, 3)).ok());
+}
+
+TEST(CovarianceTest, SinglePointIsZero) {
+  Matrix points(1, 2, {5, 7});
+  auto cov = CovarianceMatrix(points);
+  ASSERT_TRUE(cov.ok());
+  for (size_t i = 0; i < 2; ++i)
+    for (size_t j = 0; j < 2; ++j) EXPECT_EQ((*cov)(i, j), 0.0);
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,62 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+// RAII guard restoring the global log level after each test.
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, DefaultLevelIsWarning) {
+  // The library ships quiet: debug/info suppressed unless asked.
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarning, LogLevel::kError}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  // These are filtered out; the statements must still be well-formed.
+  PROCLUS_LOG(Debug) << "hidden " << 1;
+  PROCLUS_LOG(Info) << "hidden " << 2.5;
+  PROCLUS_LOG(Warning) << "hidden " << "three";
+  SUCCEED();
+}
+
+TEST(LoggingTest, EmittedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  PROCLUS_LOG(Debug) << "debug message goes to stderr";
+  PROCLUS_LOG(Error) << "error message " << 42;
+  SUCCEED();
+}
+
+TEST(LoggingTest, LevelOrderingIsMonotone) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning),
+            static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace proclus

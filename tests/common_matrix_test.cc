@@ -1,0 +1,78 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_FALSE(m.empty());
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(MatrixTest, ElementReadWrite) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.5;
+  m(0, 1) = -2.0;
+  m(1, 0) = 3.25;
+  m(1, 1) = 0.0;
+  EXPECT_EQ(m(0, 0), 1.5);
+  EXPECT_EQ(m(0, 1), -2.0);
+  EXPECT_EQ(m(1, 0), 3.25);
+}
+
+TEST(MatrixTest, AdoptData) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m(0, 2), 3.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+}
+
+TEST(MatrixTest, RowSpanIsContiguous) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 4.0);
+  EXPECT_EQ(row[2], 6.0);
+}
+
+TEST(MatrixTest, MutableRowSpanWritesThrough) {
+  Matrix m(2, 2);
+  auto row = m.row(0);
+  row[1] = 9.0;
+  EXPECT_EQ(m(0, 1), 9.0);
+}
+
+TEST(MatrixTest, AppendRowToEmptySetsCols) {
+  Matrix m;
+  std::vector<double> r{1.0, 2.0};
+  m.AppendRow(r);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 2u);
+  m.AppendRow(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixTest, Equality) {
+  Matrix a(1, 2, {1, 2});
+  Matrix b(1, 2, {1, 2});
+  Matrix c(1, 2, {1, 3});
+  Matrix d(2, 1, {1, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,177 @@
+#include "core/classify.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/model_io.h"
+#include "core/proclus.h"
+#include "eval/metrics.h"
+#include "gen/synthetic.h"
+
+namespace proclus {
+namespace {
+
+struct FittedFixture {
+  SyntheticData train;
+  SyntheticData test;
+  ProjectedClustering model;
+};
+
+FittedFixture Fit(uint64_t seed = 5) {
+  GeneratorParams gen;
+  gen.num_points = 4000;
+  gen.space_dims = 12;
+  gen.num_clusters = 3;
+  gen.cluster_dim_counts = {4, 4, 4};
+  gen.seed = seed;
+  FittedFixture fixture;
+  fixture.train = std::move(GenerateSynthetic(gen)).value();
+  // Fresh draw from the same distribution: same anchors requires same
+  // seed, so re-generate with the same seed but use the shuffled points
+  // as a stand-in test set. For a true holdout we split the train set.
+  fixture.test = std::move(GenerateSynthetic(gen)).value();
+
+  ProclusParams params;
+  params.num_clusters = 3;
+  params.avg_dims = 4.0;
+  params.seed = 7;
+  fixture.model =
+      std::move(RunProclus(fixture.train.dataset, params)).value();
+  return fixture;
+}
+
+TEST(ClassifyTest, ReproducesTrainingLabels) {
+  FittedFixture fixture = Fit();
+  auto labels = ClassifyPoints(fixture.model, fixture.train.dataset);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  // Classification re-runs the exact refinement assignment, so training
+  // labels are reproduced identically.
+  EXPECT_EQ(*labels, fixture.model.labels);
+}
+
+TEST(ClassifyTest, GeneralizesToFreshPoints) {
+  FittedFixture fixture = Fit();
+  auto labels = ClassifyPoints(fixture.model, fixture.test.dataset);
+  ASSERT_TRUE(labels.ok());
+  double ari = AdjustedRandIndex(*labels, fixture.test.truth.labels);
+  EXPECT_GT(ari, 0.85);
+}
+
+TEST(ClassifyTest, OutlierDetectionToggle) {
+  FittedFixture fixture = Fit();
+  ClassifyOptions options;
+  options.detect_outliers = false;
+  auto labels = ClassifyPoints(fixture.model, fixture.train.dataset,
+                               options);
+  ASSERT_TRUE(labels.ok());
+  for (int label : *labels) EXPECT_NE(label, kOutlierLabel);
+}
+
+TEST(ClassifyTest, SinglePoint) {
+  FittedFixture fixture = Fit();
+  // A training point classifies to its training label.
+  auto point = fixture.train.dataset.point(42);
+  auto label = ClassifyPoint(fixture.model, point);
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(*label, fixture.model.labels[42]);
+}
+
+TEST(ClassifyTest, DimensionMismatchRejected) {
+  FittedFixture fixture = Fit();
+  Dataset wrong(Matrix(3, 5));
+  EXPECT_FALSE(ClassifyPoints(fixture.model, wrong).ok());
+}
+
+TEST(ClassifyTest, EmptyModelRejected) {
+  ProjectedClustering empty;
+  Dataset ds(Matrix(3, 2));
+  EXPECT_FALSE(ClassifyPoints(empty, ds).ok());
+}
+
+TEST(ClassifyTest, ModelWithoutSpheresSkipsOutlierDetection) {
+  GeneratorParams gen;
+  gen.num_points = 2000;
+  gen.space_dims = 10;
+  gen.num_clusters = 2;
+  gen.cluster_dim_counts = {3, 3};
+  gen.seed = 9;
+  auto data = GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+  ProclusParams params;
+  params.num_clusters = 2;
+  params.avg_dims = 3.0;
+  params.seed = 3;
+  params.refine = false;  // No spheres in the model.
+  auto model = RunProclus(data->dataset, params);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->spheres.empty());
+  auto labels = ClassifyPoints(*model, data->dataset);
+  ASSERT_TRUE(labels.ok());
+  for (int label : *labels) EXPECT_NE(label, kOutlierLabel);
+}
+
+TEST(ModelIoTest, RoundTripPreservesModel) {
+  FittedFixture fixture = Fit(11);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveModel(fixture.model, out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadModel(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->medoids, fixture.model.medoids);
+  EXPECT_EQ(loaded->medoid_coords, fixture.model.medoid_coords);
+  EXPECT_EQ(loaded->spheres, fixture.model.spheres);
+  EXPECT_EQ(loaded->objective, fixture.model.objective);
+  ASSERT_EQ(loaded->dimensions.size(), fixture.model.dimensions.size());
+  for (size_t i = 0; i < loaded->dimensions.size(); ++i)
+    EXPECT_EQ(loaded->dimensions[i], fixture.model.dimensions[i]);
+  EXPECT_TRUE(loaded->labels.empty());
+}
+
+TEST(ModelIoTest, LoadedModelClassifiesIdentically) {
+  FittedFixture fixture = Fit(13);
+  std::ostringstream out;
+  ASSERT_TRUE(SaveModel(fixture.model, out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadModel(in);
+  ASSERT_TRUE(loaded.ok());
+  auto original = ClassifyPoints(fixture.model, fixture.test.dataset);
+  auto reloaded = ClassifyPoints(*loaded, fixture.test.dataset);
+  ASSERT_TRUE(original.ok() && reloaded.ok());
+  EXPECT_EQ(*original, *reloaded);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  FittedFixture fixture = Fit(17);
+  std::string path = ::testing::TempDir() + "/model_io_test.model";
+  ASSERT_TRUE(SaveModelFile(fixture.model, path).ok());
+  auto loaded = LoadModelFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->medoid_coords, fixture.model.medoid_coords);
+}
+
+TEST(ModelIoTest, CorruptionRejected) {
+  std::istringstream junk("definitely not a model");
+  EXPECT_EQ(LoadModel(junk).status().code(), StatusCode::kCorruption);
+  std::istringstream bad_version("PROCLUS-MODEL 99\n");
+  EXPECT_EQ(LoadModel(bad_version).status().code(),
+            StatusCode::kCorruption);
+  std::istringstream truncated("PROCLUS-MODEL 1\nk 2 d 3\nobjective 1\n");
+  EXPECT_EQ(LoadModel(truncated).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ModelIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(LoadModelFile("/nonexistent.model").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(ModelIoTest, ModelWithoutCoordsNotSavable) {
+  ProjectedClustering model;
+  model.medoids = {0, 1};
+  model.dimensions = {DimensionSet(4, {0, 1}), DimensionSet(4, {2, 3})};
+  std::ostringstream out;
+  EXPECT_FALSE(SaveModel(model, out).ok());
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,238 @@
+// Equivalence tests for the PointSource-based passes: memory vs disk,
+// sequential vs multithreaded, and block-size invariance all produce
+// bit-identical results.
+
+#include "core/passes.h"
+
+#include <gtest/gtest.h>
+
+#include "core/proclus.h"
+#include "data/binary_io.h"
+#include "gen/synthetic.h"
+
+namespace proclus {
+namespace {
+
+struct Fixture {
+  SyntheticData data;
+  std::string disk_path;
+  Matrix medoids;
+  std::vector<DimensionSet> dims;
+};
+
+Fixture MakeFixture(uint64_t seed = 3) {
+  GeneratorParams gen;
+  gen.num_points = 5000;
+  gen.space_dims = 10;
+  gen.num_clusters = 3;
+  gen.cluster_dim_counts = {3, 3, 3};
+  gen.seed = seed;
+  auto data = GenerateSynthetic(gen);
+  EXPECT_TRUE(data.ok());
+
+  Fixture fixture;
+  fixture.data = std::move(data).value();
+  fixture.disk_path = ::testing::TempDir() + "/passes_fixture.bin";
+  EXPECT_TRUE(
+      WriteBinaryFile(fixture.data.dataset, fixture.disk_path).ok());
+
+  MemorySource source(fixture.data.dataset);
+  std::vector<size_t> medoid_indices{10, 2000, 4000};
+  fixture.medoids = std::move(source.Fetch(medoid_indices)).value();
+  fixture.dims = {DimensionSet(10, {0, 3, 5}), DimensionSet(10, {1, 2}),
+                  DimensionSet(10, {4, 7, 8, 9})};
+  return fixture;
+}
+
+TEST(PassesTest, LocalityStatsDiskMatchesMemory) {
+  Fixture fixture = MakeFixture();
+  MemorySource memory(fixture.data.dataset);
+  auto disk = DiskSource::Open(fixture.disk_path);
+  ASSERT_TRUE(disk.ok());
+  auto a = LocalityStatsPass(memory, fixture.medoids);
+  auto b = LocalityStatsPass(*disk, fixture.medoids);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(PassesTest, LocalityStatsThreadInvariant) {
+  Fixture fixture = MakeFixture();
+  MemorySource memory(fixture.data.dataset);
+  PassOptions sequential{1, 512};
+  auto base = LocalityStatsPass(memory, fixture.medoids, sequential);
+  ASSERT_TRUE(base.ok());
+  for (size_t threads : {2, 4, 7}) {
+    PassOptions options{threads, 512};
+    auto result = LocalityStatsPass(memory, fixture.medoids, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, *base) << threads << " threads";
+  }
+}
+
+TEST(PassesTest, LocalityStatsBlockSizeInvariant) {
+  Fixture fixture = MakeFixture();
+  MemorySource memory(fixture.data.dataset);
+  auto base = LocalityStatsPass(memory, fixture.medoids,
+                                PassOptions{1, 5000});
+  ASSERT_TRUE(base.ok());
+  for (size_t block_rows : {1, 37, 1024, 100000}) {
+    auto result = LocalityStatsPass(memory, fixture.medoids,
+                                    PassOptions{1, block_rows});
+    ASSERT_TRUE(result.ok());
+    // Block-partial sums are merged in order, so even the FP sums agree
+    // only up to reassociation across block boundaries; compare within
+    // a tight numeric tolerance.
+    for (size_t i = 0; i < base->rows(); ++i)
+      for (size_t j = 0; j < base->cols(); ++j)
+        EXPECT_NEAR((*result)(i, j), (*base)(i, j), 1e-9);
+  }
+}
+
+TEST(PassesTest, AssignPointsAgreesEverywhere) {
+  Fixture fixture = MakeFixture();
+  MemorySource memory(fixture.data.dataset);
+  auto disk = DiskSource::Open(fixture.disk_path);
+  ASSERT_TRUE(disk.ok());
+  auto base = AssignPointsPass(memory, fixture.medoids, fixture.dims, true);
+  ASSERT_TRUE(base.ok());
+  auto from_disk =
+      AssignPointsPass(*disk, fixture.medoids, fixture.dims, true);
+  ASSERT_TRUE(from_disk.ok());
+  EXPECT_EQ(*base, *from_disk);
+  auto threaded = AssignPointsPass(memory, fixture.medoids, fixture.dims,
+                                   true, PassOptions{4, 256});
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(*base, *threaded);
+}
+
+TEST(PassesTest, EvaluateClustersAgreesEverywhere) {
+  Fixture fixture = MakeFixture();
+  MemorySource memory(fixture.data.dataset);
+  auto disk = DiskSource::Open(fixture.disk_path);
+  ASSERT_TRUE(disk.ok());
+  auto labels = AssignPointsPass(memory, fixture.medoids, fixture.dims,
+                                 true);
+  ASSERT_TRUE(labels.ok());
+  auto base = EvaluateClustersPass(memory, *labels, fixture.dims,
+                                   PassOptions{1, 512});
+  auto from_disk = EvaluateClustersPass(*disk, *labels, fixture.dims,
+                                        PassOptions{1, 512});
+  // Same block size: the block-ordered reduction is bit-identical across
+  // sources and thread counts.
+  auto threaded = EvaluateClustersPass(memory, *labels, fixture.dims,
+                                       PassOptions{3, 512});
+  ASSERT_TRUE(base.ok() && from_disk.ok() && threaded.ok());
+  EXPECT_EQ(*base, *from_disk);
+  EXPECT_EQ(*base, *threaded);
+  EXPECT_GT(*base, 0.0);
+  // A different block size reassociates the floating-point sums; the
+  // value agrees numerically but not necessarily bit-for-bit.
+  auto other_blocks = EvaluateClustersPass(memory, *labels, fixture.dims,
+                                           PassOptions{1, 4096});
+  ASSERT_TRUE(other_blocks.ok());
+  EXPECT_NEAR(*other_blocks, *base, 1e-9);
+}
+
+TEST(PassesTest, ClusterStatsAgreesEverywhere) {
+  Fixture fixture = MakeFixture();
+  MemorySource memory(fixture.data.dataset);
+  auto disk = DiskSource::Open(fixture.disk_path);
+  ASSERT_TRUE(disk.ok());
+  auto labels =
+      AssignPointsPass(memory, fixture.medoids, fixture.dims, true);
+  ASSERT_TRUE(labels.ok());
+  auto base = ClusterStatsPass(memory, fixture.medoids, *labels,
+                               PassOptions{1, 333});
+  auto from_disk = ClusterStatsPass(*disk, fixture.medoids, *labels,
+                                    PassOptions{1, 333});
+  auto threaded = ClusterStatsPass(memory, fixture.medoids, *labels,
+                                   PassOptions{5, 333});
+  ASSERT_TRUE(base.ok() && from_disk.ok() && threaded.ok());
+  EXPECT_EQ(*base, *from_disk);
+  EXPECT_EQ(*base, *threaded);
+}
+
+TEST(PassesTest, RefineAssignDetectsOutliers) {
+  Fixture fixture = MakeFixture();
+  MemorySource memory(fixture.data.dataset);
+  std::vector<double> tight_spheres(3, 1e-9);
+  auto all_out = RefineAssignPass(memory, fixture.medoids, fixture.dims,
+                                  tight_spheres, true, true);
+  ASSERT_TRUE(all_out.ok());
+  size_t outliers = 0;
+  for (int label : *all_out)
+    if (label == kOutlierLabel) ++outliers;
+  // Radii of ~0 leave only points sitting exactly on a medoid inside.
+  EXPECT_GT(outliers, all_out->size() - 10);
+  // With detection disabled nothing is an outlier.
+  auto none = RefineAssignPass(memory, fixture.medoids, fixture.dims,
+                               tight_spheres, true, false);
+  ASSERT_TRUE(none.ok());
+  for (int label : *none) EXPECT_NE(label, kOutlierLabel);
+}
+
+TEST(PassesTest, ValidationErrors) {
+  Fixture fixture = MakeFixture();
+  MemorySource memory(fixture.data.dataset);
+  Matrix no_medoids;
+  EXPECT_FALSE(LocalityStatsPass(memory, no_medoids).ok());
+  std::vector<int> short_labels(3, 0);
+  EXPECT_FALSE(
+      ClusterStatsPass(memory, fixture.medoids, short_labels).ok());
+  EXPECT_FALSE(
+      EvaluateClustersPass(memory, short_labels, fixture.dims).ok());
+  std::vector<DimensionSet> wrong_dims(2, DimensionSet(10, {0, 1}));
+  EXPECT_FALSE(
+      AssignPointsPass(memory, fixture.medoids, wrong_dims, true).ok());
+  std::vector<double> wrong_spheres(2, 1.0);
+  EXPECT_FALSE(RefineAssignPass(memory, fixture.medoids, fixture.dims,
+                                wrong_spheres, true, true)
+                   .ok());
+}
+
+TEST(ProclusOnSourceTest, DiskEqualsMemoryEndToEnd) {
+  Fixture fixture = MakeFixture(7);
+  ProclusParams params;
+  params.num_clusters = 3;
+  params.avg_dims = 3.0;
+  params.seed = 5;
+  params.num_restarts = 2;
+
+  auto memory_result = RunProclus(fixture.data.dataset, params);
+  ASSERT_TRUE(memory_result.ok());
+
+  auto disk = DiskSource::Open(fixture.disk_path);
+  ASSERT_TRUE(disk.ok());
+  auto disk_result = RunProclusOnSource(*disk, params);
+  ASSERT_TRUE(disk_result.ok());
+
+  EXPECT_EQ(memory_result->labels, disk_result->labels);
+  EXPECT_EQ(memory_result->medoids, disk_result->medoids);
+  EXPECT_EQ(memory_result->objective, disk_result->objective);
+  for (size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(memory_result->dimensions[i], disk_result->dimensions[i]);
+}
+
+TEST(ProclusOnSourceTest, ThreadCountDoesNotChangeResult) {
+  Fixture fixture = MakeFixture(11);
+  ProclusParams params;
+  params.num_clusters = 3;
+  params.avg_dims = 3.0;
+  params.seed = 9;
+  params.num_restarts = 2;
+  params.block_rows = 512;
+
+  auto base = RunProclus(fixture.data.dataset, params);
+  ASSERT_TRUE(base.ok());
+  for (size_t threads : {2, 4}) {
+    ProclusParams threaded = params;
+    threaded.num_threads = threads;
+    auto result = RunProclus(fixture.data.dataset, threaded);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->labels, base->labels) << threads << " threads";
+    EXPECT_EQ(result->objective, base->objective);
+  }
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,68 @@
+#include "data/binary_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+TEST(BinaryIoTest, RoundTripPreservesBits) {
+  Dataset ds(Matrix(3, 2, {1.0, -2.5, 3.14159, 0.0, 1e-300, 1e300}));
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(WriteBinary(ds, out).ok());
+  std::istringstream in(out.str(), std::ios::binary);
+  auto back = ReadBinary(in);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->matrix(), ds.matrix());
+}
+
+TEST(BinaryIoTest, RoundTripEmptyDataset) {
+  Dataset ds(Matrix(0, 0));
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(WriteBinary(ds, out).ok());
+  std::istringstream in(out.str(), std::ios::binary);
+  auto back = ReadBinary(in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(BinaryIoTest, BadMagicRejected) {
+  std::istringstream in("NOPE-not-a-dataset", std::ios::binary);
+  auto result = ReadBinary(in);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIoTest, TruncatedPayloadRejected) {
+  Dataset ds(Matrix(4, 4));
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(WriteBinary(ds, out).ok());
+  std::string bytes = out.str();
+  bytes.resize(bytes.size() - 8);  // Drop one double.
+  std::istringstream in(bytes, std::ios::binary);
+  auto result = ReadBinary(in);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIoTest, TruncatedHeaderRejected) {
+  std::istringstream in(std::string("PCLS\x01\x00", 6), std::ios::binary);
+  auto result = ReadBinary(in);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  Dataset ds(Matrix(2, 2, {1, 2, 3, 4}));
+  std::string path = ::testing::TempDir() + "/proclus_binary_io_test.bin";
+  ASSERT_TRUE(WriteBinaryFile(ds, path).ok());
+  auto back = ReadBinaryFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->matrix(), ds.matrix());
+}
+
+TEST(BinaryIoTest, MissingFileIsIOError) {
+  auto result = ReadBinaryFile("/nonexistent/file.bin");
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,131 @@
+#include "data/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+TEST(CsvTest, ParsesPlainNumericRows) {
+  std::istringstream in("1,2,3\n4,5,6\n");
+  auto result = ReadCsv(in);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->dims(), 3u);
+  EXPECT_EQ(result->at(1, 2), 6.0);
+  EXPECT_TRUE(result->dim_names().empty());
+}
+
+TEST(CsvTest, AutoDetectsHeader) {
+  std::istringstream in("x,y\n1,2\n3,4\n");
+  auto result = ReadCsv(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  ASSERT_EQ(result->dim_names().size(), 2u);
+  EXPECT_EQ(result->dim_names()[0], "x");
+}
+
+TEST(CsvTest, ForceNoHeaderRejectsTextRow) {
+  std::istringstream in("x,y\n1,2\n");
+  CsvOptions options;
+  options.force_no_header = true;
+  auto result = ReadCsv(in, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, ForceHeaderTreatsNumericFirstRowAsNames) {
+  std::istringstream in("1,2\n3,4\n");
+  CsvOptions options;
+  options.force_header = true;
+  auto result = ReadCsv(in, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->dim_names()[0], "1");
+}
+
+TEST(CsvTest, MutuallyExclusiveFlagsRejected) {
+  std::istringstream in("1,2\n");
+  CsvOptions options;
+  options.force_header = true;
+  options.force_no_header = true;
+  auto result = ReadCsv(in, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# comment\n\n1,2\n  \n3,4\n");
+  auto result = ReadCsv(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  std::istringstream in("1,2,3\n4,5\n");
+  auto result = ReadCsv(in);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, RejectsNonNumericField) {
+  std::istringstream in("1,2\n3,oops\n");
+  auto result = ReadCsv(in);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("oops"), std::string::npos);
+}
+
+TEST(CsvTest, TrimsWhitespace) {
+  std::istringstream in(" 1 ,\t2\n");
+  auto result = ReadCsv(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->at(0, 0), 1.0);
+  EXPECT_EQ(result->at(0, 1), 2.0);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  std::istringstream in("1;2\n3;4\n");
+  CsvOptions options;
+  options.delimiter = ';';
+  auto result = ReadCsv(in, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dims(), 2u);
+}
+
+TEST(CsvTest, ScientificNotationParses) {
+  std::istringstream in("1e3,-2.5E-2\n");
+  auto result = ReadCsv(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->at(0, 0), 1000.0);
+  EXPECT_DOUBLE_EQ(result->at(0, 1), -0.025);
+}
+
+TEST(CsvTest, RoundTripPreservesValues) {
+  Dataset ds(Matrix(2, 3, {1.5, -2.25, 3.0, 0.125, 7.0, -9.5}));
+  ds.set_dim_names({"a", "b", "c"});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(ds, out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadCsv(in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->dim_names(), ds.dim_names());
+  for (size_t i = 0; i < 2; ++i)
+    for (size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(back->at(i, j), ds.at(i, j));
+}
+
+TEST(CsvTest, FileNotFoundIsIOError) {
+  auto result = ReadCsvFile("/nonexistent/path/data.csv");
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, EmptyStreamYieldsEmptyDataset) {
+  std::istringstream in("");
+  auto result = ReadCsv(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace proclus

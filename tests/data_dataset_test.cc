@@ -1,0 +1,83 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+Dataset MakeDataset() {
+  // 4 points in 3 dims.
+  return Dataset(Matrix(4, 3,
+                        {0, 0, 0,    //
+                         2, 4, 6,    //
+                         -2, -4, 0,  //
+                         4, 8, 2}));
+}
+
+TEST(DatasetTest, ShapeAccessors) {
+  Dataset ds = MakeDataset();
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.dims(), 3u);
+  EXPECT_FALSE(ds.empty());
+  EXPECT_EQ(ds.at(1, 2), 6.0);
+  auto p = ds.point(3);
+  EXPECT_EQ(p[0], 4.0);
+  EXPECT_EQ(p[2], 2.0);
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  Dataset ds;
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.size(), 0u);
+}
+
+TEST(DatasetTest, SubsetExtractsRows) {
+  Dataset ds = MakeDataset();
+  Dataset sub = ds.Subset({2, 0});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.at(0, 1), -4.0);
+  EXPECT_EQ(sub.at(1, 0), 0.0);
+}
+
+TEST(DatasetTest, SubsetKeepsDimNames) {
+  Dataset ds = MakeDataset();
+  ds.set_dim_names({"x", "y", "z"});
+  Dataset sub = ds.Subset({1});
+  ASSERT_EQ(sub.dim_names().size(), 3u);
+  EXPECT_EQ(sub.dim_names()[1], "y");
+}
+
+TEST(DatasetTest, Bounds) {
+  Dataset ds = MakeDataset();
+  std::vector<double> mins, maxs;
+  ds.Bounds(&mins, &maxs);
+  EXPECT_EQ(mins, (std::vector<double>{-2, -4, 0}));
+  EXPECT_EQ(maxs, (std::vector<double>{4, 8, 6}));
+}
+
+TEST(DatasetTest, CentroidOfAll) {
+  Dataset ds = MakeDataset();
+  std::vector<double> c = ds.Centroid();
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 2.0);
+}
+
+TEST(DatasetTest, CentroidOfIndices) {
+  Dataset ds = MakeDataset();
+  std::vector<double> c = ds.Centroid({1, 3});
+  EXPECT_DOUBLE_EQ(c[0], 3.0);
+  EXPECT_DOUBLE_EQ(c[1], 6.0);
+  EXPECT_DOUBLE_EQ(c[2], 4.0);
+}
+
+TEST(DatasetTest, CentroidOfSinglePointIsThatPoint) {
+  Dataset ds = MakeDataset();
+  std::vector<double> c = ds.Centroid({2});
+  EXPECT_DOUBLE_EQ(c[0], -2.0);
+  EXPECT_DOUBLE_EQ(c[1], -4.0);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,77 @@
+#include "data/normalize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+TEST(MinMaxTransformTest, MapsOntoTargetRange) {
+  Dataset ds(Matrix(3, 2, {0, 10, 5, 20, 10, 30}));
+  auto t = MinMaxTransform(ds, 0.0, 100.0);
+  ASSERT_TRUE(t.ok());
+  t->Apply(&ds);
+  std::vector<double> mins, maxs;
+  ds.Bounds(&mins, &maxs);
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(mins[j], 0.0, 1e-9);
+    EXPECT_NEAR(maxs[j], 100.0, 1e-9);
+  }
+}
+
+TEST(MinMaxTransformTest, ConstantDimensionMapsToLow) {
+  Dataset ds(Matrix(3, 2, {5, 1, 5, 2, 5, 3}));
+  auto t = MinMaxTransform(ds, 0.0, 1.0);
+  ASSERT_TRUE(t.ok());
+  t->Apply(&ds);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(ds.at(i, 0), 0.0, 1e-12);
+}
+
+TEST(MinMaxTransformTest, RejectsEmptyAndBadRange) {
+  Dataset empty;
+  EXPECT_FALSE(MinMaxTransform(empty).ok());
+  Dataset ds(Matrix(1, 1, {0}));
+  EXPECT_FALSE(MinMaxTransform(ds, 5.0, 5.0).ok());
+  EXPECT_FALSE(MinMaxTransform(ds, 5.0, 1.0).ok());
+}
+
+TEST(ZScoreTransformTest, ZeroMeanUnitVariance) {
+  Dataset ds(Matrix(5, 1, {1, 2, 3, 4, 5}));
+  auto t = ZScoreTransform(ds);
+  ASSERT_TRUE(t.ok());
+  t->Apply(&ds);
+  double sum = 0.0, sum2 = 0.0;
+  for (size_t i = 0; i < 5; ++i) {
+    sum += ds.at(i, 0);
+    sum2 += ds.at(i, 0) * ds.at(i, 0);
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+  EXPECT_NEAR(sum2 / 4.0, 1.0, 1e-9);  // Sample variance.
+}
+
+TEST(ZScoreTransformTest, ConstantDimensionCenteredNotScaled) {
+  Dataset ds(Matrix(3, 1, {7, 7, 7}));
+  auto t = ZScoreTransform(ds);
+  ASSERT_TRUE(t.ok());
+  t->Apply(&ds);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(ds.at(i, 0), 0.0, 1e-12);
+}
+
+TEST(AffineTransformTest, InvertPointUndoesApply) {
+  Dataset ds(Matrix(4, 2, {0, 1, 2, 3, 4, 5, 6, 7}));
+  auto t = MinMaxTransform(ds, 0.0, 1.0);
+  ASSERT_TRUE(t.ok());
+  Dataset transformed = ds;
+  t->Apply(&transformed);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    std::vector<double> p(transformed.point(i).begin(),
+                          transformed.point(i).end());
+    t->InvertPoint(&p);
+    for (size_t j = 0; j < ds.dims(); ++j)
+      EXPECT_NEAR(p[j], ds.at(i, j), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,155 @@
+#include "data/point_source.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/binary_io.h"
+
+namespace proclus {
+namespace {
+
+Dataset RandomDataset(size_t n, size_t d, uint64_t seed = 5) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < d; ++j) m(i, j) = rng.Uniform(-100, 100);
+  return Dataset(std::move(m));
+}
+
+std::string WriteTempSnapshot(const Dataset& dataset, const char* name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(WriteBinaryFile(dataset, path).ok());
+  return path;
+}
+
+// Collects all scanned data back into one matrix for comparison.
+Matrix CollectScan(const PointSource& source, size_t block_rows) {
+  Matrix out(source.size(), source.dims());
+  std::vector<size_t> firsts;
+  Status status = source.Scan(
+      block_rows,
+      [&](size_t first, std::span<const double> data, size_t rows) {
+        firsts.push_back(first);
+        std::copy(data.begin(), data.end(),
+                  out.data().begin() +
+                      static_cast<long>(first * source.dims()));
+        EXPECT_EQ(data.size(), rows * source.dims());
+      });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  // Blocks arrive in order with the right strides.
+  for (size_t i = 0; i < firsts.size(); ++i)
+    EXPECT_EQ(firsts[i], i * block_rows);
+  return out;
+}
+
+TEST(MemorySourceTest, ScanReproducesData) {
+  Dataset ds = RandomDataset(100, 4);
+  MemorySource source(ds);
+  EXPECT_EQ(source.size(), 100u);
+  EXPECT_EQ(source.dims(), 4u);
+  EXPECT_EQ(CollectScan(source, 16), ds.matrix());
+  EXPECT_EQ(CollectScan(source, 100), ds.matrix());
+  EXPECT_EQ(CollectScan(source, 1000), ds.matrix());
+  EXPECT_EQ(CollectScan(source, 1), ds.matrix());
+}
+
+TEST(MemorySourceTest, FetchByIndex) {
+  Dataset ds = RandomDataset(50, 3);
+  MemorySource source(ds);
+  std::vector<size_t> indices{7, 0, 49, 7};
+  auto fetched = source.Fetch(indices);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched->rows(), 4u);
+  for (size_t r = 0; r < indices.size(); ++r)
+    for (size_t j = 0; j < 3; ++j)
+      EXPECT_EQ((*fetched)(r, j), ds.at(indices[r], j));
+}
+
+TEST(MemorySourceTest, FetchOutOfRange) {
+  Dataset ds = RandomDataset(10, 2);
+  MemorySource source(ds);
+  std::vector<size_t> indices{10};
+  EXPECT_EQ(source.Fetch(indices).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(MemorySourceTest, ZeroBlockRowsRejected) {
+  Dataset ds = RandomDataset(10, 2);
+  MemorySource source(ds);
+  EXPECT_FALSE(source.Scan(0, [](size_t, auto, size_t) {}).ok());
+}
+
+TEST(MemorySourceTest, InMemoryExposesDataset) {
+  Dataset ds = RandomDataset(10, 2);
+  MemorySource source(ds);
+  EXPECT_EQ(source.InMemory(), &ds);
+}
+
+TEST(DiskSourceTest, OpenValidatesFile) {
+  EXPECT_EQ(DiskSource::Open("/nonexistent.bin").status().code(),
+            StatusCode::kIOError);
+  // Not a snapshot.
+  std::string junk = ::testing::TempDir() + "/junk.bin";
+  {
+    std::ofstream out(junk, std::ios::binary);
+    out << "this is not a snapshot at all, definitely";
+  }
+  EXPECT_EQ(DiskSource::Open(junk).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(DiskSourceTest, RejectsTruncatedPayload) {
+  Dataset ds = RandomDataset(20, 3);
+  std::string path = WriteTempSnapshot(ds, "truncated_source.bin");
+  // Truncate the file by a few bytes.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() - 10);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  EXPECT_EQ(DiskSource::Open(path).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(DiskSourceTest, ScanMatchesMemory) {
+  Dataset ds = RandomDataset(333, 7, 11);
+  std::string path = WriteTempSnapshot(ds, "scan_source.bin");
+  auto source = DiskSource::Open(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ(source->size(), 333u);
+  EXPECT_EQ(source->dims(), 7u);
+  EXPECT_EQ(CollectScan(*source, 64), ds.matrix());
+  EXPECT_EQ(CollectScan(*source, 333), ds.matrix());
+  EXPECT_EQ(CollectScan(*source, 1000), ds.matrix());
+}
+
+TEST(DiskSourceTest, FetchMatchesMemory) {
+  Dataset ds = RandomDataset(100, 5, 13);
+  std::string path = WriteTempSnapshot(ds, "fetch_source.bin");
+  auto source = DiskSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  std::vector<size_t> indices{99, 0, 42, 42, 7};
+  auto fetched = source->Fetch(indices);
+  ASSERT_TRUE(fetched.ok());
+  for (size_t r = 0; r < indices.size(); ++r)
+    for (size_t j = 0; j < 5; ++j)
+      EXPECT_EQ((*fetched)(r, j), ds.at(indices[r], j));
+  std::vector<size_t> bad{100};
+  EXPECT_EQ(source->Fetch(bad).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DiskSourceTest, NotInMemory) {
+  Dataset ds = RandomDataset(10, 2);
+  std::string path = WriteTempSnapshot(ds, "mem_source.bin");
+  auto source = DiskSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source->InMemory(), nullptr);
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,54 @@
+#include "data/sample.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+TEST(SampleTest, SampleIndicesDistinctAndBounded) {
+  Dataset ds(Matrix(50, 2));
+  Rng rng(1);
+  std::vector<size_t> sample = SampleIndices(ds, 20, rng);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (size_t idx : sample) EXPECT_LT(idx, 50u);
+}
+
+TEST(SampleTest, RequestLargerThanDatasetClamps) {
+  Dataset ds(Matrix(5, 1));
+  Rng rng(2);
+  std::vector<size_t> sample = SampleIndices(ds, 100, rng);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(ReservoirTest, ExactSizeAndRange) {
+  Rng rng(3);
+  std::vector<size_t> sample = ReservoirSampleIndices(1000, 10, rng);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (size_t idx : sample) EXPECT_LT(idx, 1000u);
+}
+
+TEST(ReservoirTest, SmallStreamReturnsAll) {
+  Rng rng(4);
+  std::vector<size_t> sample = ReservoirSampleIndices(3, 10, rng);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique, (std::set<size_t>{0, 1, 2}));
+}
+
+TEST(ReservoirTest, ApproximatelyUniform) {
+  Rng rng(5);
+  std::vector<int> hits(20, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t)
+    for (size_t idx : ReservoirSampleIndices(20, 5, rng)) ++hits[idx];
+  for (int h : hits)
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace proclus

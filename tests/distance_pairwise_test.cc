@@ -1,0 +1,65 @@
+#include "distance/pairwise.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+Dataset LinePoints() {
+  // Points at 0, 1, 3, 7 on a line.
+  return Dataset(Matrix(4, 1, {0, 1, 3, 7}));
+}
+
+TEST(PairwiseTest, SymmetricWithZeroDiagonal) {
+  Dataset ds = LinePoints();
+  Matrix m = PairwiseDistances(ds, {0, 1, 2, 3}, MetricKind::kManhattan);
+  ASSERT_EQ(m.rows(), 4u);
+  ASSERT_EQ(m.cols(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m(i, i), 0.0);
+    for (size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), m(j, i));
+  }
+  EXPECT_EQ(m(0, 1), 1.0);
+  EXPECT_EQ(m(0, 3), 7.0);
+  EXPECT_EQ(m(1, 2), 2.0);
+}
+
+TEST(PairwiseTest, SubsetOfIndices) {
+  Dataset ds = LinePoints();
+  Matrix m = PairwiseDistances(ds, {0, 3}, MetricKind::kManhattan);
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m(0, 1), 7.0);
+}
+
+TEST(PairwiseTest, MetricChoiceMatters) {
+  Dataset ds(Matrix(2, 2, {0, 0, 3, 4}));
+  Matrix manhattan = PairwiseDistances(ds, {0, 1}, MetricKind::kManhattan);
+  Matrix euclidean = PairwiseDistances(ds, {0, 1}, MetricKind::kEuclidean);
+  EXPECT_EQ(manhattan(0, 1), 7.0);
+  EXPECT_EQ(euclidean(0, 1), 5.0);
+}
+
+TEST(NearestNeighborTest, FindsNearestAmongIndices) {
+  Dataset ds = LinePoints();
+  std::vector<double> nearest =
+      NearestNeighborDistances(ds, {0, 1, 2, 3}, MetricKind::kManhattan);
+  EXPECT_EQ(nearest, (std::vector<double>{1, 1, 2, 4}));
+}
+
+TEST(NearestNeighborTest, PairOfPoints) {
+  Dataset ds = LinePoints();
+  std::vector<double> nearest =
+      NearestNeighborDistances(ds, {0, 3}, MetricKind::kManhattan);
+  EXPECT_EQ(nearest, (std::vector<double>{7, 7}));
+}
+
+TEST(NearestNeighborTest, IgnoresExcludedPoints) {
+  Dataset ds = LinePoints();
+  // Point 1 (at coordinate 1) excluded: nearest to 0 becomes 3.
+  std::vector<double> nearest =
+      NearestNeighborDistances(ds, {0, 2, 3}, MetricKind::kManhattan);
+  EXPECT_EQ(nearest[0], 3.0);
+}
+
+}  // namespace
+}  // namespace proclus

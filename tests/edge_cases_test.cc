@@ -1,0 +1,289 @@
+// Edge-case hardening across modules: tiny inputs, degenerate
+// configurations, constant data, and boundary parameter values.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/kmeans.h"
+#include "common/rng.h"
+#include "clique/clique.h"
+#include "core/find_dimensions.h"
+#include "core/proclus.h"
+#include "core/tune.h"
+#include "data/normalize.h"
+#include "eval/matching.h"
+#include "eval/report.h"
+#include "gen/synthetic.h"
+
+namespace proclus {
+namespace {
+
+// ---------- PROCLUS on degenerate data ----------
+
+TEST(EdgeCaseTest, ProclusOnConstantData) {
+  // Every point identical: any partition is valid; nothing may crash,
+  // and the objective is exactly zero.
+  Matrix m(50, 4);
+  for (size_t i = 0; i < 50; ++i)
+    for (size_t j = 0; j < 4; ++j) m(i, j) = 3.5;
+  Dataset ds(std::move(m));
+  ProclusParams params;
+  params.num_clusters = 2;
+  params.avg_dims = 2.0;
+  params.seed = 1;
+  params.num_restarts = 1;
+  auto result = RunProclus(ds, params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->objective, 0.0);
+}
+
+TEST(EdgeCaseTest, ProclusKEqualsN) {
+  // As many clusters as points.
+  Matrix m(6, 3);
+  for (size_t i = 0; i < 6; ++i)
+    for (size_t j = 0; j < 3; ++j)
+      m(i, j) = static_cast<double>(i * 10 + j);
+  Dataset ds(std::move(m));
+  ProclusParams params;
+  params.num_clusters = 6;
+  params.avg_dims = 2.0;
+  params.seed = 3;
+  params.num_restarts = 1;
+  auto result = RunProclus(ds, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->medoids.size(), 6u);
+}
+
+TEST(EdgeCaseTest, ProclusSingleCluster) {
+  GeneratorParams gen;
+  gen.num_points = 500;
+  gen.space_dims = 6;
+  gen.num_clusters = 1;
+  gen.cluster_dim_counts = {3};
+  gen.outlier_fraction = 0.0;
+  gen.seed = 5;
+  auto data = GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+  ProclusParams params;
+  params.num_clusters = 1;
+  params.avg_dims = 3.0;
+  params.seed = 7;
+  auto result = RunProclus(data->dataset, params);
+  ASSERT_TRUE(result.ok());
+  // One cluster, no other medoid -> infinite sphere -> no outliers.
+  EXPECT_EQ(result->NumOutliers(), 0u);
+  for (int label : result->labels) EXPECT_EQ(label, 0);
+}
+
+TEST(EdgeCaseTest, ProclusFullDimensionality) {
+  // l == d: every cluster gets every dimension.
+  GeneratorParams gen;
+  gen.num_points = 800;
+  gen.space_dims = 5;
+  gen.num_clusters = 2;
+  gen.cluster_dim_counts = {3, 3};
+  gen.seed = 9;
+  auto data = GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+  ProclusParams params;
+  params.num_clusters = 2;
+  params.avg_dims = 5.0;
+  params.seed = 11;
+  params.num_restarts = 1;
+  auto result = RunProclus(data->dataset, params);
+  ASSERT_TRUE(result.ok());
+  for (const auto& dims : result->dimensions)
+    EXPECT_EQ(dims.size(), 5u);
+}
+
+// ---------- FindDimensions boundaries ----------
+
+TEST(EdgeCaseTest, AllocateAllSlots) {
+  // total == k*d: every dimension of every cluster selected.
+  Matrix Z(3, 4);
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 4; ++j)
+      Z(i, j) = static_cast<double>(i) - static_cast<double>(j);
+  auto result = AllocateDimensions(Z, 12, 2);
+  ASSERT_TRUE(result.ok());
+  for (const auto& set : *result) EXPECT_EQ(set.size(), 4u);
+}
+
+TEST(EdgeCaseTest, AllocateExactMinimum) {
+  // total == 2k: exactly the per-row minima, nothing extra.
+  Matrix Z(3, 5);
+  for (size_t i = 0; i < 3; ++i)
+    for (size_t j = 0; j < 5; ++j)
+      Z(i, j) = static_cast<double>((i * 5 + j) % 7);
+  auto result = AllocateDimensions(Z, 6, 2);
+  ASSERT_TRUE(result.ok());
+  for (const auto& set : *result) EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(EdgeCaseTest, ZScoresOfTwoColumns) {
+  // d == 2 is the smallest standardizable width.
+  Matrix X(1, 2, {1.0, 3.0});
+  Matrix Z = ComputeZScores(X);
+  EXPECT_LT(Z(0, 0), 0.0);
+  EXPECT_GT(Z(0, 1), 0.0);
+  EXPECT_NEAR(Z(0, 0) + Z(0, 1), 0.0, 1e-12);
+}
+
+// ---------- CLIQUE boundaries ----------
+
+TEST(EdgeCaseTest, CliqueSinglePointPerCell) {
+  // tau so high only impossible counts qualify: no dense units at all.
+  Matrix m(10, 2);
+  for (size_t i = 0; i < 10; ++i) {
+    m(i, 0) = static_cast<double>(i);
+    m(i, 1) = static_cast<double>(9 - i);
+  }
+  Dataset ds(std::move(m));
+  CliqueParams params;
+  params.xi = 10;
+  params.tau_percent = 100.0;
+  auto result = RunClique(ds, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->threshold, 10u);
+}
+
+TEST(EdgeCaseTest, CliqueMinimumXi) {
+  Matrix m(100, 2);
+  for (size_t i = 0; i < 100; ++i) {
+    m(i, 0) = i < 60 ? 1.0 : 9.0;
+    m(i, 1) = i < 60 ? 1.0 : 9.0;
+  }
+  Dataset ds(std::move(m));
+  CliqueParams params;
+  params.xi = 2;
+  params.tau_percent = 30.0;
+  auto result = RunClique(ds, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->max_level, 2u);
+  EXPECT_EQ(result->clusters.size(), 2u);
+}
+
+TEST(EdgeCaseTest, CliqueConstantDimension) {
+  // A constant dimension puts every point in interval 0 and must not
+  // break mining or clustering.
+  Matrix m(200, 2);
+  Rng rng(13);
+  for (size_t i = 0; i < 200; ++i) {
+    m(i, 0) = 5.0;  // Constant.
+    m(i, 1) = rng.Uniform(0, 100);
+  }
+  Dataset ds(std::move(m));
+  CliqueParams params;
+  params.xi = 10;
+  params.tau_percent = 5.0;
+  auto result = RunClique(ds, params);
+  ASSERT_TRUE(result.ok());
+}
+
+// ---------- Normalization + pipeline ----------
+
+TEST(EdgeCaseTest, ZScoreThenProclusOnScaledData) {
+  // Wildly different dimension scales are handled by normalizing first.
+  GeneratorParams gen;
+  gen.num_points = 2000;
+  gen.space_dims = 8;
+  gen.num_clusters = 2;
+  gen.cluster_dim_counts = {3, 3};
+  gen.outlier_fraction = 0.0;
+  gen.seed = 17;
+  auto data = GenerateSynthetic(gen);
+  ASSERT_TRUE(data.ok());
+  // Scale one dimension by 1e6.
+  Dataset scaled = data->dataset;
+  for (size_t i = 0; i < scaled.size(); ++i)
+    scaled.matrix()(i, 0) *= 1e6;
+  auto transform = ZScoreTransform(scaled);
+  ASSERT_TRUE(transform.ok());
+  transform->Apply(&scaled);
+  ProclusParams params;
+  params.num_clusters = 2;
+  params.avg_dims = 3.0;
+  params.seed = 19;
+  params.num_restarts = 2;
+  auto result = RunProclus(scaled, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels.size(), scaled.size());
+}
+
+// ---------- Hungarian / reporting ----------
+
+TEST(EdgeCaseTest, AssignmentSingleCell) {
+  Matrix cost(1, 1, {7.0});
+  EXPECT_EQ(SolveAssignmentMin(cost), (std::vector<int>{0}));
+}
+
+TEST(EdgeCaseTest, AssignmentWithTies) {
+  // All-equal costs: any permutation is optimal; result must be a valid
+  // permutation.
+  Matrix cost(3, 3);
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c) cost(r, c) = 1.0;
+  std::vector<int> match = SolveAssignmentMin(cost);
+  std::vector<bool> used(3, false);
+  for (int m : match) {
+    ASSERT_GE(m, 0);
+    ASSERT_LT(m, 3);
+    EXPECT_FALSE(used[static_cast<size_t>(m)]);
+    used[static_cast<size_t>(m)] = true;
+  }
+}
+
+TEST(EdgeCaseTest, TableWriterEmptyTable) {
+  TableWriter table({"only", "headers"});
+  std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("only"), std::string::npos);
+  // Header + separator only.
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 2);
+}
+
+// ---------- Tuner minimum space ----------
+
+TEST(EdgeCaseTest, AutoTuneOnTwoDimensionalSpace) {
+  // d == 2 forces l == 2 throughout; the tuner must converge instantly.
+  Rng rng(23);
+  Matrix m(400, 2);
+  for (size_t i = 0; i < 400; ++i) {
+    double cx = i < 200 ? 20.0 : 80.0;
+    m(i, 0) = rng.Normal(cx, 2.0);
+    m(i, 1) = rng.Normal(cx, 2.0);
+  }
+  Dataset ds(std::move(m));
+  ProclusParams base;
+  base.num_clusters = 2;
+  base.seed = 29;
+  base.num_restarts = 1;
+  TuneParams tune;
+  tune.initial_avg_dims = 2.0;
+  auto result = AutoTuneAvgDims(ds, base, tune);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->selected_avg_dims, 2.0);
+}
+
+// ---------- k-means single cluster ----------
+
+TEST(EdgeCaseTest, KMeansSingleCluster) {
+  Rng rng(31);
+  Matrix m(100, 2);
+  for (size_t i = 0; i < 100; ++i) {
+    m(i, 0) = rng.Normal(10, 1);
+    m(i, 1) = rng.Normal(10, 1);
+  }
+  Dataset ds(std::move(m));
+  KMeansParams params;
+  params.num_clusters = 1;
+  params.seed = 37;
+  auto result = RunKMeans(ds, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids[0][0], 10.0, 0.5);
+  for (int label : result->labels) EXPECT_EQ(label, 0);
+}
+
+}  // namespace
+}  // namespace proclus

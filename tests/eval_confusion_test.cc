@@ -1,0 +1,89 @@
+#include "eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/ground_truth.h"
+
+namespace proclus {
+namespace {
+
+TEST(ConfusionTest, BuildsCounts) {
+  std::vector<int> output{0, 0, 1, 1, kOutlierLabel};
+  std::vector<int> input{0, 1, 1, 1, kOutlierLabel};
+  auto m = ConfusionMatrix::Build(output, 2, input, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->at(0, 0), 1u);
+  EXPECT_EQ(m->at(0, 1), 1u);
+  EXPECT_EQ(m->at(1, 1), 2u);
+  EXPECT_EQ(m->at(2, 2), 1u);  // Outlier row/col.
+  EXPECT_EQ(m->Total(), 5u);
+}
+
+TEST(ConfusionTest, SizeMismatchRejected) {
+  std::vector<int> a{0}, b{0, 1};
+  EXPECT_FALSE(ConfusionMatrix::Build(a, 1, b, 2).ok());
+}
+
+TEST(ConfusionTest, OutOfRangeLabelRejected) {
+  std::vector<int> output{5};
+  std::vector<int> input{0};
+  EXPECT_FALSE(ConfusionMatrix::Build(output, 2, input, 1).ok());
+}
+
+TEST(ConfusionTest, RowAndColTotals) {
+  std::vector<int> output{0, 0, 1, kOutlierLabel};
+  std::vector<int> input{0, 1, 1, 1};
+  auto m = ConfusionMatrix::Build(output, 2, input, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->RowTotal(0), 2u);
+  EXPECT_EQ(m->RowTotal(1), 1u);
+  EXPECT_EQ(m->RowTotal(2), 1u);
+  EXPECT_EQ(m->ColTotal(0), 1u);
+  EXPECT_EQ(m->ColTotal(1), 3u);
+  EXPECT_EQ(m->ColTotal(2), 0u);
+}
+
+TEST(ConfusionTest, DominantInput) {
+  // Output 0 mostly from input 1; output 1 mostly input outliers.
+  std::vector<int> output{0, 0, 0, 1, 1};
+  std::vector<int> input{1, 1, 0, kOutlierLabel, kOutlierLabel};
+  auto m = ConfusionMatrix::Build(output, 2, input, 2);
+  ASSERT_TRUE(m.ok());
+  std::vector<int> dominant = m->DominantInput();
+  EXPECT_EQ(dominant[0], 1);
+  EXPECT_EQ(dominant[1], kOutlierLabel);
+}
+
+TEST(ConfusionTest, DominantAccuracyPerfect) {
+  std::vector<int> labels{0, 0, 1, 1, kOutlierLabel};
+  auto m = ConfusionMatrix::Build(labels, 2, labels, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->DominantAccuracy(), 1.0);
+}
+
+TEST(ConfusionTest, DominantAccuracyPermutationInvariant) {
+  // Output labels are a permutation of input labels -> still perfect.
+  std::vector<int> output{1, 1, 0, 0};
+  std::vector<int> input{0, 0, 1, 1};
+  auto m = ConfusionMatrix::Build(output, 2, input, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->DominantAccuracy(), 1.0);
+}
+
+TEST(ConfusionTest, DominantAccuracyPartial) {
+  std::vector<int> output{0, 0, 0, 0};
+  std::vector<int> input{0, 0, 0, 1};
+  auto m = ConfusionMatrix::Build(output, 1, input, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->DominantAccuracy(), 0.75);
+}
+
+TEST(ConfusionTest, EmptyLabelsScoreZeroAccuracy) {
+  std::vector<int> none;
+  auto m = ConfusionMatrix::Build(none, 2, none, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->DominantAccuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace proclus

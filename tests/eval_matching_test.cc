@@ -1,0 +1,119 @@
+#include "eval/matching.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/ground_truth.h"
+
+namespace proclus {
+namespace {
+
+TEST(AssignmentTest, IdentityOnDiagonalMatrix) {
+  Matrix cost(3, 3, {0, 9, 9, 9, 0, 9, 9, 9, 0});
+  std::vector<int> match = SolveAssignmentMin(cost);
+  EXPECT_EQ(match, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(AssignmentTest, AntiDiagonal) {
+  Matrix cost(2, 2, {5, 1, 1, 5});
+  std::vector<int> match = SolveAssignmentMin(cost);
+  EXPECT_EQ(match, (std::vector<int>{1, 0}));
+}
+
+TEST(AssignmentTest, RectangularWide) {
+  // 2 rows, 4 columns: rows pick their cheapest distinct columns.
+  Matrix cost(2, 4, {8, 1, 8, 8, 8, 1, 0.5, 8});
+  std::vector<int> match = SolveAssignmentMin(cost);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 2);
+}
+
+TEST(AssignmentTest, RectangularTall) {
+  // 3 rows, 2 columns: one row remains unassigned.
+  Matrix cost(3, 2, {1, 9, 9, 1, 0.1, 0.1});
+  std::vector<int> match = SolveAssignmentMin(cost);
+  int unassigned = 0;
+  for (int m : match)
+    if (m < 0) ++unassigned;
+  EXPECT_EQ(unassigned, 1);
+  // Assigned columns are distinct.
+  std::vector<int> used;
+  for (int m : match)
+    if (m >= 0) used.push_back(m);
+  std::sort(used.begin(), used.end());
+  EXPECT_EQ(std::unique(used.begin(), used.end()), used.end());
+}
+
+TEST(AssignmentTest, EmptyMatrix) {
+  EXPECT_TRUE(SolveAssignmentMin(Matrix()).empty());
+}
+
+TEST(AssignmentTest, MaximizeFlipsObjective) {
+  Matrix score(2, 2, {10, 1, 1, 10});
+  std::vector<int> match = SolveAssignmentMax(score);
+  EXPECT_EQ(match, (std::vector<int>{0, 1}));
+}
+
+// Brute-force cross-check of optimality on random matrices.
+class HungarianBruteForceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HungarianBruteForceTest, MatchesExhaustiveSearch) {
+  Rng rng(GetParam());
+  const size_t n = 5;
+  Matrix cost(n, n);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c) cost(r, c) = rng.Uniform(0, 100);
+
+  std::vector<int> match = SolveAssignmentMin(cost);
+  double solver_cost = 0.0;
+  for (size_t r = 0; r < n; ++r)
+    solver_cost += cost(r, static_cast<size_t>(match[r]));
+
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (size_t r = 0; r < n; ++r) total += cost(r, perm[r]);
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  EXPECT_NEAR(solver_cost, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianBruteForceTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST(MatchClustersTest, PairsByLargestOverlap) {
+  // Output 0 <-> input 1, output 1 <-> input 0.
+  std::vector<int> output{0, 0, 0, 1, 1, 1};
+  std::vector<int> input{1, 1, 0, 0, 0, 1};
+  auto confusion = ConfusionMatrix::Build(output, 2, input, 2);
+  ASSERT_TRUE(confusion.ok());
+  std::vector<int> match = MatchClusters(*confusion);
+  EXPECT_EQ(match, (std::vector<int>{1, 0}));
+}
+
+TEST(MatchedAccuracyTest, PerfectPermutation) {
+  std::vector<int> output{2, 2, 0, 0, 1, 1, kOutlierLabel};
+  std::vector<int> input{0, 0, 1, 1, 2, 2, kOutlierLabel};
+  auto confusion = ConfusionMatrix::Build(output, 3, input, 3);
+  ASSERT_TRUE(confusion.ok());
+  EXPECT_DOUBLE_EQ(MatchedAccuracy(*confusion), 1.0);
+}
+
+TEST(MatchedAccuracyTest, PenalizesMisassignments) {
+  std::vector<int> output{0, 0, 0, 0};
+  std::vector<int> input{0, 0, 1, 1};
+  auto confusion = ConfusionMatrix::Build(output, 2, input, 2);
+  ASSERT_TRUE(confusion.ok());
+  EXPECT_DOUBLE_EQ(MatchedAccuracy(*confusion), 0.5);
+}
+
+}  // namespace
+}  // namespace proclus

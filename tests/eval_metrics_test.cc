@@ -1,0 +1,107 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/ground_truth.h"
+
+namespace proclus {
+namespace {
+
+TEST(DimensionRecoveryTest, ExactRecovery) {
+  std::vector<DimensionSet> truth{DimensionSet(10, {1, 2}),
+                                  DimensionSet(10, {3, 4, 5})};
+  std::vector<int> match{0, 1};
+  DimensionRecovery recovery = ScoreDimensionRecovery(truth, truth, match);
+  EXPECT_DOUBLE_EQ(recovery.mean_jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(recovery.exact_fraction, 1.0);
+}
+
+TEST(DimensionRecoveryTest, PartialOverlap) {
+  std::vector<DimensionSet> found{DimensionSet(10, {1, 2, 3})};
+  std::vector<DimensionSet> truth{DimensionSet(10, {2, 3, 4})};
+  std::vector<int> match{0};
+  DimensionRecovery recovery = ScoreDimensionRecovery(found, truth, match);
+  EXPECT_DOUBLE_EQ(recovery.mean_jaccard, 0.5);  // |{2,3}| / |{1,2,3,4}|.
+  EXPECT_DOUBLE_EQ(recovery.exact_fraction, 0.0);
+}
+
+TEST(DimensionRecoveryTest, UnmatchedClustersSkipped) {
+  std::vector<DimensionSet> found{DimensionSet(10, {1, 2}),
+                                  DimensionSet(10, {5, 6})};
+  std::vector<DimensionSet> truth{DimensionSet(10, {1, 2})};
+  std::vector<int> match{0, -1};
+  DimensionRecovery recovery = ScoreDimensionRecovery(found, truth, match);
+  EXPECT_DOUBLE_EQ(recovery.mean_jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(recovery.per_cluster[1], 0.0);
+}
+
+TEST(DimensionRecoveryTest, CrossedMatchIndices) {
+  std::vector<DimensionSet> found{DimensionSet(10, {3, 4}),
+                                  DimensionSet(10, {1, 2})};
+  std::vector<DimensionSet> truth{DimensionSet(10, {1, 2}),
+                                  DimensionSet(10, {3, 4})};
+  std::vector<int> match{1, 0};
+  DimensionRecovery recovery = ScoreDimensionRecovery(found, truth, match);
+  EXPECT_DOUBLE_EQ(recovery.mean_jaccard, 1.0);
+}
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  std::vector<int> labels{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(labels, labels), 1.0);
+}
+
+TEST(AriTest, PermutedLabelsScoreOne) {
+  std::vector<int> a{0, 0, 1, 1, 2, 2};
+  std::vector<int> b{2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(AriTest, IndependentPartitionsScoreNearZero) {
+  // a splits halves, b alternates: agreement no better than chance.
+  std::vector<int> a{0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int> b{0, 1, 0, 1, 0, 1, 0, 1};
+  double ari = AdjustedRandIndex(a, b);
+  EXPECT_LT(std::abs(ari), 0.35);
+}
+
+TEST(AriTest, KnownValue) {
+  // Classic example: ARI of these partitions is 0.24242...
+  std::vector<int> a{0, 0, 0, 1, 1, 1};
+  std::vector<int> b{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 0.242424, 1e-5);
+}
+
+TEST(AriTest, SinglePointIsTriviallyOne) {
+  std::vector<int> a{0};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, a), 1.0);
+}
+
+TEST(OutlierScoreTest, PerfectDetection) {
+  std::vector<int> truth{0, 1, kOutlierLabel, kOutlierLabel};
+  OutlierScore score = ScoreOutliers(truth, truth);
+  EXPECT_DOUBLE_EQ(score.precision, 1.0);
+  EXPECT_DOUBLE_EQ(score.recall, 1.0);
+  EXPECT_DOUBLE_EQ(score.f1, 1.0);
+}
+
+TEST(OutlierScoreTest, NoPredictionsGivesZeroRecall) {
+  std::vector<int> predicted{0, 0, 0};
+  std::vector<int> truth{0, kOutlierLabel, kOutlierLabel};
+  OutlierScore score = ScoreOutliers(predicted, truth);
+  EXPECT_DOUBLE_EQ(score.precision, 0.0);
+  EXPECT_DOUBLE_EQ(score.recall, 0.0);
+  EXPECT_DOUBLE_EQ(score.f1, 0.0);
+}
+
+TEST(OutlierScoreTest, MixedCase) {
+  // TP=1, FP=1, FN=1.
+  std::vector<int> predicted{kOutlierLabel, kOutlierLabel, 0, 0};
+  std::vector<int> truth{kOutlierLabel, 0, kOutlierLabel, 0};
+  OutlierScore score = ScoreOutliers(predicted, truth);
+  EXPECT_DOUBLE_EQ(score.precision, 0.5);
+  EXPECT_DOUBLE_EQ(score.recall, 0.5);
+  EXPECT_DOUBLE_EQ(score.f1, 0.5);
+}
+
+}  // namespace
+}  // namespace proclus

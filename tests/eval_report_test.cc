@@ -1,0 +1,56 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/ground_truth.h"
+
+namespace proclus {
+namespace {
+
+TEST(TableWriterTest, AlignsColumns) {
+  TableWriter table({"Name", "Count"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "23456"});
+  std::string rendered = table.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 4);
+  EXPECT_NE(rendered.find("| Name"), std::string::npos);
+  EXPECT_NE(rendered.find("| long-name | 23456 |"), std::string::npos);
+}
+
+TEST(ClusterLetterTest, SpreadsheetScheme) {
+  EXPECT_EQ(ClusterLetter(0), "A");
+  EXPECT_EQ(ClusterLetter(1), "B");
+  EXPECT_EQ(ClusterLetter(25), "Z");
+  EXPECT_EQ(ClusterLetter(26), "AA");
+  EXPECT_EQ(ClusterLetter(27), "AB");
+}
+
+TEST(DimensionTableTest, RendersInputAndOutputSections) {
+  std::vector<DimensionSet> input{DimensionSet(20, {2, 3, 6})};
+  std::vector<DimensionSet> output{DimensionSet(20, {2, 3, 6})};
+  std::string rendered = RenderDimensionTable(input, {100}, 5, output, {98},
+                                              7);
+  // 1-based dimensions as in the paper.
+  EXPECT_NE(rendered.find("3, 4, 7"), std::string::npos);
+  EXPECT_NE(rendered.find("| A"), std::string::npos);
+  EXPECT_NE(rendered.find("| 1"), std::string::npos);
+  EXPECT_NE(rendered.find("Outliers"), std::string::npos);
+  EXPECT_NE(rendered.find("100"), std::string::npos);
+  EXPECT_NE(rendered.find("98"), std::string::npos);
+}
+
+TEST(ConfusionTableTest, RendersAllCells) {
+  std::vector<int> output{0, 0, 1, kOutlierLabel};
+  std::vector<int> input{0, 1, 1, kOutlierLabel};
+  auto confusion = ConfusionMatrix::Build(output, 2, input, 2);
+  ASSERT_TRUE(confusion.ok());
+  std::string rendered = RenderConfusionTable(*confusion);
+  EXPECT_NE(rendered.find("Out."), std::string::npos);
+  EXPECT_NE(rendered.find("Outliers"), std::string::npos);
+  EXPECT_NE(rendered.find("| A"), std::string::npos);
+  EXPECT_NE(rendered.find("| B"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,86 @@
+#include "eval/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/ground_truth.h"
+
+namespace proclus {
+namespace {
+
+// 2 clusters in 2-d: cluster 0 = {(0,0), (2,0)}, cluster 1 = {(10,10)},
+// one outlier.
+ProjectedClustering MakeClustering() {
+  ProjectedClustering clustering;
+  clustering.labels = {0, 0, 1, kOutlierLabel};
+  clustering.medoids = {0, 2};
+  clustering.dimensions = {DimensionSet(2, {0u}), DimensionSet(2, {0u, 1u})};
+  clustering.objective = 1.25;
+  return clustering;
+}
+
+Dataset MakeData() {
+  return Dataset(Matrix(4, 2, {0, 0, 2, 0, 10, 10, 50, 50}));
+}
+
+TEST(SummaryTest, ValidationErrors) {
+  Dataset ds = MakeData();
+  ProjectedClustering clustering = MakeClustering();
+  clustering.labels.pop_back();
+  EXPECT_FALSE(SummarizeClustering(ds, clustering).ok());
+  clustering = MakeClustering();
+  clustering.dimensions.pop_back();
+  EXPECT_FALSE(SummarizeClustering(ds, clustering).ok());
+}
+
+TEST(SummaryTest, ComputesPerClusterStatistics) {
+  auto summary = SummarizeClustering(MakeData(), MakeClustering());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->total_points, 4u);
+  EXPECT_EQ(summary->outliers, 1u);
+  ASSERT_EQ(summary->clusters.size(), 2u);
+
+  const ClusterSummary& c0 = summary->clusters[0];
+  EXPECT_EQ(c0.size, 2u);
+  EXPECT_EQ(c0.medoid, 0u);
+  ASSERT_EQ(c0.center.size(), 1u);
+  EXPECT_DOUBLE_EQ(c0.center[0], 1.0);   // Mean of 0 and 2 on dim 0.
+  EXPECT_DOUBLE_EQ(c0.spread[0], 1.0);   // Avg |x - 1|.
+  EXPECT_DOUBLE_EQ(c0.radius, 1.0);
+
+  const ClusterSummary& c1 = summary->clusters[1];
+  EXPECT_EQ(c1.size, 1u);
+  EXPECT_DOUBLE_EQ(c1.center[0], 10.0);
+  EXPECT_DOUBLE_EQ(c1.center[1], 10.0);
+  EXPECT_DOUBLE_EQ(c1.radius, 0.0);
+}
+
+TEST(SummaryTest, EmptyClusterZeroed) {
+  Dataset ds = MakeData();
+  ProjectedClustering clustering = MakeClustering();
+  clustering.labels = {0, 0, 0, 0};  // Cluster 1 empty.
+  auto summary = SummarizeClustering(ds, clustering);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->clusters[1].size, 0u);
+  EXPECT_DOUBLE_EQ(summary->clusters[1].radius, 0.0);
+}
+
+TEST(SummaryTest, RenderContainsKeyFacts) {
+  auto summary = SummarizeClustering(MakeData(), MakeClustering());
+  ASSERT_TRUE(summary.ok());
+  std::string text = RenderSummary(*summary, {"x", "y"});
+  EXPECT_NE(text.find("clusters: 2"), std::string::npos);
+  EXPECT_NE(text.find("outliers: 1"), std::string::npos);
+  EXPECT_NE(text.find("cluster 1: 2 points"), std::string::npos);
+  EXPECT_NE(text.find("x ~ "), std::string::npos);
+  EXPECT_NE(text.find("y ~ "), std::string::npos);
+}
+
+TEST(SummaryTest, RenderFallbackNames) {
+  auto summary = SummarizeClustering(MakeData(), MakeClustering());
+  ASSERT_TRUE(summary.ok());
+  std::string text = RenderSummary(*summary);
+  EXPECT_NE(text.find("d1 ~ "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace proclus

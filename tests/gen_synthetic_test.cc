@@ -1,0 +1,254 @@
+#include "gen/synthetic.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+GeneratorParams SmallParams() {
+  GeneratorParams params;
+  params.num_points = 5000;
+  params.space_dims = 12;
+  params.num_clusters = 4;
+  params.poisson_mean = 5.0;
+  params.seed = 7;
+  return params;
+}
+
+TEST(GeneratorValidationTest, RejectsBadParams) {
+  GeneratorParams params = SmallParams();
+  params.num_points = 0;
+  EXPECT_FALSE(GenerateSynthetic(params).ok());
+
+  params = SmallParams();
+  params.space_dims = 1;
+  EXPECT_FALSE(GenerateSynthetic(params).ok());
+
+  params = SmallParams();
+  params.num_clusters = 0;
+  EXPECT_FALSE(GenerateSynthetic(params).ok());
+
+  params = SmallParams();
+  params.outlier_fraction = 1.0;
+  EXPECT_FALSE(GenerateSynthetic(params).ok());
+
+  params = SmallParams();
+  params.cluster_dim_counts = {3, 3};  // Wrong length (k = 4).
+  EXPECT_FALSE(GenerateSynthetic(params).ok());
+
+  params = SmallParams();
+  params.max_scale = 0.5;
+  EXPECT_FALSE(GenerateSynthetic(params).ok());
+}
+
+TEST(GeneratorTest, ShapeAndLabelRanges) {
+  GeneratorParams params = SmallParams();
+  auto result = GenerateSynthetic(params);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& [dataset, truth] = *result;
+  EXPECT_EQ(dataset.size(), params.num_points);
+  EXPECT_EQ(dataset.dims(), params.space_dims);
+  EXPECT_EQ(truth.labels.size(), params.num_points);
+  EXPECT_EQ(truth.cluster_dims.size(), params.num_clusters);
+  EXPECT_EQ(truth.anchors.size(), params.num_clusters);
+  for (int label : truth.labels) {
+    EXPECT_TRUE(label == kOutlierLabel ||
+                (label >= 0 &&
+                 label < static_cast<int>(params.num_clusters)));
+  }
+}
+
+TEST(GeneratorTest, OutlierFractionMatches) {
+  GeneratorParams params = SmallParams();
+  params.outlier_fraction = 0.05;
+  auto result = GenerateSynthetic(params);
+  ASSERT_TRUE(result.ok());
+  size_t outliers = 0;
+  for (int label : result->truth.labels)
+    if (label == kOutlierLabel) ++outliers;
+  EXPECT_EQ(outliers, static_cast<size_t>(
+                          std::floor(5000 * 0.05)));
+}
+
+TEST(GeneratorTest, EveryClusterNonEmpty) {
+  GeneratorParams params = SmallParams();
+  auto result = GenerateSynthetic(params);
+  ASSERT_TRUE(result.ok());
+  std::vector<size_t> sizes = result->truth.ClusterSizes();
+  for (size_t i = 0; i < params.num_clusters; ++i) EXPECT_GT(sizes[i], 0u);
+}
+
+TEST(GeneratorTest, ClusterDimCountsWithinBounds) {
+  GeneratorParams params = SmallParams();
+  auto result = GenerateSynthetic(params);
+  ASSERT_TRUE(result.ok());
+  for (const auto& dims : result->truth.cluster_dims) {
+    EXPECT_GE(dims.size(), 2u);
+    EXPECT_LE(dims.size(), params.space_dims);
+  }
+}
+
+TEST(GeneratorTest, ExplicitDimCountsHonored) {
+  GeneratorParams params = SmallParams();
+  params.cluster_dim_counts = {2, 3, 6, 7};
+  auto result = GenerateSynthetic(params);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(result->truth.cluster_dims[i].size(),
+              params.cluster_dim_counts[i]);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  GeneratorParams params = SmallParams();
+  auto a = GenerateSynthetic(params);
+  auto b = GenerateSynthetic(params);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->dataset.matrix(), b->dataset.matrix());
+  EXPECT_EQ(a->truth.labels, b->truth.labels);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorParams params = SmallParams();
+  auto a = GenerateSynthetic(params);
+  params.seed = 8;
+  auto b = GenerateSynthetic(params);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(a->dataset.matrix() == b->dataset.matrix());
+}
+
+TEST(GeneratorTest, ClusterPointsConcentratedOnClusterDims) {
+  // On cluster dimensions, the per-cluster spread must be far below the
+  // uniform spread (range/sqrt(12) ~ 28.9 for range 100); on non-cluster
+  // dimensions it must be comparable to uniform.
+  GeneratorParams params = SmallParams();
+  params.num_points = 20000;
+  auto result = GenerateSynthetic(params);
+  ASSERT_TRUE(result.ok());
+  const auto& [dataset, truth] = *result;
+  for (size_t c = 0; c < params.num_clusters; ++c) {
+    std::vector<size_t> members;
+    for (size_t p = 0; p < dataset.size(); ++p)
+      if (truth.labels[p] == static_cast<int>(c)) members.push_back(p);
+    ASSERT_GT(members.size(), 50u);
+    std::vector<double> centroid = dataset.Centroid(members);
+    for (size_t j = 0; j < params.space_dims; ++j) {
+      double var = 0.0;
+      for (size_t p : members) {
+        double diff = dataset.at(p, j) - centroid[j];
+        var += diff * diff;
+      }
+      var /= static_cast<double>(members.size());
+      double sd = std::sqrt(var);
+      if (truth.cluster_dims[c].Contains(static_cast<uint32_t>(j))) {
+        // Max possible sigma is max_scale * spread = 4.
+        EXPECT_LT(sd, 6.0) << "cluster " << c << " dim " << j;
+      } else {
+        EXPECT_GT(sd, 15.0) << "cluster " << c << " dim " << j;
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, ClusterDimCoordinatesNearAnchor) {
+  GeneratorParams params = SmallParams();
+  params.num_points = 10000;
+  auto result = GenerateSynthetic(params);
+  ASSERT_TRUE(result.ok());
+  const auto& [dataset, truth] = *result;
+  for (size_t c = 0; c < params.num_clusters; ++c) {
+    std::vector<size_t> members;
+    for (size_t p = 0; p < dataset.size(); ++p)
+      if (truth.labels[p] == static_cast<int>(c)) members.push_back(p);
+    std::vector<double> centroid = dataset.Centroid(members);
+    for (uint32_t j : truth.cluster_dims[c].ToVector()) {
+      EXPECT_NEAR(centroid[j], truth.anchors[c][j], 2.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, ConsecutiveClustersShareDimensions) {
+  // The inductive selection inherits min(|prev|, |cur|/2) dimensions, so
+  // consecutive clusters must share at least floor(|cur|/2) dims when the
+  // previous cluster has at least that many.
+  GeneratorParams params = SmallParams();
+  params.cluster_dim_counts = {6, 6, 6, 6};
+  auto result = GenerateSynthetic(params);
+  ASSERT_TRUE(result.ok());
+  for (size_t c = 1; c < 4; ++c) {
+    size_t shared = result->truth.cluster_dims[c].IntersectionSize(
+        result->truth.cluster_dims[c - 1]);
+    EXPECT_GE(shared, 3u) << "clusters " << c - 1 << " and " << c;
+  }
+}
+
+TEST(GeneratorTest, RotationValidation) {
+  GeneratorParams params = SmallParams();
+  params.rotation_max_degrees = -1.0;
+  EXPECT_FALSE(GenerateSynthetic(params).ok());
+  params.rotation_max_degrees = 91.0;
+  EXPECT_FALSE(GenerateSynthetic(params).ok());
+  params.rotation_max_degrees = 90.0;
+  EXPECT_TRUE(GenerateSynthetic(params).ok());
+}
+
+TEST(GeneratorTest, ZeroRotationMatchesBaseline) {
+  GeneratorParams params = SmallParams();
+  auto baseline = GenerateSynthetic(params);
+  params.rotation_max_degrees = 0.0;  // Explicit zero, same stream.
+  auto zero = GenerateSynthetic(params);
+  ASSERT_TRUE(baseline.ok() && zero.ok());
+  EXPECT_EQ(baseline->dataset.matrix(), zero->dataset.matrix());
+}
+
+TEST(GeneratorTest, RotationTiltsClusters) {
+  // With rotation, tilted cluster dimensions pick up variance from the
+  // noise dimensions they are rotated toward, so the tightest marginal
+  // spread grows versus the axis-parallel baseline.
+  GeneratorParams params = SmallParams();
+  params.num_points = 10000;
+  params.cluster_dim_counts = {4, 4, 4, 4};
+  auto measure_max_spread = [&](double degrees) {
+    params.rotation_max_degrees = degrees;
+    auto data = GenerateSynthetic(params);
+    EXPECT_TRUE(data.ok());
+    double total = 0.0;
+    for (size_t c = 0; c < 4; ++c) {
+      std::vector<size_t> members;
+      for (size_t p = 0; p < data->dataset.size(); ++p)
+        if (data->truth.labels[p] == static_cast<int>(c))
+          members.push_back(p);
+      std::vector<double> centroid = data->dataset.Centroid(members);
+      double worst = 0.0;
+      for (uint32_t j : data->truth.cluster_dims[c].ToVector()) {
+        double dev = 0.0;
+        for (size_t p : members)
+          dev += std::fabs(data->dataset.at(p, j) - centroid[j]);
+        worst = std::max(worst, dev / static_cast<double>(members.size()));
+      }
+      total += worst;
+    }
+    return total / 4.0;
+  };
+  double flat = measure_max_spread(0.0);
+  double tilted = measure_max_spread(45.0);
+  EXPECT_GT(tilted, flat * 2.0);
+}
+
+TEST(GeneratorTest, PoissonDimCountsVary) {
+  GeneratorParams params = SmallParams();
+  params.num_clusters = 12;
+  params.space_dims = 20;
+  params.poisson_mean = 6.0;
+  auto result = GenerateSynthetic(params);
+  ASSERT_TRUE(result.ok());
+  std::set<size_t> distinct;
+  for (const auto& dims : result->truth.cluster_dims)
+    distinct.insert(dims.size());
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+}  // namespace
+}  // namespace proclus

@@ -29,11 +29,14 @@ namespace proclus::internal {
     }                                                               \
   } while (0)
 
-/// Debug-only check (compiled out in NDEBUG builds).
+/// Debug-only check (compiled out in NDEBUG builds). The NDEBUG expansion
+/// keeps `cond` inside an unevaluated sizeof so variables referenced only
+/// by DCHECKs still count as used (no -Wunused-but-set-variable /
+/// -Wunused-parameter under Release -Werror) while generating no code and
+/// never evaluating side effects.
 #ifdef NDEBUG
 #define PROCLUS_DCHECK(cond) \
-  do {                       \
-  } while (0)
+  static_cast<void>(sizeof((cond) ? 1 : 0))
 #else
 #define PROCLUS_DCHECK(cond) PROCLUS_CHECK(cond)
 #endif

@@ -35,8 +35,9 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 /// An OK status carries no message and no allocation. Library functions
 /// that can fail return Status (or Result<T>); callers must check `ok()`
-/// before using any output parameters.
-class Status {
+/// before using any output parameters. [[nodiscard]] makes a silently
+/// dropped error a compiler warning (an error under PROCLUS_WERROR).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -95,7 +96,7 @@ class Status {
 /// Invariant: exactly one of {value, error status} is held. Accessing
 /// `value()` on an error Result is a programming error (asserts in debug).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a success value.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

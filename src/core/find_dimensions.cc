@@ -81,6 +81,8 @@ Result<std::vector<DimensionSet>> AllocateDimensions(const Matrix& Z,
     result[e.row].Add(e.col);
     ++picked;
   }
+  // invariant: the two greedy passes allocate exactly `total` slots; the
+  // slot arithmetic was validated against k*d above.
   PROCLUS_CHECK(picked == total);
   return result;
 }

@@ -153,6 +153,8 @@ Result<Matrix> ClusterStatsPass(const PointSource& source,
           int label = labels[first + r];
           if (label == kOutlierLabel) continue;
           size_t i = static_cast<size_t>(label);
+          // invariant: labels come from AssignPointsPass, which only emits
+          // kOutlierLabel or medoid indices in [0, k).
           PROCLUS_CHECK(i < k);
           std::span<const double> point = data.subspan(r * d, d);
           auto medoid = medoids.row(i);
@@ -248,6 +250,8 @@ Result<double> EvaluateClustersPass(const PointSource& source,
           int label = labels[first + r];
           if (label == kOutlierLabel) continue;
           size_t i = static_cast<size_t>(label);
+          // invariant: labels come from AssignPointsPass, which only emits
+          // kOutlierLabel or medoid indices in [0, k).
           PROCLUS_CHECK(i < k);
           std::span<const double> point = data.subspan(r * d, d);
           double* sums = partial.sums.data() + i * d;
@@ -310,6 +314,7 @@ Result<double> EvaluateClustersPass(const PointSource& source,
   for (size_t i = 0; i < k; ++i) {
     if (count[i] == 0) continue;
     std::vector<uint32_t> dim_list = dims[i].ToVector();
+    // invariant: FindDimensions allocates >= 2 dimensions per medoid.
     PROCLUS_CHECK(!dim_list.empty());
     double w = 0.0;
     for (uint32_t j : dim_list)

@@ -159,6 +159,8 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
   } else {
     candidates = rng.SampleWithoutReplacement(n, candidate_size);
   }
+  // invariant: candidate_size was clamped to >= k above, and both sampling
+  // paths return exactly candidate_size indices.
   PROCLUS_CHECK(candidates.size() >= k);
   auto candidate_coords_result = source.Fetch(candidates);
   PROCLUS_RETURN_IF_ERROR(candidate_coords_result.status());
@@ -223,6 +225,8 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
       best_labels = std::move(local_labels);
     }
   }
+  // invariant: num_restarts >= 1 (validated) and every restart runs at
+  // least one hill-climbing iteration, which always records a best set.
   PROCLUS_CHECK(!best_slots.empty());
 
   ProjectedClustering result;

@@ -218,6 +218,7 @@ Result<SyntheticData> GenerateSynthetic(const GeneratorParams& params) {
     auto out = points.row(row);
     for (size_t j = 0; j < d; ++j) out[j] = rng.Uniform(0.0, params.range);
   }
+  // invariant: cluster sizes plus outliers were constructed to sum to n.
   PROCLUS_CHECK(row == n);
 
   // Shuffle points so cluster membership is not encoded in file order.

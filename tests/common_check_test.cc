@@ -1,0 +1,75 @@
+// Death tests for the PROCLUS_CHECK failure path (message formatting) and
+// compile-level tests for the PROCLUS_DCHECK NDEBUG expansion.
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNotAbort) {
+  PROCLUS_CHECK(1 + 1 == 2);
+  PROCLUS_CHECK(true);
+}
+
+TEST(CheckDeathTest, FailureMessageContainsExpression) {
+  EXPECT_DEATH(PROCLUS_CHECK(2 + 2 == 5), "2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailureMessageContainsFileAndLine) {
+  // The abort message must name this file and a plausible line number so a
+  // crash in the field is attributable without a debugger.
+  EXPECT_DEATH(PROCLUS_CHECK(false),
+               "PROCLUS_CHECK failed at .*common_check_test\\.cc:[0-9]+: "
+               "false");
+}
+
+TEST(CheckDeathTest, FailureMessageFormat) {
+  EXPECT_DEATH(PROCLUS_CHECK(1 < 0),
+               "PROCLUS_CHECK failed at [^:]+:[0-9]+: 1 < 0");
+}
+
+// Must compile warning-free under Release (-DNDEBUG -Wall -Wextra -Werror):
+// `only_used_in_dcheck` is odr-used by the unevaluated sizeof inside the
+// NDEBUG expansion of PROCLUS_DCHECK, so no -Wunused diagnostics fire.
+TEST(DCheckTest, VariableUsedOnlyInDCheckIsNotUnused) {
+  const int only_used_in_dcheck = 3;
+  PROCLUS_DCHECK(only_used_in_dcheck > 0);
+  SUCCEED();
+}
+
+TEST(DCheckTest, NDebugExpansionDoesNotEvaluate) {
+#ifdef NDEBUG
+  // The condition must be accepted but never executed: a side effect in
+  // the condition would make this test fail.
+  int calls = 0;
+  auto bump = [&calls]() {
+    ++calls;
+    return true;
+  };
+  PROCLUS_DCHECK(bump());
+  EXPECT_EQ(calls, 0);
+#else
+  // Debug builds evaluate the condition (full PROCLUS_CHECK semantics).
+  int calls = 0;
+  auto bump = [&calls]() {
+    ++calls;
+    return true;
+  };
+  PROCLUS_DCHECK(bump());
+  EXPECT_EQ(calls, 1);
+#endif
+}
+
+TEST(DCheckTest, UsableAsSingleStatement) {
+  // The expansion must behave as one statement in unbraced control flow.
+  const bool flag = true;
+  if (flag)
+    PROCLUS_DCHECK(flag);
+  else
+    FAIL();
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,35 @@
+// Binary snapshot loader harness: the input bytes are the untrusted file.
+// Hostile headers (bad magic, truncation, element counts that overflow
+// size_t multiplication, payloads larger than the stream) must yield Status
+// errors without large allocations; accepted parses must have a consistent
+// shape and re-serialize to a stable byte string (bitwise idempotent even
+// for NaN payloads).
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "data/binary_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(bytes, std::ios::binary);
+  auto result = proclus::ReadBinary(in);
+  if (!result.ok()) return 0;
+
+  const proclus::Dataset& ds = *result;
+  PROCLUS_CHECK(ds.matrix().data().size() == ds.size() * ds.dims());
+  PROCLUS_CHECK(ds.dims() > 0 || ds.size() == 0);
+
+  std::ostringstream out(std::ios::binary);
+  PROCLUS_CHECK(proclus::WriteBinary(ds, out).ok());
+  const std::string serialized = out.str();
+  std::istringstream back_in(serialized, std::ios::binary);
+  auto back = proclus::ReadBinary(back_in);
+  PROCLUS_CHECK(back.ok());
+  std::ostringstream out2(std::ios::binary);
+  PROCLUS_CHECK(proclus::WriteBinary(*back, out2).ok());
+  PROCLUS_CHECK(out2.str() == serialized);
+  return 0;
+}

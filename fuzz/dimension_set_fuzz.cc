@@ -1,0 +1,38 @@
+// DimensionSet parsing/serialization harness. Odd mode byte: the remaining
+// bytes are untrusted text through DimensionSet::Parse (accepted parses must
+// satisfy set invariants and round-trip through ToString). Even mode byte: a
+// structured set is serialized and re-parsed, which must reproduce it
+// exactly via both the braced and the bare-list renderings.
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/dimension_set.h"
+#include "fuzz/structured.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  proclus::fuzz::ByteSource src(data, size);
+  const uint8_t mode = src.TakeByte();
+  const size_t capacity = static_cast<size_t>(src.TakeInt(1, 256));
+
+  if ((mode & 1) != 0) {
+    auto parsed =
+        proclus::DimensionSet::Parse(src.TakeRemainingString(), capacity);
+    if (!parsed.ok()) return 0;
+    PROCLUS_CHECK(parsed->capacity() == capacity);
+    for (uint32_t d : parsed->ToVector()) PROCLUS_CHECK(d < capacity);
+    auto again = proclus::DimensionSet::Parse(parsed->ToString(), capacity);
+    PROCLUS_CHECK(again.ok());
+    PROCLUS_CHECK(*again == *parsed);
+  } else {
+    proclus::DimensionSet set =
+        proclus::fuzz::BuildDimensionSet(src, capacity);
+    auto braced = proclus::DimensionSet::Parse(set.ToString(), capacity);
+    PROCLUS_CHECK(braced.ok());
+    PROCLUS_CHECK(*braced == set);
+    auto bare = proclus::DimensionSet::Parse(set.ToListString(0), capacity);
+    PROCLUS_CHECK(bare.ok());
+    PROCLUS_CHECK(*bare == set);
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Standalone driver for fuzz harnesses when the toolchain has no libFuzzer
+// (-fsanitize=fuzzer is clang-only). It speaks enough of libFuzzer's CLI
+// that CI can invoke either binary the same way:
+//
+//   harness <corpus-dir-or-files...>            replay every input once
+//   harness -max_total_time=60 <corpus...>      replay, then mutate inputs
+//                                               deterministically until the
+//                                               deadline (poor-man's fuzzing
+//                                               so sanitizers still see
+//                                               perturbed inputs under GCC)
+//
+// Unknown -flags are ignored for libFuzzer compatibility. Exit is nonzero
+// only if an input could not be read; a harness failure aborts the process,
+// which CTest reports as the test failing.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReadFile(const std::filesystem::path& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return !in.bad();
+}
+
+// Deterministic xorshift64* generator for the mutation loop; fixed seed so
+// a given corpus and time budget explores a reproducible prefix of inputs.
+struct XorShift {
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  }
+};
+
+void Mutate(XorShift& rng, std::vector<uint8_t>* buf) {
+  const uint64_t op = rng.Next() % 4;
+  if (buf->empty()) {
+    buf->push_back(static_cast<uint8_t>(rng.Next()));
+    return;
+  }
+  const size_t pos = rng.Next() % buf->size();
+  switch (op) {
+    case 0:  // Flip one bit.
+      (*buf)[pos] ^= static_cast<uint8_t>(1u << (rng.Next() % 8));
+      break;
+    case 1:  // Overwrite one byte.
+      (*buf)[pos] = static_cast<uint8_t>(rng.Next());
+      break;
+    case 2:  // Truncate.
+      buf->resize(pos);
+      break;
+    case 3:  // Insert one byte.
+      buf->insert(buf->begin() + static_cast<ptrdiff_t>(pos),
+                  static_cast<uint8_t>(rng.Next()));
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long max_total_time = 0;
+  std::vector<std::filesystem::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-max_total_time=", 16) == 0) {
+      max_total_time = std::strtol(arg + 16, nullptr, 10);
+    } else if (arg[0] == '-') {
+      // Ignore other libFuzzer flags (-runs=, -rss_limit_mb=, ...).
+    } else if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg))
+        if (entry.is_regular_file()) paths.push_back(entry.path());
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> corpus;
+  size_t executed = 0;
+  for (const auto& path : paths) {
+    std::vector<uint8_t> bytes;
+    if (!ReadFile(path, &bytes)) {
+      std::fprintf(stderr, "driver: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++executed;
+    corpus.push_back(std::move(bytes));
+  }
+
+  if (max_total_time > 0 && !corpus.empty()) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(max_total_time);
+    XorShift rng;
+    std::vector<uint8_t> buf;
+    while (std::chrono::steady_clock::now() < deadline) {
+      // Batch between clock checks so the loop is dominated by harness work.
+      for (int i = 0; i < 256; ++i) {
+        buf = corpus[rng.Next() % corpus.size()];
+        const uint64_t rounds = 1 + rng.Next() % 4;
+        for (uint64_t r = 0; r < rounds; ++r) Mutate(rng, &buf);
+        LLVMFuzzerTestOneInput(buf.data(), buf.size());
+        ++executed;
+      }
+    }
+  }
+
+  std::fprintf(stderr, "driver: executed %zu inputs\n", executed);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Normalization harness: structured datasets (optionally laced with
+// NaN/Inf/denormal coordinates and constant min==max columns) through
+// MinMaxTransform and ZScoreTransform. The contract under test: either the
+// transform computation returns a Status error, or applying the returned
+// transform maps every coordinate to a finite value.
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+#include "data/normalize.h"
+#include "fuzz/structured.h"
+
+namespace {
+
+void CheckAllFinite(const proclus::Dataset& ds) {
+  for (size_t i = 0; i < ds.size(); ++i)
+    for (double v : ds.point(i)) PROCLUS_CHECK(std::isfinite(v));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  proclus::fuzz::ByteSource src(data, size);
+  const uint8_t mode = src.TakeByte();
+  const bool allow_nonfinite = (mode & 1) != 0;
+  proclus::Dataset ds = proclus::fuzz::BuildDataset(src, allow_nonfinite);
+
+  double lo = src.TakeFiniteDouble();
+  double hi = src.TakeFiniteDouble();
+  auto min_max = proclus::MinMaxTransform(ds, lo, hi);
+  if (min_max.ok()) {
+    proclus::Dataset mapped = ds;
+    min_max->Apply(&mapped);
+    CheckAllFinite(mapped);
+  }
+
+  auto z_score = proclus::ZScoreTransform(ds);
+  if (z_score.ok()) {
+    proclus::Dataset mapped = ds;
+    z_score->Apply(&mapped);
+    CheckAllFinite(mapped);
+  }
+  return 0;
+}

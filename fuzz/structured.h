@@ -1,0 +1,113 @@
+// Structured fuzzing support: deterministic decoding of an arbitrary byte
+// string into "valid-ish" library objects (Datasets, DimensionSets, finite
+// doubles). Harnesses that need to reach deep code paths — distance kernels,
+// normalization — cannot get there from raw bytes; they decode the fuzzer's
+// input through a ByteSource so every input exercises real work while the
+// object-level invariants (dimension indices in range, matrix shape
+// consistent) hold by construction.
+//
+// Every decoder must be total: any byte string, including the empty one,
+// decodes to an object satisfying the invariants listed on each builder
+// (property-tested in tests/fuzz_structured_test.cc).
+
+#ifndef PROCLUS_FUZZ_STRUCTURED_H_
+#define PROCLUS_FUZZ_STRUCTURED_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/dimension_set.h"
+#include "common/matrix.h"
+#include "data/dataset.h"
+
+namespace proclus::fuzz {
+
+/// Decoded datasets are capped small so a single fuzz iteration stays fast
+/// and allocations stay bounded regardless of input bytes.
+inline constexpr size_t kMaxDims = 16;
+inline constexpr size_t kMaxRows = 64;
+
+/// Sequential consumer of the fuzzer's byte string. Reading past the end
+/// yields zeros, so decoding is total on any input length.
+class ByteSource {
+ public:
+  ByteSource(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  uint8_t TakeByte() { return empty() ? 0 : data_[pos_++]; }
+
+  /// Value in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t TakeInt(uint64_t lo, uint64_t hi) {
+    uint64_t raw = 0;
+    for (int i = 0; i < 8; ++i) raw = (raw << 8) | TakeByte();
+    return lo + (hi > lo ? raw % (hi - lo + 1) : 0);
+  }
+
+  /// Raw 8-byte bit pattern reinterpreted as a double: NaN, Inf, denormals
+  /// and every other representable value are all reachable.
+  double TakeRawDouble() {
+    uint8_t bytes[sizeof(double)] = {0};
+    for (auto& byte : bytes) byte = TakeByte();
+    double v;
+    std::memcpy(&v, bytes, sizeof v);
+    return v;
+  }
+
+  /// Finite double with |x| <= ~8.6e12 (a 33-bit signed mantissa times a
+  /// power of ten in [1e-3, 1e3]): large enough to stress precision, small
+  /// enough that sums of squares over kMaxDims dimensions never overflow.
+  double TakeFiniteDouble() {
+    int64_t mantissa =
+        static_cast<int64_t>(TakeInt(0, (uint64_t{1} << 33))) -
+        (int64_t{1} << 32);
+    static constexpr double kScales[] = {1e-3, 1e-2, 0.1, 1.0,
+                                         10.0, 1e2,  1e3};
+    return static_cast<double>(mantissa) *
+           kScales[TakeByte() % (sizeof(kScales) / sizeof(kScales[0]))];
+  }
+
+  /// All bytes not yet consumed, as a string (for text-parsing surfaces).
+  std::string TakeRemainingString() {
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), remaining());
+    pos_ = size_;
+    return out;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Decodes a Dataset. Invariants: 1 <= dims() <= kMaxDims,
+/// size() <= kMaxRows, matrix().data().size() == size() * dims(), and —
+/// unless `allow_nonfinite` — every coordinate is finite.
+inline Dataset BuildDataset(ByteSource& src, bool allow_nonfinite) {
+  const size_t dims = static_cast<size_t>(src.TakeInt(1, kMaxDims));
+  const size_t rows = static_cast<size_t>(src.TakeInt(0, kMaxRows));
+  Matrix m(rows, dims);
+  for (size_t i = 0; i < rows; ++i) {
+    auto row = m.row(i);
+    for (size_t j = 0; j < dims; ++j)
+      row[j] = allow_nonfinite ? src.TakeRawDouble() : src.TakeFiniteDouble();
+  }
+  return Dataset(std::move(m));
+}
+
+/// Decodes a DimensionSet over a `capacity`-dimensional space (capacity must
+/// be >= 1). Invariants: capacity() == capacity and every member is
+/// < capacity. The set may be empty.
+inline DimensionSet BuildDimensionSet(ByteSource& src, size_t capacity) {
+  DimensionSet set(capacity);
+  const size_t n = static_cast<size_t>(src.TakeInt(0, capacity));
+  for (size_t i = 0; i < n; ++i)
+    set.Add(static_cast<uint32_t>(src.TakeInt(0, capacity - 1)));
+  return set;
+}
+
+}  // namespace proclus::fuzz
+
+#endif  // PROCLUS_FUZZ_STRUCTURED_H_

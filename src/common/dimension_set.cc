@@ -1,6 +1,19 @@
 #include "common/dimension_set.h"
 
+#include <charconv>
+
 namespace proclus {
+
+namespace {
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string_view::npos) return {};
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
 
 std::string DimensionSet::ToString() const {
   return "{" + ToListString(0) + "}";
@@ -15,6 +28,43 @@ std::string DimensionSet::ToListString(uint32_t base) const {
     first = false;
   }
   return out;
+}
+
+Result<DimensionSet> DimensionSet::Parse(std::string_view text,
+                                         size_t capacity) {
+  std::string_view body = TrimWhitespace(text);
+  if (!body.empty() && body.front() == '{') {
+    if (body.back() != '}')
+      return Status::Corruption("unbalanced braces in dimension set");
+    body = TrimWhitespace(body.substr(1, body.size() - 2));
+  } else if (!body.empty() && body.back() == '}') {
+    return Status::Corruption("unbalanced braces in dimension set");
+  }
+  DimensionSet set(capacity);
+  if (body.empty()) return set;
+  while (true) {
+    size_t comma = body.find(',');
+    std::string_view token = TrimWhitespace(
+        comma == std::string_view::npos ? body : body.substr(0, comma));
+    if (token.empty())
+      return Status::Corruption("empty element in dimension set");
+    uint32_t dim = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), dim);
+    if (ec == std::errc::result_out_of_range)
+      return Status::Corruption("dimension index overflows: '" +
+                                std::string(token) + "'");
+    if (ec != std::errc() || ptr != token.data() + token.size())
+      return Status::Corruption("malformed dimension index: '" +
+                                std::string(token) + "'");
+    if (dim >= capacity)
+      return Status::OutOfRange("dimension index " + std::to_string(dim) +
+                                " >= capacity " + std::to_string(capacity));
+    set.Add(dim);
+    if (comma == std::string_view::npos) break;
+    body = body.substr(comma + 1);
+  }
+  return set;
 }
 
 }  // namespace proclus

@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <initializer_list>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace proclus {
 
@@ -148,6 +150,14 @@ class DimensionSet {
   /// Renders "3, 4, 7" using `base` offset (the paper's tables are 1-based;
   /// pass base=1 to match them).
   std::string ToListString(uint32_t base = 0) const;
+
+  /// Parses the ToString/ToListString form back into a set over a
+  /// `capacity`-dimensional space: an optional brace-enclosed,
+  /// comma-separated list of 0-based dimension indices ("{3, 4, 7}", "3,4,7"
+  /// or "{}"). Malformed text, indices >= capacity, and numeric overflow all
+  /// yield a Status error — untrusted input never aborts. Duplicates are
+  /// accepted (a set absorbs them).
+  static Result<DimensionSet> Parse(std::string_view text, size_t capacity);
 
  private:
   size_t capacity_;

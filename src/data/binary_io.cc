@@ -1,14 +1,21 @@
 #include "data/binary_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 
 namespace proclus {
 
 namespace {
 constexpr char kMagic[4] = {'P', 'C', 'L', 'S'};
 constexpr uint32_t kVersion = 1;
+
+// Chunk size (in doubles) for the incremental payload read: 512 KiB. Reading
+// incrementally means a hostile header can never force an allocation larger
+// than the bytes actually present in the stream.
+constexpr size_t kChunkElems = size_t{1} << 16;
 
 template <typename T>
 void PutRaw(std::ostream& out, const T& value) {
@@ -19,6 +26,22 @@ template <typename T>
 bool GetRaw(std::istream& in, T* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(T));
   return static_cast<bool>(in);
+}
+
+// Bytes remaining in `in` from the current position, or -1 if the stream is
+// not seekable (e.g. a pipe).
+std::streamoff RemainingBytes(std::istream& in) {
+  std::streampos cur = in.tellg();
+  if (cur == std::streampos(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  std::streampos end = in.tellg();
+  in.seekg(cur);
+  if (end == std::streampos(-1) || !in) {
+    in.clear();
+    in.seekg(cur);
+    return -1;
+  }
+  return end - cur;
 }
 }  // namespace
 
@@ -53,12 +76,42 @@ Result<Dataset> ReadBinary(std::istream& in) {
   uint64_t rows, cols;
   if (!GetRaw(in, &rows) || !GetRaw(in, &cols))
     return Status::Corruption("truncated header");
-  if (cols > 0 && rows > (1ULL << 40) / cols)
-    return Status::Corruption("implausible dataset shape");
-  std::vector<double> data(static_cast<size_t>(rows * cols));
-  in.read(reinterpret_cast<char*>(data.data()),
-          static_cast<std::streamsize>(data.size() * sizeof(double)));
-  if (!in) return Status::Corruption("truncated payload");
+  if (rows > 0 && cols == 0)
+    return Status::Corruption("degenerate shape: " + std::to_string(rows) +
+                              " points of dimension 0");
+  // rows*cols and rows*cols*sizeof(double) must both be computable without
+  // overflow before any of them is used for allocation or arithmetic.
+  if (cols > 0 && rows > std::numeric_limits<uint64_t>::max() / cols)
+    return Status::Corruption("element count overflows");
+  const uint64_t count64 = rows * cols;
+  if (count64 > std::numeric_limits<size_t>::max() / sizeof(double))
+    return Status::Corruption("payload size overflows size_t");
+  const size_t count = static_cast<size_t>(count64);
+
+  // Fast-fail on seekable streams: a header promising more payload than the
+  // stream holds is rejected before any allocation happens.
+  std::streamoff remaining = RemainingBytes(in);
+  if (remaining >= 0 &&
+      static_cast<uint64_t>(remaining) < count64 * sizeof(double)) {
+    return Status::Corruption(
+        "truncated payload: header promises " +
+        std::to_string(count64 * sizeof(double)) + " bytes, stream has " +
+        std::to_string(remaining));
+  }
+
+  // Incremental read: memory grows with bytes actually present, so even a
+  // non-seekable stream with a hostile header cannot trigger a huge upfront
+  // allocation.
+  std::vector<double> data;
+  data.reserve(std::min(count, kChunkElems));
+  while (data.size() < count) {
+    const size_t take = std::min(kChunkElems, count - data.size());
+    const size_t old = data.size();
+    data.resize(old + take);
+    in.read(reinterpret_cast<char*>(data.data() + old),
+            static_cast<std::streamsize>(take * sizeof(double)));
+    if (!in) return Status::Corruption("truncated payload");
+  }
   return Dataset(Matrix(static_cast<size_t>(rows), static_cast<size_t>(cols),
                         std::move(data)));
 }

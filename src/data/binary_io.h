@@ -24,6 +24,12 @@ Status WriteBinary(const Dataset& dataset, std::ostream& out);
 Status WriteBinaryFile(const Dataset& dataset, const std::string& path);
 
 /// Reads a dataset previously written with WriteBinary.
+///
+/// Corrupted input yields a Status error: the header magic/version, the
+/// rows*cols*sizeof(double) payload size (checked against both uint64/size_t
+/// overflow and, on seekable streams, the bytes actually present) are all
+/// validated before allocation, and the payload is read incrementally so a
+/// hostile header can never force a huge upfront allocation.
 Result<Dataset> ReadBinary(std::istream& in);
 
 /// Reads a dataset from the file at `path`.

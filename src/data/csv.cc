@@ -1,6 +1,7 @@
 #include "data/csv.h"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -27,19 +28,45 @@ std::vector<std::string> SplitFields(const std::string& line, char delim) {
   return fields;
 }
 
-bool ParseDouble(const std::string& s, double* out) {
-  if (s.empty()) return false;
+enum class ParseOutcome { kOk, kMalformed, kOutOfRange, kNonFinite };
+
+ParseOutcome ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return ParseOutcome::kMalformed;
   const char* begin = s.data();
   const char* end = s.data() + s.size();
   auto [ptr, ec] = std::from_chars(begin, end, *out);
-  return ec == std::errc() && ptr == end;
+  if (ec == std::errc::result_out_of_range) return ParseOutcome::kOutOfRange;
+  if (ec != std::errc() || ptr != end) return ParseOutcome::kMalformed;
+  // from_chars accepts "inf"/"nan" spellings; a dataset coordinate must be a
+  // real number, so reject them instead of silently propagating non-finite
+  // values into every distance computation.
+  if (!std::isfinite(*out)) return ParseOutcome::kNonFinite;
+  return ParseOutcome::kOk;
 }
 
 bool AllNumeric(const std::vector<std::string>& fields) {
   double unused;
   for (const auto& f : fields)
-    if (!ParseDouble(f, &unused)) return false;
+    if (ParseDouble(f, &unused) != ParseOutcome::kOk) return false;
   return true;
+}
+
+// Delimiters that collide with whitespace trimming, comment markers, or the
+// characters of a number itself would make rows unparseable or ambiguous.
+bool ValidDelimiter(char delim) {
+  switch (delim) {
+    case ' ':
+    case '\t':
+    case '\r':
+    case '\n':
+    case '#':
+    case '+':
+    case '-':
+    case '.':
+      return false;
+    default:
+      return !(delim >= '0' && delim <= '9') && delim != 'e' && delim != 'E';
+  }
 }
 
 }  // namespace
@@ -49,6 +76,10 @@ Result<Dataset> ReadCsv(std::istream& in, const CsvOptions& options) {
     return Status::InvalidArgument(
         "force_header and force_no_header are mutually exclusive");
   }
+  if (!ValidDelimiter(options.delimiter)) {
+    return Status::InvalidArgument(
+        std::string("unsupported delimiter '") + options.delimiter + "'");
+  }
   Matrix points;
   std::vector<std::string> dim_names;
   std::string line;
@@ -57,17 +88,31 @@ Result<Dataset> ReadCsv(std::istream& in, const CsvOptions& options) {
   std::vector<double> row;
   while (std::getline(in, line)) {
     ++line_no;
-    if (options.skip_comments) {
-      size_t b = line.find_first_not_of(" \t\r");
-      if (b == std::string::npos || line[b] == '#') continue;
-    } else if (line.empty()) {
-      continue;
+    // Lines that are empty after stripping whitespace (including the '\r'
+    // left by CRLF files) are always skipped; '#' comments only when asked.
+    size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    if (options.skip_comments && line[b] == '#') continue;
+    size_t last = line.find_last_not_of(" \t\r");
+    if (line[last] == options.delimiter) {
+      return Status::Corruption(
+          "line " + std::to_string(line_no) +
+          ": trailing delimiter (would create a phantom empty column)");
     }
     std::vector<std::string> fields = SplitFields(line, options.delimiter);
     if (first_data_row) {
       bool header = options.force_header ||
                     (!options.force_no_header && !AllNumeric(fields));
       if (header) {
+        // An empty column name is as much a phantom column as a trailing
+        // delimiter; "1,,3" lands here via auto-detect because the empty
+        // field makes the row non-numeric.
+        for (const auto& f : fields) {
+          if (f.empty()) {
+            return Status::Corruption("line " + std::to_string(line_no) +
+                                      ": empty field in header");
+          }
+        }
         dim_names = fields;
         first_data_row = false;
         continue;
@@ -77,9 +122,23 @@ Result<Dataset> ReadCsv(std::istream& in, const CsvOptions& options) {
     row.reserve(fields.size());
     for (const auto& f : fields) {
       double v;
-      if (!ParseDouble(f, &v)) {
-        return Status::Corruption("line " + std::to_string(line_no) +
-                                  ": non-numeric field '" + f + "'");
+      switch (ParseDouble(f, &v)) {
+        case ParseOutcome::kOk:
+          break;
+        case ParseOutcome::kOutOfRange:
+          return Status::Corruption("line " + std::to_string(line_no) +
+                                    ": value '" + f +
+                                    "' out of double range");
+        case ParseOutcome::kNonFinite:
+          return Status::Corruption("line " + std::to_string(line_no) +
+                                    ": non-finite value '" + f + "'");
+        case ParseOutcome::kMalformed:
+          if (f.empty()) {
+            return Status::Corruption("line " + std::to_string(line_no) +
+                                      ": empty field");
+          }
+          return Status::Corruption("line " + std::to_string(line_no) +
+                                    ": non-numeric field '" + f + "'");
       }
       row.push_back(v);
     }
@@ -95,6 +154,12 @@ Result<Dataset> ReadCsv(std::istream& in, const CsvOptions& options) {
     }
     points.AppendRow(row);
     first_data_row = false;
+  }
+  // A header row with no data rows is a valid (empty) named dataset; the
+  // matrix must still agree with the header width or Dataset's name/width
+  // invariant would abort on untrusted input.
+  if (!dim_names.empty() && points.rows() == 0) {
+    points = Matrix(0, dim_names.size());
   }
   Dataset ds(std::move(points));
   if (!dim_names.empty()) ds.set_dim_names(std::move(dim_names));

@@ -17,17 +17,25 @@ namespace proclus {
 
 /// Options controlling CSV parsing.
 struct CsvOptions {
-  /// Field separator.
+  /// Field separator. Whitespace, '#', and characters that can appear inside
+  /// a number ('+', '-', '.', digits, 'e'/'E') are rejected.
   char delimiter = ',';
   /// Treat the first row as dimension names instead of auto-detecting.
   bool force_header = false;
   /// Never treat the first row as a header.
   bool force_no_header = false;
-  /// Skip blank lines and lines starting with '#'.
+  /// Skip lines starting with '#'. Blank (all-whitespace) lines are always
+  /// skipped, so CRLF files parse identically to LF files.
   bool skip_comments = true;
 };
 
 /// Parses a dataset from a CSV stream.
+///
+/// Malformed input — ragged rows, empty or non-numeric fields, values
+/// outside double range, "inf"/"nan" spellings, trailing delimiters — yields
+/// a Status error; untrusted bytes never abort, throw, or produce non-finite
+/// coordinates. A header row with no data rows yields an empty dataset whose
+/// dims() matches the header width.
 Result<Dataset> ReadCsv(std::istream& in, const CsvOptions& options = {});
 
 /// Parses a dataset from a CSV file at `path`.

@@ -1,8 +1,50 @@
 #include "data/normalize.h"
 
 #include <cmath>
+#include <string>
 
 namespace proclus {
+
+namespace {
+
+// A transform is only safe if applying it to the extreme coordinates of
+// dimension `j` stays finite; the map x -> (x - offset) * scale is monotone
+// affine, so finiteness at both endpoints implies finiteness everywhere in
+// between. Datasets with huge magnitudes can otherwise overflow to Inf/NaN
+// mid-transform even when offset and scale are individually finite.
+bool TransformStaysFinite(const AffineTransform& t, size_t j, double lo,
+                          double hi) {
+  if (!std::isfinite(t.offset[j]) || !std::isfinite(t.scale[j])) return false;
+  return std::isfinite((lo - t.offset[j]) * t.scale[j]) &&
+         std::isfinite((hi - t.offset[j]) * t.scale[j]);
+}
+
+Status NonFiniteDimension(const char* what, size_t j) {
+  return Status::InvalidArgument(std::string(what) + " of dimension " +
+                                 std::to_string(j) +
+                                 " is not finite; normalize requires finite "
+                                 "input coordinates");
+}
+
+// Bounds() and the z-score mean find their aggregates with ordered
+// comparisons and sums that a NaN in a mixed finite/NaN column can slip
+// past (NaN never wins a `<`, and Bounds seeds from +/-inf), so aggregate
+// finiteness alone does not prove coordinate finiteness. Scan explicitly.
+Status CheckCoordinatesFinite(const Dataset& dataset) {
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    auto p = dataset.point(i);
+    for (size_t j = 0; j < dataset.dims(); ++j) {
+      if (!std::isfinite(p[j])) {
+        return Status::InvalidArgument(
+            "coordinate (" + std::to_string(i) + ", " + std::to_string(j) +
+            ") is not finite; normalize requires finite input coordinates");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 void AffineTransform::Apply(Dataset* dataset) const {
   PROCLUS_CHECK(offset.size() == dataset->dims());
@@ -27,15 +69,22 @@ Result<AffineTransform> MinMaxTransform(const Dataset& dataset, double lo,
                                         double hi) {
   if (dataset.empty())
     return Status::InvalidArgument("dataset is empty");
+  if (!std::isfinite(lo) || !std::isfinite(hi) || !std::isfinite(hi - lo))
+    return Status::InvalidArgument("target range [lo, hi] must be finite");
   if (!(lo < hi))
     return Status::InvalidArgument("require lo < hi");
+  PROCLUS_RETURN_IF_ERROR(CheckCoordinatesFinite(dataset));
   std::vector<double> mins, maxs;
   dataset.Bounds(&mins, &maxs);
   AffineTransform t;
   t.offset.resize(dataset.dims());
   t.scale.resize(dataset.dims());
   for (size_t j = 0; j < dataset.dims(); ++j) {
+    if (!std::isfinite(mins[j]) || !std::isfinite(maxs[j]))
+      return NonFiniteDimension("bounds", j);
     double range = maxs[j] - mins[j];
+    if (!std::isfinite(range))
+      return NonFiniteDimension("value range", j);
     // Map [min, max] -> [lo, hi]; offset then scale, then shift by lo.
     // x' = (x - min) * (hi-lo)/range + lo  ==  (x - (min - lo*range/(hi-lo)))
     // * (hi-lo)/range. To keep the struct simple we fold lo into offset.
@@ -47,6 +96,8 @@ Result<AffineTransform> MinMaxTransform(const Dataset& dataset, double lo,
       t.scale[j] = 1.0;
       t.offset[j] = mins[j] - lo;
     }
+    if (!TransformStaysFinite(t, j, mins[j], maxs[j]))
+      return NonFiniteDimension("min-max transform", j);
   }
   return t;
 }
@@ -54,6 +105,7 @@ Result<AffineTransform> MinMaxTransform(const Dataset& dataset, double lo,
 Result<AffineTransform> ZScoreTransform(const Dataset& dataset) {
   if (dataset.empty())
     return Status::InvalidArgument("dataset is empty");
+  PROCLUS_RETURN_IF_ERROR(CheckCoordinatesFinite(dataset));
   const size_t n = dataset.size();
   const size_t d = dataset.dims();
   std::vector<double> mean(d, 0.0);
@@ -70,12 +122,18 @@ Result<AffineTransform> ZScoreTransform(const Dataset& dataset) {
       var[j] += diff * diff;
     }
   }
+  std::vector<double> mins, maxs;
+  dataset.Bounds(&mins, &maxs);
   AffineTransform t;
   t.offset = mean;
   t.scale.resize(d);
   for (size_t j = 0; j < d; ++j) {
+    if (!std::isfinite(mean[j])) return NonFiniteDimension("mean", j);
+    if (!std::isfinite(var[j])) return NonFiniteDimension("variance", j);
     double sd = n > 1 ? std::sqrt(var[j] / static_cast<double>(n - 1)) : 0.0;
     t.scale[j] = sd > 0.0 ? 1.0 / sd : 1.0;
+    if (!TransformStaysFinite(t, j, mins[j], maxs[j]))
+      return NonFiniteDimension("z-score transform", j);
   }
   return t;
 }

@@ -26,12 +26,17 @@ struct AffineTransform {
 };
 
 /// Computes a min-max transform mapping each dimension onto [lo, hi].
-/// Constant dimensions map to lo. Requires a non-empty dataset and lo < hi.
+/// Constant dimensions map to lo. Requires a non-empty dataset and finite
+/// lo < hi. Returns InvalidArgument when any coordinate is NaN/Inf or the
+/// dataset's magnitudes would overflow the transform (the returned transform
+/// is guaranteed to map every in-range coordinate to a finite value).
 Result<AffineTransform> MinMaxTransform(const Dataset& dataset,
                                         double lo = 0.0, double hi = 100.0);
 
 /// Computes a z-score transform (mean 0, stddev 1 per dimension). Constant
 /// dimensions are centered but not scaled. Requires a non-empty dataset.
+/// Returns InvalidArgument on NaN/Inf coordinates or magnitude overflow, as
+/// with MinMaxTransform.
 Result<AffineTransform> ZScoreTransform(const Dataset& dataset);
 
 }  // namespace proclus

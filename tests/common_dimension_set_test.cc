@@ -109,5 +109,65 @@ TEST(DimensionSetTest, CrossBlockOperations) {
   EXPECT_TRUE(b.IsSubsetOf(a));
 }
 
+TEST(DimensionSetParseTest, ParsesBracedAndBareForms) {
+  for (const char* text : {"{3, 4, 7}", "3,4,7", "  { 3 ,4,  7 } ", "3, 4,7"}) {
+    auto set = DimensionSet::Parse(text, 10);
+    ASSERT_TRUE(set.ok()) << text << ": " << set.status().ToString();
+    EXPECT_EQ(*set, DimensionSet(10, {3, 4, 7})) << text;
+  }
+}
+
+TEST(DimensionSetParseTest, ParsesEmptyForms) {
+  for (const char* text : {"", "{}", "  ", "{ }"}) {
+    auto set = DimensionSet::Parse(text, 6);
+    ASSERT_TRUE(set.ok()) << text;
+    EXPECT_TRUE(set->empty()) << text;
+    EXPECT_EQ(set->capacity(), 6u) << text;
+  }
+}
+
+TEST(DimensionSetParseTest, RoundTripsToString) {
+  DimensionSet set(130, {0, 64, 129});
+  auto braced = DimensionSet::Parse(set.ToString(), 130);
+  ASSERT_TRUE(braced.ok());
+  EXPECT_EQ(*braced, set);
+  auto bare = DimensionSet::Parse(set.ToListString(0), 130);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(*bare, set);
+}
+
+TEST(DimensionSetParseTest, DuplicatesAbsorbed) {
+  auto set = DimensionSet::Parse("1, 1, 2", 4);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(*set, DimensionSet(4, {1, 2}));
+}
+
+// Fuzz regression (fuzz/corpus/dimension_set): every malformed spelling is
+// a Status error — untrusted model/report text must never abort.
+TEST(DimensionSetParseTest, MalformedInputRejected) {
+  for (const char* text :
+       {"{1,3", "1}", "{1}}", "1,x", "1,,2", "1,2,", ",1", "-1", "1.5",
+        "0x3", "{,}"}) {
+    auto set = DimensionSet::Parse(text, 10);
+    EXPECT_FALSE(set.ok()) << "accepted: '" << text << "'";
+  }
+}
+
+TEST(DimensionSetParseTest, IndexAtOrAboveCapacityRejected) {
+  EXPECT_FALSE(DimensionSet::Parse("{3}", 3).ok());
+  auto set = DimensionSet::Parse("{3}", 4);
+  ASSERT_TRUE(set.ok());
+  EXPECT_TRUE(set->Contains(3));
+}
+
+// Fuzz regression (fuzz/corpus/dimension_set/overflow): indices beyond
+// uint32 range must fail cleanly instead of wrapping.
+TEST(DimensionSetParseTest, NumericOverflowRejected) {
+  auto set = DimensionSet::Parse("4294967296", 10);  // 2^32
+  ASSERT_FALSE(set.ok());
+  EXPECT_EQ(set.status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(DimensionSet::Parse("99999999999999999999", 10).ok());
+}
+
 }  // namespace
 }  // namespace proclus

@@ -127,5 +127,104 @@ TEST(CsvTest, EmptyStreamYieldsEmptyDataset) {
   EXPECT_TRUE(result->empty());
 }
 
+// Fuzz regression (fuzz/corpus/csv/header_only): a header row with no data
+// rows used to abort the process in Dataset::set_dim_names (names size vs. a
+// 0x0 matrix); it must produce an empty dataset of the header's width.
+TEST(CsvTest, HeaderOnlyFileYieldsEmptyNamedDataset) {
+  std::istringstream in("x,y\n");
+  auto result = ReadCsv(in);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 0u);
+  EXPECT_EQ(result->dims(), 2u);
+  ASSERT_EQ(result->dim_names().size(), 2u);
+  EXPECT_EQ(result->dim_names()[1], "y");
+}
+
+// Fuzz regression (fuzz/corpus/csv/crlf): CRLF files parse identically to
+// LF files, including blank lines that are "\r" after getline.
+TEST(CsvTest, CrlfLineEndingsParse) {
+  std::istringstream in("x,y\r\n1,2\r\n\r\n3,4\r\n");
+  CsvOptions options;
+  options.skip_comments = false;
+  auto result = ReadCsv(in, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->dim_names()[0], "x");
+  EXPECT_EQ(result->at(1, 1), 4.0);
+}
+
+// Fuzz regression (fuzz/corpus/csv/trailing_delim): a trailing delimiter
+// used to create a phantom empty column (turning the first data row into a
+// bogus header); it must be an explicit error on any row.
+TEST(CsvTest, TrailingDelimiterRejected) {
+  for (const char* text : {"1,2,\n", "x,y,\n1,2\n", "1,2\n3,4,\n"}) {
+    std::istringstream in(text);
+    auto result = ReadCsv(in);
+    ASSERT_FALSE(result.ok()) << text;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+    EXPECT_NE(result.status().message().find("trailing delimiter"),
+              std::string::npos);
+  }
+}
+
+// Fuzz regression (fuzz/corpus/csv/overflow): values outside double range
+// must be a distinct Status error, not an exception or a silent Inf.
+TEST(CsvTest, OutOfRangeValueRejected) {
+  std::istringstream in("1e999\n");
+  CsvOptions options;
+  options.force_no_header = true;
+  auto result = ReadCsv(in, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("out of double range"),
+            std::string::npos);
+}
+
+// Fuzz regression (fuzz/corpus/csv/nonfinite): from_chars accepts
+// "inf"/"nan" spellings; a dataset must never silently contain them.
+TEST(CsvTest, NonFiniteValuesRejected) {
+  for (const char* text : {"inf,1\n", "1,nan\n", "-inf,0\n"}) {
+    std::istringstream in(text);
+    CsvOptions options;
+    options.force_no_header = true;
+    auto result = ReadCsv(in, options);
+    ASSERT_FALSE(result.ok()) << text;
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(CsvTest, EmptyFieldRejected) {
+  {
+    std::istringstream in("1,,3\n");
+    CsvOptions options;
+    options.force_no_header = true;
+    auto result = ReadCsv(in, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("empty field"),
+              std::string::npos);
+  }
+  // Under auto-detect the empty field makes "1,,3" non-numeric, so it is
+  // classified as a header row — where an empty column name is rejected
+  // as a phantom column instead of silently accepted.
+  {
+    std::istringstream in("1,,3\n");
+    auto result = ReadCsv(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("empty field"),
+              std::string::npos);
+  }
+}
+
+TEST(CsvTest, UnsupportedDelimitersRejected) {
+  for (char delim : {' ', '\t', '#', '-', '.', '5', 'e'}) {
+    std::istringstream in("1,2\n");
+    CsvOptions options;
+    options.delimiter = delim;
+    auto result = ReadCsv(in, options);
+    ASSERT_FALSE(result.ok()) << "delimiter '" << delim << "'";
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 }  // namespace
 }  // namespace proclus

@@ -1,6 +1,7 @@
 #include "data/normalize.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -56,6 +57,56 @@ TEST(ZScoreTransformTest, ConstantDimensionCenteredNotScaled) {
   ASSERT_TRUE(t.ok());
   t->Apply(&ds);
   for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(ds.at(i, 0), 0.0, 1e-12);
+}
+
+// Fuzz regression (fuzz/corpus/normalize/mixed_nan_column, raw_nan): NaN/Inf
+// coordinates must be rejected up front instead of silently producing NaN
+// transforms that poison every downstream distance computation. The mixed
+// case (NaN alongside finite values in one column) is the treacherous one:
+// Bounds() computes min/max with ordered comparisons that NaN never wins,
+// so bounds-based validation alone reports finite bounds for such a column.
+TEST(MinMaxTransformTest, NonFiniteCoordinatesRejected) {
+  const double bad[] = {std::nan(""), std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity()};
+  for (double v : bad) {
+    Dataset ds(Matrix(2, 2, {1.0, v, 3.0, 4.0}));
+    auto t = MinMaxTransform(ds);
+    ASSERT_FALSE(t.ok());
+    EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(ZScoreTransform(ds).ok());
+  }
+}
+
+// Fuzz regression: finite coordinates whose range overflows a double
+// (max - min == Inf) must be rejected; the scale would collapse to zero and
+// Apply would emit NaN.
+TEST(MinMaxTransformTest, OverflowingRangeRejected) {
+  Dataset ds(Matrix(2, 1, {-1e308, 1e308}));
+  auto t = MinMaxTransform(ds);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  // The same magnitudes also overflow the z-score variance accumulator.
+  EXPECT_FALSE(ZScoreTransform(ds).ok());
+}
+
+TEST(MinMaxTransformTest, NonFiniteTargetRangeRejected) {
+  Dataset ds(Matrix(2, 1, {0.0, 1.0}));
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(MinMaxTransform(ds, -inf, 0.0).ok());
+  EXPECT_FALSE(MinMaxTransform(ds, 0.0, inf).ok());
+  EXPECT_FALSE(MinMaxTransform(ds, std::nan(""), 1.0).ok());
+  EXPECT_FALSE(MinMaxTransform(ds, -1e308, 1e308).ok());  // hi-lo overflows
+}
+
+// Transforms that pass validation must map every in-range coordinate to a
+// finite value — the property the normalize fuzz harness enforces.
+TEST(MinMaxTransformTest, AcceptedTransformStaysFinite) {
+  Dataset ds(Matrix(3, 2, {-8e307, 1e-300, 8e307, 0.0, 0.0, 5e-301}));
+  auto t = MinMaxTransform(ds, 0.0, 100.0);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  t->Apply(&ds);
+  for (size_t i = 0; i < ds.size(); ++i)
+    for (double v : ds.point(i)) EXPECT_TRUE(std::isfinite(v));
 }
 
 TEST(AffineTransformTest, InvertPointUndoesApply) {

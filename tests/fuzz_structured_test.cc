@@ -1,0 +1,114 @@
+// Property tests for the structured-fuzzing decoders (fuzz/structured.h):
+// every byte string — adversarial, empty, or random — must decode to
+// objects that satisfy their documented invariants, because the fuzz
+// harnesses rely on those invariants to blame the library (not the input)
+// for any sanitizer report.
+
+#include "fuzz/structured.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace proclus {
+namespace {
+
+void CheckDatasetInvariants(const std::vector<uint8_t>& bytes,
+                            bool allow_nonfinite) {
+  fuzz::ByteSource src(bytes.data(), bytes.size());
+  Dataset ds = fuzz::BuildDataset(src, allow_nonfinite);
+  ASSERT_GE(ds.dims(), 1u);
+  ASSERT_LE(ds.dims(), fuzz::kMaxDims);
+  ASSERT_LE(ds.size(), fuzz::kMaxRows);
+  ASSERT_EQ(ds.matrix().data().size(), ds.size() * ds.dims());
+  if (!allow_nonfinite) {
+    for (size_t i = 0; i < ds.size(); ++i)
+      for (double v : ds.point(i)) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+void CheckDimensionSetInvariants(const std::vector<uint8_t>& bytes,
+                                 size_t capacity) {
+  fuzz::ByteSource src(bytes.data(), bytes.size());
+  DimensionSet set = fuzz::BuildDimensionSet(src, capacity);
+  ASSERT_EQ(set.capacity(), capacity);
+  std::vector<uint32_t> dims = set.ToVector();
+  ASSERT_LE(dims.size(), capacity);
+  for (uint32_t d : dims) ASSERT_LT(d, capacity);
+  // ToVector is strictly increasing (sorted, no duplicates).
+  for (size_t i = 1; i < dims.size(); ++i) ASSERT_LT(dims[i - 1], dims[i]);
+}
+
+std::vector<uint8_t> RandomBytes(Rng& rng, size_t length) {
+  std::vector<uint8_t> bytes(length);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng.Next());
+  return bytes;
+}
+
+TEST(FuzzStructuredTest, EdgeInputsDecodeToValidObjects) {
+  const std::vector<std::vector<uint8_t>> edges = {
+      {},                               // empty: ByteSource yields zeros
+      {0x00},                           // single byte
+      std::vector<uint8_t>(64, 0x00),   // all zeros
+      std::vector<uint8_t>(64, 0xff),   // all ones (raw doubles are NaN)
+      std::vector<uint8_t>(3000, 0xab)  // longer than any decoder consumes
+  };
+  for (const auto& bytes : edges) {
+    CheckDatasetInvariants(bytes, /*allow_nonfinite=*/false);
+    CheckDatasetInvariants(bytes, /*allow_nonfinite=*/true);
+    CheckDimensionSetInvariants(bytes, 1);
+    CheckDimensionSetInvariants(bytes, 17);
+    CheckDimensionSetInvariants(bytes, 256);
+  }
+}
+
+TEST(FuzzStructuredTest, RandomInputsDecodeToValidObjects) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t length = rng.Next() % 512;
+    const std::vector<uint8_t> bytes = RandomBytes(rng, length);
+    CheckDatasetInvariants(bytes, (trial % 2) != 0);
+    CheckDimensionSetInvariants(bytes, 1 + rng.Next() % 256);
+  }
+}
+
+TEST(FuzzStructuredTest, DecodingIsDeterministic) {
+  Rng rng(42);
+  const std::vector<uint8_t> bytes = RandomBytes(rng, 256);
+  fuzz::ByteSource a(bytes.data(), bytes.size());
+  fuzz::ByteSource b(bytes.data(), bytes.size());
+  Dataset da = fuzz::BuildDataset(a, /*allow_nonfinite=*/false);
+  Dataset db = fuzz::BuildDataset(b, /*allow_nonfinite=*/false);
+  EXPECT_EQ(da.matrix(), db.matrix());
+}
+
+TEST(FuzzStructuredTest, ByteSourceRangesAndExhaustion) {
+  const std::vector<uint8_t> bytes = {1, 2, 3};
+  fuzz::ByteSource src(bytes.data(), bytes.size());
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t v = src.TakeInt(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+  }
+  EXPECT_TRUE(src.empty());
+  EXPECT_EQ(src.TakeByte(), 0u);  // exhausted source yields zeros
+  EXPECT_TRUE(std::isfinite(src.TakeFiniteDouble()));
+}
+
+TEST(FuzzStructuredTest, FiniteDoublesStayModest) {
+  Rng rng(7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::vector<uint8_t> bytes = RandomBytes(rng, 9);
+    fuzz::ByteSource src(bytes.data(), bytes.size());
+    const double v = src.TakeFiniteDouble();
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_LE(std::fabs(v), 8.7e12);
+  }
+}
+
+}  // namespace
+}  // namespace proclus

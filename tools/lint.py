@@ -21,6 +21,20 @@ Enforces invariants that no generic tool knows about:
   nodiscard-status    Status and Result must stay declared [[nodiscard]] so
                       the compiler rejects silently discarded errors
                       (-Werror turns those warnings into build failures).
+  result-unchecked    Result<T>::value() (including std::move(r).value())
+                      or a dereference of an explicitly-typed Result local
+                      without a preceding r.ok() check (or
+                      PROCLUS_RETURN_IF_ERROR(r.status())) in the same
+                      function body. value() on an unchecked Result aborts
+                      the process, which turns malformed input into a crash.
+                      Per-function pass over src/, bench/, and fuzz/.
+  unordered-iteration A range-for over a std::unordered_map/set (declared in
+                      the same file, directly or through a local alias)
+                      whose body feeds an ordered sink — output streams,
+                      push_back/emplace_back, or the seeded Rng. Hash-map
+                      iteration order is implementation-defined, so such
+                      loops silently break bit-for-bit reproducibility.
+                      Sort the keys first, or iterate an ordered mirror.
 
 Any line may opt out of one rule with a trailing `// lint:allow(<rule>)`
 comment; use sparingly and justify in a neighboring comment.
@@ -36,7 +50,7 @@ import re
 import sys
 import tempfile
 
-SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools", "fuzz")
 SOURCE_EXTS = (".cc", ".cpp", ".h", ".hpp")
 
 # Files allowed to reference OS randomness / wall-clock seeding: the one
@@ -63,7 +77,46 @@ STATUS_FN_RE = re.compile(
 
 ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
 
-GUARD_DIRS = ("src", "bench")
+GUARD_DIRS = ("src", "bench", "fuzz")
+
+# --- result-unchecked -------------------------------------------------------
+
+# Directories where an unchecked Result access is a real bug (library, bench
+# harness, fuzz harness). Tests intentionally use value() on temporaries as a
+# crash-on-failure assertion, so they are exempt.
+RESULT_RULE_DIRS = ("src", "bench", "fuzz")
+
+# Any function definition (not just Status-returning): return type token(s),
+# then a possibly-qualified name, then a parameter list. Lines opening with a
+# control-flow or jump keyword are excluded so `return Foo(x);` is not
+# mistaken for a definition.
+ANY_FN_RE = re.compile(
+    r"^[ \t]*(?!return\b|else\b|case\b|delete\b|new\b|if\b|for\b|while\b"
+    r"|switch\b|do\b|using\b|typedef\b|throw\b|goto\b)"
+    r"(?:static\s+|inline\s+|constexpr\s+|explicit\s+|virtual\s+|friend\s+)*"
+    r"[A-Za-z_][\w:]*(?:\s*<[^;{}()]*>)?(?:\s*[*&]+\s*|\s+)"
+    r"(?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_~]\w*\s*\(",
+    re.MULTILINE)
+
+# r.value() or std::move(r).value() where r is a plain identifier.
+VALUE_CALL_RE = re.compile(
+    r"(?:std\s*::\s*move\s*\(\s*([A-Za-z_]\w*)\s*\)|\b([A-Za-z_]\w*))"
+    r"\s*\.\s*value\s*\(\s*\)")
+
+# A local declared with an explicit Result<...> type (auto locals cannot be
+# typed without a real parser, so they are only covered via value() calls).
+RESULT_DECL_RE = re.compile(r"\bResult\s*<[^;{}()=]*>\s+([A-Za-z_]\w*)")
+
+# --- unordered-iteration ----------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+UNORDERED_ALIAS_RE = re.compile(
+    r"\busing\s+([A-Za-z_]\w*)\s*=\s*[^;]*\bunordered_(?:map|set|multimap"
+    r"|multiset)\s*<")
+
+# Ordered sinks: anything where emission order becomes observable output or
+# perturbs the deterministic RNG stream.
+ORDERED_SINK_RE = re.compile(r"push_back|emplace_back|<<|\b[Rr]ng\b")
 
 
 class Finding:
@@ -141,9 +194,9 @@ def allowed(original_lines, line_no, rule):
     return bool(m and m.group(1) == rule)
 
 
-def status_fn_spans(code):
-    """Yields (start, end) offsets of Status/Result-returning function bodies."""
-    for m in STATUS_FN_RE.finditer(code):
+def fn_spans(code, pattern):
+    """Yields (start, end) offsets of bodies of functions matching pattern."""
+    for m in pattern.finditer(code):
         # Walk past the parameter list.
         i = code.find("(", m.start())
         depth = 0
@@ -208,7 +261,7 @@ def check_iostream(rel_path, original_lines, code, findings):
 def check_status_fn_checks(rel_path, original_lines, code, findings):
     if not rel_path.startswith("src" + os.sep):
         return
-    spans = list(status_fn_spans(code))
+    spans = list(fn_spans(code, STATUS_FN_RE))
     if not spans:
         return
     for m in re.finditer(r"\bPROCLUS_CHECK\s*\(", code):
@@ -232,6 +285,164 @@ def check_status_fn_checks(rel_path, original_lines, code, findings):
             "return Status for user-input validation, or add an "
             "`// invariant:` comment explaining why this cannot fire on "
             "caller-supplied data"))
+
+
+def result_guarded_before(body, name, pos):
+    """True if `name` was error-checked anywhere before offset pos in body.
+
+    Accepts every guard spelling the codebase uses: `name.ok()` (inside
+    PROCLUS_CHECK, ASSERT_TRUE, or a plain if) and
+    `PROCLUS_RETURN_IF_ERROR(name.status())`.
+    """
+    prefix = body[:pos]
+    escaped = re.escape(name)
+    if re.search(r"\b" + escaped + r"\s*\.\s*ok\s*\(", prefix):
+        return True
+    return bool(re.search(
+        r"PROCLUS_RETURN_IF_ERROR\s*\(\s*" + escaped +
+        r"\s*\.\s*status\s*\(", prefix))
+
+
+def check_result_unchecked(rel_path, original_lines, code, findings):
+    top = rel_path.split(os.sep, 1)[0]
+    if top not in RESULT_RULE_DIRS:
+        return
+    # The Result implementation itself legitimately touches its storage.
+    if rel_path == os.path.join("src", "common", "status.h"):
+        return
+
+    def report(offset, what, name):
+        ln = line_of(code, offset)
+        if allowed(original_lines, ln, "result-unchecked"):
+            return
+        findings.append(Finding(
+            rel_path, ln, "result-unchecked",
+            f"{what} on Result '{name}' with no preceding {name}.ok() check "
+            "in this function; an error Status here aborts the process — "
+            "check ok() (or PROCLUS_RETURN_IF_ERROR) first"))
+
+    for start, end in fn_spans(code, ANY_FN_RE):
+        body = code[start:end]
+        for m in VALUE_CALL_RE.finditer(body):
+            name = m.group(1) or m.group(2)
+            if not result_guarded_before(body, name, m.start()):
+                report(start + m.start(), "value()", name)
+        for decl in RESULT_DECL_RE.finditer(body):
+            name = decl.group(1)
+            escaped = re.escape(name)
+            # `*name` in dereference (not multiplication) position, or
+            # `name->member`.
+            deref = re.compile(
+                r"(?:\breturn\s+|[=(,;{]\s*)\*\s*" + escaped + r"\b"
+                r"|\b" + escaped + r"\s*->")
+            for use in deref.finditer(body, decl.end()):
+                if not result_guarded_before(body, name, use.start()):
+                    report(start + use.start(), "dereference", name)
+
+
+def unordered_container_names(code):
+    """Names of variables declared in this file with an unordered type."""
+    names = set()
+    n = len(code)
+    decl_starts = [m.start() for m in UNORDERED_DECL_RE.finditer(code)]
+    aliases = [m.group(1) for m in UNORDERED_ALIAS_RE.finditer(code)]
+    for alias in aliases:
+        for m in re.finditer(r"\b" + re.escape(alias) +
+                             r"\b\s*[&*]?\s*([A-Za-z_]\w*)\s*[=;({]", code):
+            names.add(m.group(1))
+    for start in decl_starts:
+        i = code.find("<", start)
+        depth = 0
+        while i < n:
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= n:
+            continue
+        m = re.match(r"\s*[&*]*\s*([A-Za-z_]\w*)", code[i + 1:])
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def range_for_loops(code):
+    """Yields (header_offset, loop_variable_expr, body_text) per range-for."""
+    n = len(code)
+    for m in re.finditer(r"\bfor\s*\(", code):
+        open_paren = m.end() - 1
+        depth, i = 0, open_paren
+        while i < n:
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= n:
+            continue
+        header = code[open_paren + 1:i]
+        # Top-level ':' (not '::') separates declaration from range expr.
+        colon = -1
+        h_depth = 0
+        for k, ch in enumerate(header):
+            if ch in "([{<":
+                h_depth += 1
+            elif ch in ")]}>":
+                h_depth -= 1
+            elif (ch == ":" and h_depth == 0 and
+                  header[k - 1:k] != ":" and header[k + 1:k + 2] != ":"):
+                colon = k
+                break
+        if colon == -1:
+            continue  # Classic three-clause for.
+        range_expr = header[colon + 1:].strip()
+        # Body: brace block or single statement.
+        j = i + 1
+        while j < n and code[j] in " \t\n":
+            j += 1
+        if j < n and code[j] == "{":
+            depth, k = 0, j
+            while k < n:
+                if code[k] == "{":
+                    depth += 1
+                elif code[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            body = code[j:k + 1]
+        else:
+            k = code.find(";", j)
+            body = code[j:k + 1] if k != -1 else code[j:]
+        yield m.start(), range_expr, body
+
+
+def check_unordered_iteration(rel_path, original_lines, code, findings):
+    top = rel_path.split(os.sep, 1)[0]
+    if top not in RESULT_RULE_DIRS:
+        return
+    names = unordered_container_names(code)
+    if not names:
+        return
+    for offset, range_expr, body in range_for_loops(code):
+        if range_expr not in names:
+            continue
+        if not ORDERED_SINK_RE.search(body):
+            continue  # Order-insensitive accumulation is fine.
+        ln = line_of(code, offset)
+        if allowed(original_lines, ln, "unordered-iteration"):
+            continue
+        findings.append(Finding(
+            rel_path, ln, "unordered-iteration",
+            f"range-for over unordered container '{range_expr}' feeds an "
+            "ordered sink (output/push_back/Rng); hash iteration order is "
+            "implementation-defined and breaks bit-for-bit reproducibility "
+            "— sort the keys first"))
 
 
 def check_include_guard(rel_path, original_lines, code, findings):
@@ -284,6 +495,8 @@ def lint_file(root, rel_path, findings):
     check_banned_randomness(rel_path, original_lines, code, findings)
     check_iostream(rel_path, original_lines, code, findings)
     check_status_fn_checks(rel_path, original_lines, code, findings)
+    check_result_unchecked(rel_path, original_lines, code, findings)
+    check_unordered_iteration(rel_path, original_lines, code, findings)
     check_include_guard(rel_path, original_lines, code, findings)
 
 
@@ -362,6 +575,133 @@ SELF_TEST_FIXTURES = [
     ("src/core/suppressed.cc",
      "#include <iostream>\n"
      "void Dump() { std::cerr << 1; }  // lint:allow(iostream-in-library)\n",
+     []),
+    # result-unchecked: value() with no ok() check anywhere before it.
+    ("src/core/unchecked_value.cc",
+     "#include \"common/status.h\"\n"
+     "namespace proclus {\n"
+     "int Get() {\n"
+     "  auto r = Compute();\n"
+     "  return r.value();\n"
+     "}\n"
+     "}\n",
+     ["result-unchecked"]),
+    # result-unchecked: std::move(r).value() is the same access.
+    ("src/core/unchecked_move.cc",
+     "#include \"common/status.h\"\n"
+     "namespace proclus {\n"
+     "int Get() {\n"
+     "  auto r = Compute();\n"
+     "  return std::move(r).value();\n"
+     "}\n"
+     "}\n",
+     ["result-unchecked"]),
+    # A PROCLUS_CHECK(r.ok()) guard earlier in the function is sufficient.
+    ("src/core/checked_value.cc",
+     "#include \"common/status.h\"\n"
+     "namespace proclus {\n"
+     "int Get() {\n"
+     "  auto r = Compute();\n"
+     "  // invariant: Compute cannot fail on the fixed input above.\n"
+     "  PROCLUS_CHECK(r.ok());\n"
+     "  return std::move(r).value();\n"
+     "}\n"
+     "}\n",
+     []),
+    # So is an early-return on !r.ok().
+    ("src/core/branch_checked.cc",
+     "#include \"common/status.h\"\n"
+     "namespace proclus {\n"
+     "Result<int> Get() {\n"
+     "  Result<int> r = Compute();\n"
+     "  if (!r.ok()) return r.status();\n"
+     "  return *r + 1;\n"
+     "}\n"
+     "}\n",
+     []),
+    # Dereference / arrow on an explicitly-typed Result local, unchecked.
+    ("src/core/unchecked_deref.cc",
+     "#include \"common/status.h\"\n"
+     "namespace proclus {\n"
+     "size_t Get() {\n"
+     "  Result<Dataset> r = Load();\n"
+     "  return r->size();\n"
+     "}\n"
+     "int Get2() {\n"
+     "  Result<int> r = Compute();\n"
+     "  return *r;\n"
+     "}\n"
+     "}\n",
+     ["result-unchecked", "result-unchecked"]),
+    # PROCLUS_RETURN_IF_ERROR(r.status()) counts as a guard.
+    ("src/core/rif_checked.cc",
+     "#include \"common/status.h\"\n"
+     "namespace proclus {\n"
+     "Status Use() {\n"
+     "  Result<int> r = Compute();\n"
+     "  PROCLUS_RETURN_IF_ERROR(r.status());\n"
+     "  Consume(*r);\n"
+     "  return Status::OK();\n"
+     "}\n"
+     "}\n",
+     []),
+    # lint:allow(result-unchecked) suppresses the finding on that line.
+    ("src/core/allowed_value.cc",
+     "#include \"common/status.h\"\n"
+     "namespace proclus {\n"
+     "int Get() {\n"
+     "  auto r = Compute();\n"
+     "  // Crash-on-error is intended here: r comes from a constant.\n"
+     "  return r.value();  // lint:allow(result-unchecked)\n"
+     "}\n"
+     "}\n",
+     []),
+    # unordered-iteration: hash order escaping into an ordered sink.
+    ("src/core/unordered_sink.cc",
+     "#include <unordered_set>\n"
+     "#include <vector>\n"
+     "namespace proclus {\n"
+     "void Collect(const std::unordered_set<int>& seen,\n"
+     "             std::vector<int>* out) {\n"
+     "  for (int v : seen) out->push_back(v);\n"
+     "}\n"
+     "}\n",
+     ["unordered-iteration"]),
+    # Order-insensitive accumulation over the same container is fine.
+    ("src/core/unordered_fold.cc",
+     "#include <unordered_set>\n"
+     "namespace proclus {\n"
+     "long Sum(const std::unordered_set<int>& seen) {\n"
+     "  long total = 0;\n"
+     "  for (int v : seen) total += v;\n"
+     "  return total;\n"
+     "}\n"
+     "}\n",
+     []),
+    # A same-file alias of an unordered type is still tracked.
+    ("src/core/unordered_alias.cc",
+     "#include <cstdint>\n"
+     "#include <unordered_map>\n"
+     "#include <vector>\n"
+     "namespace proclus {\n"
+     "using CellMap = std::unordered_map<uint64_t, uint32_t>;\n"
+     "void Dump(std::vector<uint64_t>* out) {\n"
+     "  CellMap cells;\n"
+     "  for (const auto& kv : cells) out->push_back(kv.first);\n"
+     "}\n"
+     "}\n",
+     ["unordered-iteration"]),
+    # lint:allow(unordered-iteration) suppresses with justification.
+    ("src/core/unordered_allowed.cc",
+     "#include <unordered_set>\n"
+     "#include <vector>\n"
+     "namespace proclus {\n"
+     "void Collect(const std::unordered_set<int>& seen,\n"
+     "             std::vector<int>* out) {\n"
+     "  // Caller sorts `out`; emission order here is irrelevant.\n"
+     "  for (int v : seen) out->push_back(v);  // lint:allow(unordered-iteration)\n"
+     "}\n"
+     "}\n",
      []),
 ]
 

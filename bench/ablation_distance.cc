@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
                     std::to_string(seed), acc_buffer, ari_buffer});
     }
   }
-  std::printf("%s", table.ToString().c_str());
+  PrintTable("distance", table);
+  FinishJson("ablation_distance");
   return 0;
 }

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
                     std::to_string(run.clustering.iterations)});
     }
   }
-  std::printf("%s", table.ToString().c_str());
+  PrintTable("init", table);
+  FinishJson("ablation_init");
   return 0;
 }

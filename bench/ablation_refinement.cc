@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
                            std::to_string(run.clustering.NumOutliers())});
     }
   }
-  std::printf("%s", refine_table.ToString().c_str());
+  PrintTable("refinement", refine_table);
 
   PrintHeader("Ablation: minDeviation sweep (paper default 0.1)");
   TableWriter dev_table({"minDeviation", "matched_acc", "ARI", "iterations"});
@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
     dev_table.AddRow({dev_buffer, acc_buffer, ari_buffer,
                       std::to_string(run.clustering.iterations)});
   }
-  std::printf("%s", dev_table.ToString().c_str());
+  PrintTable("minDeviation", dev_table);
+  FinishJson("ablation_refinement");
   return 0;
 }

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
                     ari, objective, secs});
     }
   }
-  std::printf("%s", table.ToString().c_str());
+  PrintTable("restarts", table);
+  FinishJson("ablation_restarts");
   return 0;
 }

@@ -3,11 +3,54 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 #include "common/timer.h"
 #include "eval/matching.h"
 
 namespace proclus::bench {
+
+namespace {
+
+// --json capture state: PrintHeader starts a section, PrintKV appends a
+// [key, value] pair to the last section, FinishJson renders the document.
+struct JsonSection {
+  std::string title;
+  // (key, rendered value) — the value string is already valid JSON.
+  std::vector<std::pair<std::string, std::string>> values;
+};
+
+bool json_output = false;
+std::vector<JsonSection> json_sections;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonAdd(const std::string& key, std::string rendered) {
+  if (json_sections.empty()) json_sections.push_back({"", {}});
+  json_sections.back().values.emplace_back(key, std::move(rendered));
+}
+
+}  // namespace
 
 BenchOptions ParseOptions(int argc, char** argv) {
   BenchOptions options;
@@ -25,8 +68,11 @@ BenchOptions ParseOptions(int argc, char** argv) {
     } else if (std::strncmp(arg, "--reps=", 7) == 0) {
       options.repetitions = static_cast<size_t>(std::atoll(arg + 7));
       if (options.repetitions == 0) options.repetitions = 1;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json = true;
     }
   }
+  SetJsonOutput(options.json);
   return options;
 }
 
@@ -86,15 +132,86 @@ HarnessRun RunProclusHarness(const SyntheticData& data,
 }
 
 void PrintKV(const std::string& key, const std::string& value) {
+  if (json_output) {
+    JsonAdd(key, "\"" + JsonEscape(value) + "\"");
+    return;
+  }
   std::printf("%-32s = %s\n", key.c_str(), value.c_str());
 }
 
 void PrintKV(const std::string& key, double value) {
+  if (json_output) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    JsonAdd(key, buffer);
+    return;
+  }
   std::printf("%-32s = %.4f\n", key.c_str(), value);
 }
 
 void PrintHeader(const std::string& title) {
+  if (json_output) {
+    json_sections.push_back({title, {}});
+    return;
+  }
   std::printf("\n==== %s ====\n", title.c_str());
+}
+
+bool JsonOutput() { return json_output; }
+
+void SetJsonOutput(bool enabled) { json_output = enabled; }
+
+void PrintRunStats(const std::string& prefix, const RunStats& stats) {
+  PrintKV(prefix + " scans", static_cast<double>(stats.scans_issued));
+  PrintKV(prefix + " rows visited",
+          static_cast<double>(stats.rows_visited));
+  PrintKV(prefix + " bytes read", static_cast<double>(stats.bytes_read));
+  PrintKV(prefix + " distance evals",
+          static_cast<double>(stats.distance_evals));
+  PrintKV(prefix + " bootstrap scans",
+          static_cast<double>(stats.bootstrap_scans));
+  PrintKV(prefix + " iterative scans",
+          static_cast<double>(stats.iterative_scans));
+  PrintKV(prefix + " refine scans",
+          static_cast<double>(stats.refine_scans));
+}
+
+void PrintTable(const std::string& name, const TableWriter& table) {
+  if (!json_output) {
+    std::printf("%s", table.ToString().c_str());
+    return;
+  }
+  auto render_row = [](const std::vector<std::string>& cells) {
+    std::string out = "[";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + JsonEscape(cells[i]) + "\"";
+    }
+    out += "]";
+    return out;
+  };
+  JsonAdd(name + " columns", render_row(table.headers()));
+  for (const std::vector<std::string>& row : table.rows())
+    JsonAdd(name + " row", render_row(row));
+}
+
+void FinishJson(const std::string& binary) {
+  if (!json_output) return;
+  std::printf("{\"binary\": \"%s\", \"sections\": [",
+              JsonEscape(binary).c_str());
+  for (size_t s = 0; s < json_sections.size(); ++s) {
+    const JsonSection& section = json_sections[s];
+    std::printf("%s\n  {\"title\": \"%s\", \"values\": [",
+                s == 0 ? "" : ",", JsonEscape(section.title).c_str());
+    for (size_t i = 0; i < section.values.size(); ++i) {
+      std::printf("%s\n    [\"%s\", %s]", i == 0 ? "" : ",",
+                  JsonEscape(section.values[i].first).c_str(),
+                  section.values[i].second.c_str());
+    }
+    std::printf("]}");
+  }
+  std::printf("\n]}\n");
+  json_sections.clear();
 }
 
 }  // namespace proclus::bench

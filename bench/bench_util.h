@@ -11,6 +11,7 @@
 
 #include "core/proclus.h"
 #include "eval/confusion.h"
+#include "eval/report.h"
 #include "gen/synthetic.h"
 
 namespace proclus::bench {
@@ -30,6 +31,10 @@ struct BenchOptions {
   uint64_t algo_seed = 1;
   /// Extra repetitions for timing stability.
   size_t repetitions = 1;
+  /// Emit results as a JSON document instead of the human-readable
+  /// report (enables machine-diffable baselines such as
+  /// BENCH_scan_engine.json).
+  bool json = false;
 
   /// Number of points after scaling.
   size_t Points(size_t paper_n = 100000) const {
@@ -38,7 +43,9 @@ struct BenchOptions {
   }
 };
 
-/// Parses --quick, --scale=X, --seed=N, --reps=N; ignores unknown flags.
+/// Parses --quick, --scale=X, --seed=N, --reps=N, --json; ignores unknown
+/// flags. --json switches PrintKV/PrintHeader into JSON capture mode (see
+/// FinishJson).
 BenchOptions ParseOptions(int argc, char** argv);
 
 /// Paper Case 1 input: N=100k (scaled), d=20, k=5, every cluster in a
@@ -67,12 +74,33 @@ struct HarnessRun {
 HarnessRun RunProclusHarness(const SyntheticData& data,
                              const ProclusParams& params);
 
-/// Prints a "key = value" line in a stable format.
+/// Prints a "key = value" line in a stable format. In JSON mode the pair
+/// is captured into the current section instead.
 void PrintKV(const std::string& key, const std::string& value);
 void PrintKV(const std::string& key, double value);
 
-/// Prints a section header.
+/// Prints a section header. In JSON mode this starts a new section.
 void PrintHeader(const std::string& title);
+
+/// Whether --json capture mode is active. Harnesses use this to skip
+/// free-form table/printf output that has no JSON representation.
+bool JsonOutput();
+
+/// Enables/disables JSON capture (ParseOptions calls this for --json).
+void SetJsonOutput(bool enabled);
+
+/// Prints the data-movement counters of a run under `prefix`.
+void PrintRunStats(const std::string& prefix, const RunStats& stats);
+
+/// Prints a rendered table; in JSON mode the header row is captured under
+/// "<name> columns" and each data row under "<name> row" as arrays.
+void PrintTable(const std::string& name, const TableWriter& table);
+
+/// In JSON mode, writes the captured document
+///   {"binary": <name>, "sections": [{"title": ..., "values": [[k, v]...]}]}
+/// to stdout and clears the capture buffer; otherwise a no-op. Call once
+/// at the end of main.
+void FinishJson(const std::string& binary);
 
 }  // namespace proclus::bench
 

@@ -20,8 +20,9 @@ int main(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
 
   PrintHeader("Figure 7: running time vs number of points");
-  std::printf("# clusters in 5-dim subspaces of a 20-dim space; "
-              "CLIQUE xi=10 tau=0.5%%\n");
+  if (!JsonOutput())
+    std::printf("# clusters in 5-dim subspaces of a 20-dim space; "
+                "CLIQUE xi=10 tau=0.5%%\n");
   TableWriter table({"N", "proclus_sec", "clique_sec", "clique/proclus"});
 
   for (size_t paper_n : {100000, 200000, 300000, 400000, 500000}) {
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
                   clique_sec / proclus_sec);
     table.AddRow({n_buffer, p_buffer, c_buffer, ratio_buffer});
   }
-  std::printf("%s", table.ToString().c_str());
+  PrintTable("fig7", table);
+  FinishJson("fig7_scalability_n");
   return 0;
 }

@@ -22,9 +22,10 @@ int main(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
 
   PrintHeader("Figure 8: running time vs average cluster dimensionality");
-  std::printf("# N=%zu, d=20, k=5; CLIQUE xi=10, tau=0.5%% (l<=6) / "
-              "0.1%% (l>=7)\n",
-              options.Points());
+  if (!JsonOutput())
+    std::printf("# N=%zu, d=20, k=5; CLIQUE xi=10, tau=0.5%% (l<=6) / "
+                "0.1%% (l>=7)\n",
+                options.Points());
   TableWriter table({"l", "proclus_sec", "clique_sec", "clique_max_level"});
 
   for (size_t l : {4, 5, 6, 7, 8}) {
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
                   clique_result->max_level);
     table.AddRow({l_buffer, p_buffer, c_buffer, level_buffer});
   }
-  std::printf("%s", table.ToString().c_str());
+  PrintTable("fig8", table);
+  FinishJson("fig8_scalability_l");
   return 0;
 }

@@ -17,8 +17,9 @@ int main(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
 
   PrintHeader("Figure 9: PROCLUS running time vs space dimensionality");
-  std::printf("# N=%zu, k=5, clusters in 5-dim subspaces\n",
-              options.Points());
+  if (!JsonOutput())
+    std::printf("# N=%zu, k=5, clusters in 5-dim subspaces\n",
+                options.Points());
   TableWriter table({"d", "proclus_sec", "sec_per_dim"});
 
   for (size_t d : {20, 25, 30, 35, 40, 45, 50}) {
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
                   seconds / static_cast<double>(d));
     table.AddRow({d_buffer, s_buffer, per_buffer});
   }
-  std::printf("%s", table.ToString().c_str());
+  PrintTable("fig9", table);
+  FinishJson("fig9_scalability_d");
   return 0;
 }

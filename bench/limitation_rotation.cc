@@ -66,9 +66,11 @@ int main(int argc, char** argv) {
     std::snprintf(oari, sizeof(oari), "%.4f", orclus_ari);
     table.AddRow({deg, acc, ari, jaccard, oari});
   }
-  std::printf("%s", table.ToString().c_str());
-  std::printf("\nAxis-parallel projected clustering weakens as structure "
-              "tilts off-axis;\nthe ORCLUS extension (oriented "
-              "subspaces) closes the gap.\n");
+  PrintTable("rotation", table);
+  if (!JsonOutput())
+    std::printf("\nAxis-parallel projected clustering weakens as structure "
+                "tilts off-axis;\nthe ORCLUS extension (oriented "
+                "subspaces) closes the gap.\n");
+  FinishJson("limitation_rotation");
   return 0;
 }

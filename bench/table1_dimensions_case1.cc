@@ -12,8 +12,10 @@
 int main(int argc, char** argv) {
   using namespace proclus::bench;
   BenchOptions options = ParseOptions(argc, argv);
-  return RunTableExperiment(
+  int rc = RunTableExperiment(
       "Table 1: input vs output cluster dimensions (Case 1, l = 7)",
       Case1Params(options), /*avg_dims=*/7.0, options,
       TableKind::kDimensions);
+  FinishJson("table1_dimensions_case1");
+  return rc;
 }

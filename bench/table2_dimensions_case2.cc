@@ -12,8 +12,10 @@
 int main(int argc, char** argv) {
   using namespace proclus::bench;
   BenchOptions options = ParseOptions(argc, argv);
-  return RunTableExperiment(
+  int rc = RunTableExperiment(
       "Table 2: input vs output cluster dimensions (Case 2, l = 4)",
       Case2Params(options), /*avg_dims=*/4.0, options,
       TableKind::kDimensions);
+  FinishJson("table2_dimensions_case2");
+  return rc;
 }

@@ -11,7 +11,9 @@
 int main(int argc, char** argv) {
   using namespace proclus::bench;
   BenchOptions options = ParseOptions(argc, argv);
-  return RunTableExperiment(
+  int rc = RunTableExperiment(
       "Table 3: confusion matrix (Case 1, l = 7)", Case1Params(options),
       /*avg_dims=*/7.0, options, TableKind::kConfusion);
+  FinishJson("table3_confusion_case1");
+  return rc;
 }

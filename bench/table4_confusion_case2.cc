@@ -10,7 +10,9 @@
 int main(int argc, char** argv) {
   using namespace proclus::bench;
   BenchOptions options = ParseOptions(argc, argv);
-  return RunTableExperiment(
+  int rc = RunTableExperiment(
       "Table 4: confusion matrix (Case 2, l = 4)", Case2Params(options),
       /*avg_dims=*/4.0, options, TableKind::kConfusion);
+  FinishJson("table4_confusion_case2");
+  return rc;
 }

@@ -89,7 +89,8 @@ int main(int argc, char** argv) {
   PrintCliqueSummary(*result, seconds);
 
   // Table 5 snapshot: per output cluster, points per input cluster.
-  std::printf("\nTable 5 snapshot (largest 10 output clusters):\n");
+  if (!JsonOutput())
+    std::printf("\nTable 5 snapshot (largest 10 output clusters):\n");
   std::vector<size_t> order(result->clusters.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -105,6 +106,7 @@ int main(int argc, char** argv) {
     row.push_back(std::to_string(cluster.point_count));
     table.AddRow(std::move(row));
   }
-  std::printf("%s", table.ToString().c_str());
+  PrintTable("table5", table);
+  FinishJson("table5_clique_quality");
   return 0;
 }

@@ -37,18 +37,20 @@ int RunTableExperiment(const char* title, const GeneratorParams& gen_params,
     std::vector<size_t> output_sizes(k, 0);
     for (int label : run.clustering.labels)
       if (label != kOutlierLabel) ++output_sizes[static_cast<size_t>(label)];
-    std::printf("%s\n",
-                RenderDimensionTable(data->truth.cluster_dims, input_sizes,
-                                     input_outliers,
-                                     run.clustering.dimensions, output_sizes,
-                                     run.clustering.NumOutliers())
-                    .c_str());
+    if (!JsonOutput())
+      std::printf("%s\n",
+                  RenderDimensionTable(data->truth.cluster_dims, input_sizes,
+                                       input_outliers,
+                                       run.clustering.dimensions,
+                                       output_sizes,
+                                       run.clustering.NumOutliers())
+                      .c_str());
     // Dimension-recovery summary under the optimal matching.
     DimensionRecovery recovery = ScoreDimensionRecovery(
         run.clustering.dimensions, data->truth.cluster_dims, run.match);
     PrintKV("matched-dim mean Jaccard", recovery.mean_jaccard);
     PrintKV("matched-dim exact fraction", recovery.exact_fraction);
-    for (size_t i = 0; i < k; ++i) {
+    for (size_t i = 0; i < k && !JsonOutput(); ++i) {
       std::printf("  output %zu -> input %s (dims found {%s} vs true {%s})\n",
                   i + 1,
                   run.match[i] >= 0
@@ -64,7 +66,8 @@ int RunTableExperiment(const char* title, const GeneratorParams& gen_params,
                       : "-");
     }
   } else {
-    std::printf("%s\n", RenderConfusionTable(run.confusion).c_str());
+    if (!JsonOutput())
+      std::printf("%s\n", RenderConfusionTable(run.confusion).c_str());
     PrintKV("dominant accuracy", run.confusion.DominantAccuracy());
     PrintKV("matched accuracy", MatchedAccuracy(run.confusion));
     PrintKV("ARI", AdjustedRandIndex(run.clustering.labels,
@@ -74,6 +77,7 @@ int RunTableExperiment(const char* title, const GeneratorParams& gen_params,
                                  run.clustering.NumOutliers()));
   PrintKV("iterations", static_cast<double>(run.clustering.iterations));
   PrintKV("proclus seconds", run.seconds);
+  PrintRunStats("proclus", run.clustering.stats);
   return 0;
 }
 

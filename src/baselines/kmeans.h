@@ -8,8 +8,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_stats.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "data/point_source.h"
 
 namespace proclus {
 
@@ -23,6 +25,12 @@ struct KMeansParams {
   /// Use k-means++ seeding (else uniform random points).
   bool plus_plus_init = true;
   uint64_t seed = 1;
+  /// Worker threads for the scans over in-memory sources. Results are
+  /// bit-identical for every value (block-ordered deterministic
+  /// reduction).
+  size_t num_threads = 1;
+  /// Rows per scan block / disk read.
+  size_t block_rows = 8192;
 
   Status Validate(size_t num_points) const;
 };
@@ -37,13 +45,26 @@ struct KMeansResult {
   double inertia = 0.0;
   /// Lloyd iterations performed.
   size_t iterations = 0;
+  /// Data-movement counters of the run (scans, rows, bytes, distance
+  /// evaluations).
+  RunStats stats;
 };
 
 /// Runs Lloyd's algorithm with k-means++ (or uniform) seeding.
 /// Deterministic for a fixed seed. Empty clusters are re-seeded with the
-/// point farthest from its centroid.
+/// point farthest from its centroid. Delegates to RunKMeansOnSource over
+/// an in-memory view of `dataset`.
 Result<KMeansResult> RunKMeans(const Dataset& dataset,
                                const KMeansParams& params);
+
+/// Runs Lloyd's algorithm over any PointSource on the scan executor: one
+/// fused scan per iteration computes the assignment, the inertia, and the
+/// per-cluster coordinate sums; k-means++ seeding scans once per center.
+/// Random access is limited to fetching the chosen centers. Results are
+/// bit-identical across thread counts and across Memory/Disk sources for
+/// a fixed block_rows.
+Result<KMeansResult> RunKMeansOnSource(const PointSource& source,
+                                       const KMeansParams& params);
 
 }  // namespace proclus
 

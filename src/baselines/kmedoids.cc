@@ -4,7 +4,10 @@
 #include <limits>
 #include <unordered_set>
 
+#include "common/matrix.h"
 #include "common/rng.h"
+#include "common/timer.h"
+#include "data/engine.h"
 
 namespace proclus {
 
@@ -25,6 +28,8 @@ Status ClaransParams::Validate(size_t num_points) const {
     return Status::InvalidArgument("fewer points than clusters");
   if (num_local == 0)
     return Status::InvalidArgument("num_local must be >= 1");
+  if (block_rows == 0)
+    return Status::InvalidArgument("block_rows must be >= 1");
   return Status::OK();
 }
 
@@ -53,6 +58,69 @@ double AssignToMedoids(const Dataset& dataset,
   }
   return cost;
 }
+
+// Nearest-medoid assignment + cost over a scan: the per-point labels are
+// exact, the cost is a block-partial sum merged in block order.
+class MedoidAssignConsumer final : public ScanConsumer {
+ public:
+  /// `medoid_coords` (k x d) must outlive the scan.
+  void Bind(const Matrix* medoid_coords, MetricKind metric) {
+    medoids_ = medoid_coords;
+    metric_ = metric;
+  }
+
+  Status Prepare(const ScanGeometry& geometry) override {
+    if (medoids_->cols() != geometry.dims)
+      return Status::InvalidArgument("medoid dimensionality mismatch");
+    dims_ = geometry.dims;
+    labels_.resize(geometry.rows);
+    cost_partials_.assign(geometry.num_blocks, 0.0);
+    distance_evals_ =
+        static_cast<uint64_t>(geometry.rows) * medoids_->rows();
+    return Status::OK();
+  }
+
+  void ConsumeBlock(size_t block_index, size_t first_row,
+                    std::span<const double> data, size_t rows) override {
+    const size_t k = medoids_->rows();
+    double cost = 0.0;
+    for (size_t r = 0; r < rows; ++r) {
+      std::span<const double> point = data.subspan(r * dims_, dims_);
+      double best = std::numeric_limits<double>::infinity();
+      int best_i = 0;
+      for (size_t m = 0; m < k; ++m) {
+        double d = Distance(metric_, point, medoids_->row(m));
+        if (d < best) {
+          best = d;
+          best_i = static_cast<int>(m);
+        }
+      }
+      labels_[first_row + r] = best_i;
+      cost += best;
+    }
+    cost_partials_[block_index] = cost;
+  }
+
+  Status Merge() override {
+    cost_ = 0.0;
+    for (double partial : cost_partials_) cost_ += partial;
+    return Status::OK();
+  }
+
+  uint64_t distance_evals() const override { return distance_evals_; }
+
+  const std::vector<int>& labels() const { return labels_; }
+  double cost() const { return cost_; }
+
+ private:
+  const Matrix* medoids_ = nullptr;
+  MetricKind metric_ = MetricKind::kManhattan;
+  std::vector<int> labels_;
+  std::vector<double> cost_partials_;
+  double cost_ = 0.0;
+  size_t dims_ = 0;
+  uint64_t distance_evals_ = 0;
+};
 
 }  // namespace
 
@@ -145,12 +213,16 @@ Result<MedoidClustering> RunPam(const Dataset& dataset,
   return result;
 }
 
-Result<MedoidClustering> RunClarans(const Dataset& dataset,
-                                    const ClaransParams& params) {
-  PROCLUS_RETURN_IF_ERROR(params.Validate(dataset.size()));
-  const size_t n = dataset.size();
+Result<MedoidClustering> RunClaransOnSource(const PointSource& source,
+                                            const ClaransParams& params) {
+  PROCLUS_RETURN_IF_ERROR(params.Validate(source.size()));
+  const size_t n = source.size();
   const size_t k = params.num_clusters;
   Rng rng(params.seed);
+  RunStats stats;
+  ScanExecutor executor(
+      ScanOptions{params.num_threads, params.block_rows, &stats});
+  Timer timer;
 
   size_t max_neighbor = params.max_neighbor;
   if (max_neighbor == 0) {
@@ -160,12 +232,16 @@ Result<MedoidClustering> RunClarans(const Dataset& dataset,
 
   MedoidClustering best;
   best.cost = std::numeric_limits<double>::infinity();
+  MedoidAssignConsumer assign;
 
   for (size_t local = 0; local < params.num_local; ++local) {
     std::vector<size_t> current = rng.SampleWithoutReplacement(n, k);
-    std::vector<int> labels;
-    double cost =
-        AssignToMedoids(dataset, current, params.metric, &labels);
+    auto current_coords = source.Fetch(current);
+    PROCLUS_RETURN_IF_ERROR(current_coords.status());
+    assign.Bind(&*current_coords, params.metric);
+    PROCLUS_RETURN_IF_ERROR(executor.Run(source, {&assign}));
+    std::vector<int> labels = assign.labels();
+    double cost = assign.cost();
     size_t examined = 0;
     size_t iterations = 0;
     while (examined < max_neighbor) {
@@ -180,13 +256,14 @@ Result<MedoidClustering> RunClarans(const Dataset& dataset,
                current.end());
       std::vector<size_t> trial = current;
       trial[m] = candidate;
-      std::vector<int> trial_labels;
-      double trial_cost =
-          AssignToMedoids(dataset, trial, params.metric, &trial_labels);
-      if (trial_cost < cost) {
+      auto trial_coords = source.Fetch(trial);
+      PROCLUS_RETURN_IF_ERROR(trial_coords.status());
+      assign.Bind(&*trial_coords, params.metric);
+      PROCLUS_RETURN_IF_ERROR(executor.Run(source, {&assign}));
+      if (assign.cost() < cost) {
         current = std::move(trial);
-        labels = std::move(trial_labels);
-        cost = trial_cost;
+        labels = assign.labels();
+        cost = assign.cost();
         examined = 0;  // Restart the neighbor count at the new node.
       } else {
         ++examined;
@@ -194,12 +271,21 @@ Result<MedoidClustering> RunClarans(const Dataset& dataset,
     }
     if (cost < best.cost) {
       best.cost = cost;
-      best.medoids = current;
-      best.labels = labels;
+      best.medoids = std::move(current);
+      best.labels = std::move(labels);
       best.iterations += iterations;
     }
   }
+  stats.iterative_scans = stats.scans_issued;
+  stats.total_seconds = timer.ElapsedSeconds();
+  best.stats = stats;
   return best;
+}
+
+Result<MedoidClustering> RunClarans(const Dataset& dataset,
+                                    const ClaransParams& params) {
+  MemorySource source(dataset);
+  return RunClaransOnSource(source, params);
 }
 
 }  // namespace proclus

@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/run_stats.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "data/point_source.h"
 #include "distance/metric.h"
 
 namespace proclus {
@@ -31,6 +33,9 @@ struct MedoidClustering {
   double cost = 0.0;
   /// Search iterations performed.
   size_t iterations = 0;
+  /// Data-movement counters of the run (CLARANS only; PAM runs on
+  /// in-memory samples and leaves them zero).
+  RunStats stats;
 };
 
 /// PAM configuration.
@@ -59,13 +64,26 @@ struct ClaransParams {
   size_t max_neighbor = 0;  // 0 = use the recommendation.
   MetricKind metric = MetricKind::kManhattan;
   uint64_t seed = 1;
+  /// Worker threads for the assignment scans over in-memory sources.
+  /// Results are bit-identical for every value.
+  size_t num_threads = 1;
+  /// Rows per scan block / disk read.
+  size_t block_rows = 8192;
 
   Status Validate(size_t num_points) const;
 };
 
-/// Runs CLARANS full-dimensional k-medoids.
+/// Runs CLARANS full-dimensional k-medoids. Delegates to
+/// RunClaransOnSource over an in-memory view of `dataset`.
 Result<MedoidClustering> RunClarans(const Dataset& dataset,
                                     const ClaransParams& params);
+
+/// Runs CLARANS over any PointSource on the scan executor: each trial
+/// medoid set costs one assignment scan; random access is limited to
+/// fetching the k trial medoids. Results are bit-identical across thread
+/// counts and across Memory/Disk sources for a fixed block_rows.
+Result<MedoidClustering> RunClaransOnSource(const PointSource& source,
+                                            const ClaransParams& params);
 
 }  // namespace proclus
 

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "common/parallel.h"
+#include "data/engine.h"
 
 namespace proclus {
 
@@ -23,6 +23,90 @@ Result<Grid> BuildFromBounds(std::vector<double> mins,
   }
   return make(xi, std::move(mins), std::move(width));
 }
+
+// Per-dimension min/max over a scan. Min/max merging is associativity-
+// free, so the bounds are bitwise identical for any block size or thread
+// count.
+class BoundsConsumer final : public ScanConsumer {
+ public:
+  Status Prepare(const ScanGeometry& geometry) override {
+    dims_ = geometry.dims;
+    partial_mins_.assign(geometry.num_blocks,
+                         std::vector<double>(
+                             dims_, std::numeric_limits<double>::infinity()));
+    partial_maxs_.assign(
+        geometry.num_blocks,
+        std::vector<double>(dims_,
+                            -std::numeric_limits<double>::infinity()));
+    return Status::OK();
+  }
+
+  void ConsumeBlock(size_t block_index, size_t, std::span<const double> data,
+                    size_t rows) override {
+    std::vector<double>& mins = partial_mins_[block_index];
+    std::vector<double>& maxs = partial_maxs_[block_index];
+    for (size_t r = 0; r < rows; ++r) {
+      const double* point = data.data() + r * dims_;
+      for (size_t j = 0; j < dims_; ++j) {
+        if (point[j] < mins[j]) mins[j] = point[j];
+        if (point[j] > maxs[j]) maxs[j] = point[j];
+      }
+    }
+  }
+
+  Status Merge() override {
+    mins_.assign(dims_, std::numeric_limits<double>::infinity());
+    maxs_.assign(dims_, -std::numeric_limits<double>::infinity());
+    for (size_t b = 0; b < partial_mins_.size(); ++b) {
+      for (size_t j = 0; j < dims_; ++j) {
+        if (partial_mins_[b][j] < mins_[j]) mins_[j] = partial_mins_[b][j];
+        if (partial_maxs_[b][j] > maxs_[j]) maxs_[j] = partial_maxs_[b][j];
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<double> TakeMins() { return std::move(mins_); }
+  const std::vector<double>& maxs() const { return maxs_; }
+
+ private:
+  size_t dims_ = 0;
+  std::vector<std::vector<double>> partial_mins_;   // [block][dim]
+  std::vector<std::vector<double>> partial_maxs_;   // [block][dim]
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+// Per-point interval quantization; writes are disjoint per row.
+class QuantizeConsumer final : public ScanConsumer {
+ public:
+  explicit QuantizeConsumer(const Grid* grid) : grid_(grid) {}
+
+  Status Prepare(const ScanGeometry& geometry) override {
+    dims_ = geometry.dims;
+    cells_.resize(geometry.rows * dims_);
+    return Status::OK();
+  }
+
+  void ConsumeBlock(size_t, size_t first_row, std::span<const double> data,
+                    size_t rows) override {
+    for (size_t r = 0; r < rows; ++r) {
+      const double* point = data.data() + r * dims_;
+      uint8_t* out = cells_.data() + (first_row + r) * dims_;
+      for (size_t j = 0; j < dims_; ++j)
+        out[j] = grid_->Interval(j, point[j]);
+    }
+  }
+
+  Status Merge() override { return Status::OK(); }
+
+  std::vector<uint8_t> TakeCells() { return std::move(cells_); }
+
+ private:
+  const Grid* grid_;
+  size_t dims_ = 0;
+  std::vector<uint8_t> cells_;
+};
 
 }  // namespace
 
@@ -44,22 +128,9 @@ Result<Grid> Grid::BuildFromSource(const PointSource& source, size_t xi) {
     return Status::InvalidArgument("xi must be in [2, 255]");
   if (source.size() == 0)
     return Status::InvalidArgument("source is empty");
-  const size_t d = source.dims();
-  std::vector<double> mins(d, std::numeric_limits<double>::infinity());
-  std::vector<double> maxs(d, -std::numeric_limits<double>::infinity());
-  Status status = source.Scan(
-      kDefaultBlockRows,
-      [&](size_t, std::span<const double> data, size_t rows) {
-        for (size_t r = 0; r < rows; ++r) {
-          const double* point = data.data() + r * d;
-          for (size_t j = 0; j < d; ++j) {
-            if (point[j] < mins[j]) mins[j] = point[j];
-            if (point[j] > maxs[j]) maxs[j] = point[j];
-          }
-        }
-      });
-  PROCLUS_RETURN_IF_ERROR(status);
-  return BuildFromBounds(std::move(mins), maxs, xi,
+  BoundsConsumer bounds;
+  PROCLUS_RETURN_IF_ERROR(ScanExecutor(ScanOptions{}).Run(source, {&bounds}));
+  return BuildFromBounds(bounds.TakeMins(), bounds.maxs(), xi,
                          [](size_t n, std::vector<double> lo,
                             std::vector<double> w) {
                            return Grid(n, std::move(lo), std::move(w));
@@ -68,21 +139,12 @@ Result<Grid> Grid::BuildFromSource(const PointSource& source, size_t xi) {
 
 Result<std::vector<uint8_t>> Grid::QuantizeSource(
     const PointSource& source) const {
-  const size_t d = dims();
-  if (source.dims() != d)
+  if (source.dims() != dims())
     return Status::InvalidArgument("source dimensionality mismatch");
-  std::vector<uint8_t> cells(source.size() * d);
-  Status status = source.Scan(
-      kDefaultBlockRows,
-      [&](size_t first, std::span<const double> data, size_t rows) {
-        for (size_t r = 0; r < rows; ++r) {
-          const double* point = data.data() + r * d;
-          uint8_t* out = cells.data() + (first + r) * d;
-          for (size_t j = 0; j < d; ++j) out[j] = Interval(j, point[j]);
-        }
-      });
-  PROCLUS_RETURN_IF_ERROR(status);
-  return cells;
+  QuantizeConsumer quantize(this);
+  PROCLUS_RETURN_IF_ERROR(
+      ScanExecutor(ScanOptions{}).Run(source, {&quantize}));
+  return quantize.TakeCells();
 }
 
 uint8_t Grid::Interval(size_t dim, double value) const {

@@ -1,0 +1,71 @@
+// Data-movement observability for scan-based algorithms.
+//
+// PROCLUS is a database algorithm: its cost model is "how many times do we
+// read the data", not "how many FLOPs". RunStats makes that cost model
+// measurable — every ScanExecutor::Run records what it moved, and the
+// algorithm layers attribute scans and wall time to their phases — so a
+// claim like "the fused engine halves the scans per iteration" is a counter
+// comparison, not an estimate.
+
+#ifndef PROCLUS_COMMON_RUN_STATS_H_
+#define PROCLUS_COMMON_RUN_STATS_H_
+
+#include <cstdint>
+
+namespace proclus {
+
+/// Counters describing the data movement and phase timing of one run.
+/// Filled by ScanExecutor (totals) and by the algorithm driver (per-phase
+/// attribution); plain data, safe to copy.
+struct RunStats {
+  // ----- Totals over the whole run (recorded by ScanExecutor) -----
+  /// Physical scans over the full point set.
+  uint64_t scans_issued = 0;
+  /// Rows delivered to consumers, summed over scans (n per scan).
+  uint64_t rows_visited = 0;
+  /// Bytes physically read from backing storage. Zero for in-memory
+  /// sources whose blocks are zero-copy views.
+  uint64_t bytes_read = 0;
+  /// Point-to-point distance evaluations performed by scan consumers.
+  uint64_t distance_evals = 0;
+
+  // ----- Scan attribution per phase (recorded by the driver) -----
+  /// Scans issued by the initialization phase (0 for PROCLUS: the phase
+  /// only fetches the sample by position).
+  uint64_t init_scans = 0;
+  /// One locality-statistics bootstrap scan per hill-climbing restart
+  /// (fused engine only; the classic loop folds it into the iteration).
+  uint64_t bootstrap_scans = 0;
+  /// Scans issued by steady-state hill-climbing iterations. The per-
+  /// iteration scan budget is iterative_scans / iterations: 2 for the
+  /// fused engine, 4 for the classic pass-per-aggregate loop.
+  uint64_t iterative_scans = 0;
+  /// Scans issued by the refinement phase.
+  uint64_t refine_scans = 0;
+
+  // ----- Wall time per phase (recorded by the driver) -----
+  double init_seconds = 0.0;
+  double iterative_seconds = 0.0;
+  double refine_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Adds every counter of `other` into this (for aggregating runs).
+  void Merge(const RunStats& other) {
+    scans_issued += other.scans_issued;
+    rows_visited += other.rows_visited;
+    bytes_read += other.bytes_read;
+    distance_evals += other.distance_evals;
+    init_scans += other.init_scans;
+    bootstrap_scans += other.bootstrap_scans;
+    iterative_scans += other.iterative_scans;
+    refine_scans += other.refine_scans;
+    init_seconds += other.init_seconds;
+    iterative_seconds += other.iterative_seconds;
+    refine_seconds += other.refine_seconds;
+    total_seconds += other.total_seconds;
+  }
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_RUN_STATS_H_

@@ -1,0 +1,560 @@
+#include "core/consumers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "distance/metric.h"
+#include "distance/segmental.h"
+#include "gen/ground_truth.h"
+
+namespace proclus {
+
+namespace {
+
+// Full-space Manhattan segmental distance between two equal-length rows.
+inline double FullSegmental(std::span<const double> a,
+                            std::span<const double> b) {
+  return ManhattanDistance(a, b) / static_cast<double>(a.size());
+}
+
+// Materialized dimension lists (the hot loops iterate plain indices).
+std::vector<std::vector<uint32_t>> DimLists(
+    const std::vector<DimensionSet>& dims) {
+  std::vector<std::vector<uint32_t>> lists(dims.size());
+  for (size_t i = 0; i < dims.size(); ++i) {
+    lists[i] = dims[i].ToVector();
+    PROCLUS_CHECK(!lists[i].empty());
+  }
+  return lists;
+}
+
+// Zeroes `m` in place, reallocating only on shape change. A moved-from
+// Matrix keeps its shape but loses its storage, so the storage size is
+// checked too.
+void ResetMatrix(Matrix* m, size_t rows, size_t cols) {
+  if (m->rows() != rows || m->cols() != cols ||
+      m->data().size() != rows * cols) {
+    *m = Matrix(rows, cols);
+  } else {
+    std::fill(m->data().begin(), m->data().end(), 0.0);
+  }
+}
+
+}  // namespace
+
+// ---------- LocalityStatsConsumer ----------
+
+Status LocalityStatsConsumer::Bind(
+    const Matrix* medoids, std::vector<std::vector<size_t>> variant_rows) {
+  if (medoids == nullptr || medoids->rows() == 0)
+    return Status::InvalidArgument("no medoids");
+  if (variant_rows.empty())
+    return Status::InvalidArgument("no medoid-set variants");
+  for (const std::vector<size_t>& rows : variant_rows) {
+    if (rows.empty()) return Status::InvalidArgument("empty variant");
+    for (size_t row : rows)
+      if (row >= medoids->rows())
+        return Status::InvalidArgument("variant row out of range");
+  }
+  medoids_ = medoids;
+  variant_rows_ = std::move(variant_rows);
+
+  // delta_i = full-space segmental distance from variant medoid i to its
+  // nearest other medoid of the same variant (infinity when k == 1).
+  deltas_.resize(variant_rows_.size());
+  for (size_t v = 0; v < variant_rows_.size(); ++v) {
+    const std::vector<size_t>& map = variant_rows_[v];
+    const size_t k = map.size();
+    deltas_[v].assign(k, std::numeric_limits<double>::infinity());
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = i + 1; j < k; ++j) {
+        double dist =
+            FullSegmental(medoids_->row(map[i]), medoids_->row(map[j]));
+        if (dist < deltas_[v][i]) deltas_[v][i] = dist;
+        if (dist < deltas_[v][j]) deltas_[v][j] = dist;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status LocalityStatsConsumer::Bind(const Matrix* medoids) {
+  if (medoids == nullptr || medoids->rows() == 0)
+    return Status::InvalidArgument("no medoids");
+  std::vector<size_t> all(medoids->rows());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return Bind(medoids, {std::move(all)});
+}
+
+Status LocalityStatsConsumer::Prepare(const ScanGeometry& geometry) {
+  if (medoids_ == nullptr) return Status::InvalidArgument("Bind not called");
+  if (medoids_->cols() != geometry.dims)
+    return Status::InvalidArgument("medoid dimensionality mismatch");
+  dims_ = geometry.dims;
+  partials_.resize(variant_rows_.size());
+  for (std::vector<BlockSums>& blocks : partials_)
+    blocks.resize(geometry.num_blocks);
+  stats_.resize(variant_rows_.size());
+  uint64_t pair_evals = 0;
+  for (const std::vector<size_t>& map : variant_rows_)
+    pair_evals += static_cast<uint64_t>(map.size()) * (map.size() - 1) / 2;
+  distance_evals_ =
+      static_cast<uint64_t>(geometry.rows) * medoids_->rows() + pair_evals;
+  return Status::OK();
+}
+
+void LocalityStatsConsumer::ConsumeBlock(size_t block_index, size_t,
+                                         std::span<const double> data,
+                                         size_t rows) {
+  const size_t d = dims_;
+  const size_t u = medoids_->rows();
+  const size_t num_variants = variant_rows_.size();
+  for (size_t v = 0; v < num_variants; ++v) {
+    BlockSums& partial = partials_[v][block_index];
+    partial.sums.assign(variant_rows_[v].size() * d, 0.0);
+    partial.count.assign(variant_rows_[v].size(), 0);
+  }
+  // Distances to the union of all variants' medoids are computed once per
+  // point and shared.
+  std::vector<double> dist(u);
+  for (size_t r = 0; r < rows; ++r) {
+    std::span<const double> point = data.subspan(r * d, d);
+    for (size_t m = 0; m < u; ++m)
+      dist[m] = FullSegmental(point, medoids_->row(m));
+    for (size_t v = 0; v < num_variants; ++v) {
+      const std::vector<size_t>& map = variant_rows_[v];
+      BlockSums& partial = partials_[v][block_index];
+      for (size_t i = 0; i < map.size(); ++i) {
+        if (dist[map[i]] <= deltas_[v][i]) {
+          auto medoid = medoids_->row(map[i]);
+          double* sums = partial.sums.data() + i * d;
+          for (size_t j = 0; j < d; ++j) {
+            double diff = point[j] - medoid[j];
+            sums[j] += diff < 0 ? -diff : diff;
+          }
+          ++partial.count[i];
+        }
+      }
+    }
+  }
+}
+
+Status LocalityStatsConsumer::Merge() {
+  const size_t d = dims_;
+  for (size_t v = 0; v < variant_rows_.size(); ++v) {
+    const size_t k = variant_rows_[v].size();
+    ResetMatrix(&stats_[v], k, d);
+    Matrix& X = stats_[v];
+    std::vector<size_t> count(k, 0);
+    for (const BlockSums& partial : partials_[v]) {
+      if (partial.sums.empty()) continue;
+      for (size_t i = 0; i < k; ++i) {
+        for (size_t j = 0; j < d; ++j) X(i, j) += partial.sums[i * d + j];
+        count[i] += partial.count[i];
+      }
+    }
+    for (size_t i = 0; i < k; ++i) {
+      // Every medoid is a data point, so its own locality is non-empty as
+      // long as the medoid coordinates came from this source.
+      if (count[i] == 0) continue;
+      for (size_t j = 0; j < d; ++j)
+        X(i, j) /= static_cast<double>(count[i]);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------- AssignConsumer ----------
+
+Status AssignConsumer::Bind(const Matrix* medoids,
+                            const std::vector<DimensionSet>* dims,
+                            bool segmental_normalization,
+                            bool accumulate_centroids) {
+  if (medoids == nullptr || medoids->rows() == 0)
+    return Status::InvalidArgument("no medoids");
+  if (dims == nullptr || dims->size() != medoids->rows())
+    return Status::InvalidArgument("dimension set count mismatch");
+  medoids_ = medoids;
+  dims_sets_ = dims;
+  dim_lists_ = DimLists(*dims);
+  segmental_ = segmental_normalization;
+  accumulate_ = accumulate_centroids;
+  return Status::OK();
+}
+
+Status AssignConsumer::Prepare(const ScanGeometry& geometry) {
+  if (medoids_ == nullptr) return Status::InvalidArgument("Bind not called");
+  if (medoids_->cols() != geometry.dims)
+    return Status::InvalidArgument("medoid dimensionality mismatch");
+  dims_ = geometry.dims;
+  labels_.resize(geometry.rows);
+  if (accumulate_) partials_.resize(geometry.num_blocks);
+  distance_evals_ =
+      static_cast<uint64_t>(geometry.rows) * medoids_->rows();
+  return Status::OK();
+}
+
+void AssignConsumer::ConsumeBlock(size_t block_index, size_t first_row,
+                                  std::span<const double> data,
+                                  size_t rows) {
+  const size_t d = dims_;
+  const size_t k = medoids_->rows();
+  BlockSums* partial = nullptr;
+  if (accumulate_) {
+    partial = &partials_[block_index];
+    partial->sums.assign(k * d, 0.0);
+    partial->count.assign(k, 0);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    std::span<const double> point = data.subspan(r * d, d);
+    double best = std::numeric_limits<double>::infinity();
+    int best_i = 0;
+    for (size_t i = 0; i < k; ++i) {
+      double dist = segmental_
+                        ? ManhattanSegmentalDistance(point, medoids_->row(i),
+                                                     dim_lists_[i])
+                        : RestrictedManhattanDistance(point, medoids_->row(i),
+                                                      dim_lists_[i]);
+      if (dist < best) {
+        best = dist;
+        best_i = static_cast<int>(i);
+      }
+    }
+    labels_[first_row + r] = best_i;
+    if (partial != nullptr) {
+      double* sums = partial->sums.data() + static_cast<size_t>(best_i) * d;
+      for (size_t j = 0; j < d; ++j) sums[j] += point[j];
+      ++partial->count[static_cast<size_t>(best_i)];
+    }
+  }
+}
+
+Status AssignConsumer::Merge() {
+  if (!accumulate_) return Status::OK();
+  const size_t d = dims_;
+  const size_t k = medoids_->rows();
+  ResetMatrix(&centroids_, k, d);
+  counts_.assign(k, 0);
+  for (const BlockSums& partial : partials_) {
+    if (partial.sums.empty()) continue;
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < d; ++j)
+        centroids_(i, j) += partial.sums[i * d + j];
+      counts_[i] += partial.count[i];
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (counts_[i] == 0) continue;
+    for (size_t j = 0; j < d; ++j)
+      centroids_(i, j) /= static_cast<double>(counts_[i]);
+  }
+  return Status::OK();
+}
+
+// ---------- RefineAssignConsumer ----------
+
+Status RefineAssignConsumer::Bind(const Matrix* medoids,
+                                  const std::vector<DimensionSet>* dims,
+                                  const std::vector<double>* spheres,
+                                  bool segmental_normalization,
+                                  bool detect_outliers,
+                                  bool accumulate_centroids) {
+  if (medoids == nullptr || medoids->rows() == 0)
+    return Status::InvalidArgument("no medoids");
+  if (dims == nullptr || spheres == nullptr ||
+      dims->size() != medoids->rows() ||
+      spheres->size() != medoids->rows())
+    return Status::InvalidArgument("per-medoid input count mismatch");
+  medoids_ = medoids;
+  dims_sets_ = dims;
+  spheres_ = spheres;
+  dim_lists_ = DimLists(*dims);
+  segmental_ = segmental_normalization;
+  detect_outliers_ = detect_outliers;
+  accumulate_ = accumulate_centroids;
+  return Status::OK();
+}
+
+Status RefineAssignConsumer::Prepare(const ScanGeometry& geometry) {
+  if (medoids_ == nullptr) return Status::InvalidArgument("Bind not called");
+  if (medoids_->cols() != geometry.dims)
+    return Status::InvalidArgument("medoid dimensionality mismatch");
+  dims_ = geometry.dims;
+  labels_.resize(geometry.rows);
+  if (accumulate_) partials_.resize(geometry.num_blocks);
+  distance_evals_ =
+      static_cast<uint64_t>(geometry.rows) * medoids_->rows();
+  return Status::OK();
+}
+
+void RefineAssignConsumer::ConsumeBlock(size_t block_index, size_t first_row,
+                                        std::span<const double> data,
+                                        size_t rows) {
+  const size_t d = dims_;
+  const size_t k = medoids_->rows();
+  BlockSums* partial = nullptr;
+  if (accumulate_) {
+    partial = &partials_[block_index];
+    partial->sums.assign(k * d, 0.0);
+    partial->count.assign(k, 0);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    std::span<const double> point = data.subspan(r * d, d);
+    double best = std::numeric_limits<double>::infinity();
+    int best_i = 0;
+    bool inside_any = false;
+    for (size_t i = 0; i < k; ++i) {
+      double dist = segmental_
+                        ? ManhattanSegmentalDistance(point, medoids_->row(i),
+                                                     dim_lists_[i])
+                        : RestrictedManhattanDistance(point, medoids_->row(i),
+                                                      dim_lists_[i]);
+      if (dist <= (*spheres_)[i]) inside_any = true;
+      if (dist < best) {
+        best = dist;
+        best_i = static_cast<int>(i);
+      }
+    }
+    const bool outlier = detect_outliers_ && !inside_any;
+    labels_[first_row + r] = outlier ? kOutlierLabel : best_i;
+    if (partial != nullptr && !outlier) {
+      double* sums = partial->sums.data() + static_cast<size_t>(best_i) * d;
+      for (size_t j = 0; j < d; ++j) sums[j] += point[j];
+      ++partial->count[static_cast<size_t>(best_i)];
+    }
+  }
+}
+
+Status RefineAssignConsumer::Merge() {
+  if (!accumulate_) return Status::OK();
+  const size_t d = dims_;
+  const size_t k = medoids_->rows();
+  ResetMatrix(&centroids_, k, d);
+  counts_.assign(k, 0);
+  for (const BlockSums& partial : partials_) {
+    if (partial.sums.empty()) continue;
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < d; ++j)
+        centroids_(i, j) += partial.sums[i * d + j];
+      counts_[i] += partial.count[i];
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (counts_[i] == 0) continue;
+    for (size_t j = 0; j < d; ++j)
+      centroids_(i, j) /= static_cast<double>(counts_[i]);
+  }
+  return Status::OK();
+}
+
+// ---------- ClusterStatsConsumer ----------
+
+Status ClusterStatsConsumer::Bind(const Matrix* medoids,
+                                  const std::vector<int>* labels) {
+  if (medoids == nullptr || medoids->rows() == 0)
+    return Status::InvalidArgument("no medoids");
+  if (labels == nullptr) return Status::InvalidArgument("no labels");
+  medoids_ = medoids;
+  labels_ = labels;
+  return Status::OK();
+}
+
+Status ClusterStatsConsumer::Prepare(const ScanGeometry& geometry) {
+  if (medoids_ == nullptr) return Status::InvalidArgument("Bind not called");
+  if (labels_->size() != geometry.rows)
+    return Status::InvalidArgument("label count mismatch");
+  dims_ = geometry.dims;
+  partials_.resize(geometry.num_blocks);
+  return Status::OK();
+}
+
+void ClusterStatsConsumer::ConsumeBlock(size_t block_index, size_t first_row,
+                                        std::span<const double> data,
+                                        size_t rows) {
+  const size_t d = dims_;
+  const size_t k = medoids_->rows();
+  BlockSums& partial = partials_[block_index];
+  partial.sums.assign(k * d, 0.0);
+  partial.count.assign(k, 0);
+  for (size_t r = 0; r < rows; ++r) {
+    int label = (*labels_)[first_row + r];
+    if (label == kOutlierLabel) continue;
+    size_t i = static_cast<size_t>(label);
+    // invariant: labels come from AssignConsumer, which only emits
+    // kOutlierLabel or medoid indices in [0, k).
+    PROCLUS_CHECK(i < k);
+    std::span<const double> point = data.subspan(r * d, d);
+    auto medoid = medoids_->row(i);
+    double* sums = partial.sums.data() + i * d;
+    for (size_t j = 0; j < d; ++j) {
+      double diff = point[j] - medoid[j];
+      sums[j] += diff < 0 ? -diff : diff;
+    }
+    ++partial.count[i];
+  }
+}
+
+Status ClusterStatsConsumer::Merge() {
+  const size_t d = dims_;
+  const size_t k = medoids_->rows();
+  ResetMatrix(&stats_, k, d);
+  std::vector<size_t> count(k, 0);
+  for (const BlockSums& partial : partials_) {
+    if (partial.sums.empty()) continue;
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < d; ++j)
+        stats_(i, j) += partial.sums[i * d + j];
+      count[i] += partial.count[i];
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (count[i] == 0) continue;
+    for (size_t j = 0; j < d; ++j)
+      stats_(i, j) /= static_cast<double>(count[i]);
+  }
+  return Status::OK();
+}
+
+// ---------- CentroidConsumer ----------
+
+Status CentroidConsumer::Bind(const std::vector<int>* labels,
+                              size_t num_clusters) {
+  if (labels == nullptr) return Status::InvalidArgument("no labels");
+  labels_ = labels;
+  num_clusters_ = num_clusters;
+  return Status::OK();
+}
+
+Status CentroidConsumer::Prepare(const ScanGeometry& geometry) {
+  if (labels_ == nullptr) return Status::InvalidArgument("Bind not called");
+  if (labels_->size() != geometry.rows)
+    return Status::InvalidArgument("label count mismatch");
+  dims_ = geometry.dims;
+  partials_.resize(geometry.num_blocks);
+  return Status::OK();
+}
+
+void CentroidConsumer::ConsumeBlock(size_t block_index, size_t first_row,
+                                    std::span<const double> data,
+                                    size_t rows) {
+  const size_t d = dims_;
+  const size_t k = num_clusters_;
+  BlockSums& partial = partials_[block_index];
+  partial.sums.assign(k * d, 0.0);
+  partial.count.assign(k, 0);
+  for (size_t r = 0; r < rows; ++r) {
+    int label = (*labels_)[first_row + r];
+    if (label == kOutlierLabel) continue;
+    size_t i = static_cast<size_t>(label);
+    // invariant: labels come from AssignConsumer, which only emits
+    // kOutlierLabel or medoid indices in [0, k).
+    PROCLUS_CHECK(i < k);
+    std::span<const double> point = data.subspan(r * d, d);
+    double* sums = partial.sums.data() + i * d;
+    for (size_t j = 0; j < d; ++j) sums[j] += point[j];
+    ++partial.count[i];
+  }
+}
+
+Status CentroidConsumer::Merge() {
+  const size_t d = dims_;
+  const size_t k = num_clusters_;
+  ResetMatrix(&centroids_, k, d);
+  counts_.assign(k, 0);
+  for (const BlockSums& partial : partials_) {
+    if (partial.sums.empty()) continue;
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < d; ++j)
+        centroids_(i, j) += partial.sums[i * d + j];
+      counts_[i] += partial.count[i];
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (counts_[i] == 0) continue;
+    for (size_t j = 0; j < d; ++j)
+      centroids_(i, j) /= static_cast<double>(counts_[i]);
+  }
+  return Status::OK();
+}
+
+// ---------- DeviationConsumer ----------
+
+Status DeviationConsumer::Bind(const std::vector<int>* labels,
+                               const Matrix* centroids,
+                               const std::vector<size_t>* cluster_sizes,
+                               const std::vector<DimensionSet>* dims) {
+  if (labels == nullptr || centroids == nullptr || cluster_sizes == nullptr ||
+      dims == nullptr)
+    return Status::InvalidArgument("null deviation input");
+  if (dims->size() != centroids->rows() ||
+      cluster_sizes->size() != centroids->rows())
+    return Status::InvalidArgument("per-cluster input count mismatch");
+  labels_ = labels;
+  centroids_ = centroids;
+  counts_ = cluster_sizes;
+  dims_sets_ = dims;
+  return Status::OK();
+}
+
+Status DeviationConsumer::Prepare(const ScanGeometry& geometry) {
+  if (labels_ == nullptr) return Status::InvalidArgument("Bind not called");
+  if (labels_->size() != geometry.rows)
+    return Status::InvalidArgument("label count mismatch");
+  dims_ = geometry.dims;
+  partials_.resize(geometry.num_blocks);
+  return Status::OK();
+}
+
+void DeviationConsumer::ConsumeBlock(size_t block_index, size_t first_row,
+                                     std::span<const double> data,
+                                     size_t rows) {
+  const size_t d = dims_;
+  const size_t k = centroids_->rows();
+  BlockSums& partial = partials_[block_index];
+  partial.sums.assign(k * d, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    int label = (*labels_)[first_row + r];
+    if (label == kOutlierLabel) continue;
+    size_t i = static_cast<size_t>(label);
+    std::span<const double> point = data.subspan(r * d, d);
+    double* sums = partial.sums.data() + i * d;
+    for (size_t j = 0; j < d; ++j) {
+      double diff = point[j] - (*centroids_)(i, j);
+      sums[j] += diff < 0 ? -diff : diff;
+    }
+  }
+}
+
+Status DeviationConsumer::Merge() {
+  const size_t d = dims_;
+  const size_t k = centroids_->rows();
+  ResetMatrix(&deviation_, k, d);
+  for (const BlockSums& partial : partials_) {
+    if (partial.sums.empty()) continue;
+    for (size_t i = 0; i < k; ++i)
+      for (size_t j = 0; j < d; ++j)
+        deviation_(i, j) += partial.sums[i * d + j];
+  }
+
+  double weighted = 0.0;
+  size_t clustered = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const size_t count = (*counts_)[i];
+    if (count == 0) continue;
+    std::vector<uint32_t> dim_list = (*dims_sets_)[i].ToVector();
+    // invariant: FindDimensions allocates >= 2 dimensions per medoid.
+    PROCLUS_CHECK(!dim_list.empty());
+    double w = 0.0;
+    for (uint32_t j : dim_list)
+      w += deviation_(i, j) / static_cast<double>(count);
+    w /= static_cast<double>(dim_list.size());
+    weighted += w * static_cast<double>(count);
+    clustered += count;
+  }
+  objective_ =
+      clustered == 0 ? 0.0 : weighted / static_cast<double>(clustered);
+  return Status::OK();
+}
+
+}  // namespace proclus

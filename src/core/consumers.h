@@ -1,0 +1,248 @@
+// ScanConsumer implementations of the PROCLUS data passes.
+//
+// Each class transcribes one of the aggregate/per-point computations of
+// the original pass functions (core/passes.h) onto the scan-executor
+// contract (data/engine.h): per-block partials, block-ordered merge,
+// bit-identical results for any thread count. Because they are consumers,
+// several of them can share one physical scan — the fused PROCLUS loop
+// runs assignment + centroid accumulation in one scan and deviation
+// evaluation + speculative locality statistics in another.
+//
+// Consumers are long-lived: construct once, Bind(...) the inputs of the
+// next scan, hand to ScanExecutor::Run. Their block buffers persist
+// across scans, so rebinding every iteration costs no allocations once
+// the buffers reach steady-state capacity.
+//
+// Accumulation-order guarantee: every consumer adds values in exactly the
+// per-point, per-cluster order of the original pass bodies and merges
+// partials in ascending block order, so its outputs are bit-identical to
+// the pre-refactor passes for identical inputs.
+
+#ifndef PROCLUS_CORE_CONSUMERS_H_
+#define PROCLUS_CORE_CONSUMERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dimension_set.h"
+#include "common/matrix.h"
+#include "data/engine.h"
+
+namespace proclus {
+
+// Per-block accumulator of k x d sums plus k counts, shared by the
+// aggregate consumers.
+struct BlockSums {
+  std::vector<double> sums;   // k x d
+  std::vector<size_t> count;  // k
+};
+
+/// Locality statistics (iterative phase): X(i, j) = average |p_j - m_ij|
+/// over the points within delta_i of medoid i, where delta_i is the
+/// full-space segmental distance from medoid i to its nearest other
+/// medoid.
+///
+/// Supports VARIANTS: several candidate medoid sets evaluated in the same
+/// scan, sharing the per-point distance computations to the union of
+/// their medoids. Each variant's statistics are accumulated and merged
+/// independently, so they are bit-identical to running a separate scan
+/// per variant. This is what lets the fused hill-climb compute the
+/// locality statistics of both speculative next medoid sets inside the
+/// evaluation scan.
+class LocalityStatsConsumer final : public ScanConsumer {
+ public:
+  /// Binds the union medoid coordinate matrix (u x d) and one row-index
+  /// list per variant; variant v's medoid i is `medoids->row(rows[v][i])`.
+  /// `medoids` must outlive the scan.
+  Status Bind(const Matrix* medoids,
+              std::vector<std::vector<size_t>> variant_rows);
+
+  /// Single-variant convenience: the variant is all rows of `medoids`.
+  Status Bind(const Matrix* medoids);
+
+  Status Prepare(const ScanGeometry& geometry) override;
+  void ConsumeBlock(size_t block_index, size_t first_row,
+                    std::span<const double> data, size_t rows) override;
+  Status Merge() override;
+  uint64_t distance_evals() const override { return distance_evals_; }
+
+  size_t num_variants() const { return variant_rows_.size(); }
+  /// Statistics matrix (k_v x d) of variant `v`, valid after Merge.
+  const Matrix& stats(size_t v = 0) const { return stats_[v]; }
+  Matrix TakeStats(size_t v = 0) { return std::move(stats_[v]); }
+
+ private:
+  const Matrix* medoids_ = nullptr;
+  std::vector<std::vector<size_t>> variant_rows_;
+  std::vector<std::vector<double>> deltas_;         // [variant][cluster]
+  std::vector<std::vector<BlockSums>> partials_;    // [variant][block]
+  std::vector<Matrix> stats_;                       // [variant]
+  size_t dims_ = 0;
+  uint64_t distance_evals_ = 0;
+};
+
+/// Assignment (Figure 5): each point goes to the medoid minimizing the
+/// Manhattan segmental distance on that medoid's dimensions, ties to the
+/// lower index. Optionally fuses the per-cluster centroid accumulation
+/// (the first of EvaluateClustersPass's two scans) into the same pass.
+class AssignConsumer final : public ScanConsumer {
+ public:
+  /// `medoids` (k x d) and `dims` (k sets) must outlive the scan.
+  Status Bind(const Matrix* medoids, const std::vector<DimensionSet>* dims,
+              bool segmental_normalization, bool accumulate_centroids);
+
+  Status Prepare(const ScanGeometry& geometry) override;
+  void ConsumeBlock(size_t block_index, size_t first_row,
+                    std::span<const double> data, size_t rows) override;
+  Status Merge() override;
+  uint64_t distance_evals() const override { return distance_evals_; }
+
+  /// Per-point labels in [0, k), valid after Merge. The reference stays
+  /// stable across scans (the vector is a long-lived member), so it can
+  /// be bound into a follow-up consumer.
+  const std::vector<int>& labels() const { return labels_; }
+  /// Moves the labels out (one-shot use; surrenders buffer reuse).
+  std::vector<int> TakeLabels() { return std::move(labels_); }
+  /// Cluster centroids (k x d) and sizes; valid after Merge when bound
+  /// with accumulate_centroids = true.
+  const Matrix& centroids() const { return centroids_; }
+  const std::vector<size_t>& cluster_sizes() const { return counts_; }
+
+ private:
+  const Matrix* medoids_ = nullptr;
+  const std::vector<DimensionSet>* dims_sets_ = nullptr;
+  std::vector<std::vector<uint32_t>> dim_lists_;
+  bool segmental_ = true;
+  bool accumulate_ = false;
+  std::vector<int> labels_;
+  std::vector<BlockSums> partials_;
+  Matrix centroids_;
+  std::vector<size_t> counts_;
+  size_t dims_ = 0;
+  uint64_t distance_evals_ = 0;
+};
+
+/// Refinement assignment: like AssignConsumer but a point farther from
+/// every medoid than that medoid's sphere of influence is labeled
+/// kOutlierLabel (when detect_outliers). Optionally fuses centroid
+/// accumulation over the non-outlier points.
+class RefineAssignConsumer final : public ScanConsumer {
+ public:
+  Status Bind(const Matrix* medoids, const std::vector<DimensionSet>* dims,
+              const std::vector<double>* spheres,
+              bool segmental_normalization, bool detect_outliers,
+              bool accumulate_centroids);
+
+  Status Prepare(const ScanGeometry& geometry) override;
+  void ConsumeBlock(size_t block_index, size_t first_row,
+                    std::span<const double> data, size_t rows) override;
+  Status Merge() override;
+  uint64_t distance_evals() const override { return distance_evals_; }
+
+  const std::vector<int>& labels() const { return labels_; }
+  /// Moves the labels out (one-shot use; surrenders buffer reuse).
+  std::vector<int> TakeLabels() { return std::move(labels_); }
+  const Matrix& centroids() const { return centroids_; }
+  const std::vector<size_t>& cluster_sizes() const { return counts_; }
+
+ private:
+  const Matrix* medoids_ = nullptr;
+  const std::vector<DimensionSet>* dims_sets_ = nullptr;
+  const std::vector<double>* spheres_ = nullptr;
+  std::vector<std::vector<uint32_t>> dim_lists_;
+  bool segmental_ = true;
+  bool detect_outliers_ = true;
+  bool accumulate_ = false;
+  std::vector<int> labels_;
+  std::vector<BlockSums> partials_;
+  Matrix centroids_;
+  std::vector<size_t> counts_;
+  size_t dims_ = 0;
+  uint64_t distance_evals_ = 0;
+};
+
+/// Cluster statistics (refinement phase): X(i, j) = average |p_j - m_ij|
+/// over the points labeled i (outliers skipped; empty clusters keep
+/// all-zero rows).
+class ClusterStatsConsumer final : public ScanConsumer {
+ public:
+  /// `labels` holds one label per source row; both pointers must outlive
+  /// the scan.
+  Status Bind(const Matrix* medoids, const std::vector<int>* labels);
+
+  Status Prepare(const ScanGeometry& geometry) override;
+  void ConsumeBlock(size_t block_index, size_t first_row,
+                    std::span<const double> data, size_t rows) override;
+  Status Merge() override;
+
+  const Matrix& stats() const { return stats_; }
+  Matrix TakeStats() { return std::move(stats_); }
+
+ private:
+  const Matrix* medoids_ = nullptr;
+  const std::vector<int>* labels_ = nullptr;
+  std::vector<BlockSums> partials_;
+  Matrix stats_;
+  size_t dims_ = 0;
+};
+
+/// Standalone centroid accumulation (first scan of the classic
+/// EvaluateClustersPass): per-cluster coordinate means over non-outlier
+/// points.
+class CentroidConsumer final : public ScanConsumer {
+ public:
+  Status Bind(const std::vector<int>* labels, size_t num_clusters);
+
+  Status Prepare(const ScanGeometry& geometry) override;
+  void ConsumeBlock(size_t block_index, size_t first_row,
+                    std::span<const double> data, size_t rows) override;
+  Status Merge() override;
+
+  const Matrix& centroids() const { return centroids_; }
+  const std::vector<size_t>& cluster_sizes() const { return counts_; }
+
+ private:
+  const std::vector<int>* labels_ = nullptr;
+  size_t num_clusters_ = 0;
+  std::vector<BlockSums> partials_;
+  Matrix centroids_;
+  std::vector<size_t> counts_;
+  size_t dims_ = 0;
+};
+
+/// Deviation evaluation (second scan of EvaluateClustersPass, Figure 6):
+/// accumulates per-dimension absolute deviations from the bound centroids
+/// and reduces them to the paper's objective — the size-weighted average,
+/// over non-empty clusters, of the mean per-dimension deviation on the
+/// cluster's dimensions.
+class DeviationConsumer final : public ScanConsumer {
+ public:
+  /// `centroids`/`cluster_sizes` are typically the outputs of an
+  /// AssignConsumer or CentroidConsumer merged in an earlier scan; all
+  /// pointers must outlive the scan.
+  Status Bind(const std::vector<int>* labels, const Matrix* centroids,
+              const std::vector<size_t>* cluster_sizes,
+              const std::vector<DimensionSet>* dims);
+
+  Status Prepare(const ScanGeometry& geometry) override;
+  void ConsumeBlock(size_t block_index, size_t first_row,
+                    std::span<const double> data, size_t rows) override;
+  Status Merge() override;
+
+  /// The objective value, valid after Merge.
+  double objective() const { return objective_; }
+
+ private:
+  const std::vector<int>* labels_ = nullptr;
+  const Matrix* centroids_ = nullptr;
+  const std::vector<size_t>* counts_ = nullptr;
+  const std::vector<DimensionSet>* dims_sets_ = nullptr;
+  std::vector<BlockSums> partials_;  // count unused
+  Matrix deviation_;
+  double objective_ = 0.0;
+  size_t dims_ = 0;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_CORE_CONSUMERS_H_

@@ -9,6 +9,7 @@
 
 #include "common/dimension_set.h"
 #include "common/matrix.h"
+#include "common/run_stats.h"
 #include "data/dataset.h"
 #include "gen/ground_truth.h"
 
@@ -39,6 +40,10 @@ struct ProjectedClustering {
   size_t iterations = 0;
   /// Medoid-set replacements that improved the objective.
   size_t improvements = 0;
+  /// Data-movement counters and per-phase wall time of the run that
+  /// produced this model (scans issued, rows visited, bytes read from
+  /// disk-backed sources, distance evaluations).
+  RunStats stats;
 
   /// Number of clusters.
   size_t num_clusters() const { return medoids.size(); }

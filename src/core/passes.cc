@@ -1,330 +1,66 @@
 #include "core/passes.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
-#include "distance/metric.h"
-#include "distance/segmental.h"
-#include "gen/ground_truth.h"
+#include "core/consumers.h"
 
 namespace proclus {
-
-namespace {
-
-// Full-space Manhattan segmental distance between two equal-length rows.
-inline double FullSegmental(std::span<const double> a,
-                            std::span<const double> b) {
-  return ManhattanDistance(a, b) / static_cast<double>(a.size());
-}
-
-// delta_i = full-space segmental distance from medoid i to its nearest
-// other medoid (infinity when k == 1).
-std::vector<double> MedoidDeltas(const Matrix& medoids) {
-  const size_t k = medoids.rows();
-  std::vector<double> delta(k, std::numeric_limits<double>::infinity());
-  for (size_t i = 0; i < k; ++i) {
-    for (size_t j = i + 1; j < k; ++j) {
-      double dist = FullSegmental(medoids.row(i), medoids.row(j));
-      if (dist < delta[i]) delta[i] = dist;
-      if (dist < delta[j]) delta[j] = dist;
-    }
-  }
-  return delta;
-}
-
-// Materialized dimension lists (the hot loops iterate plain indices).
-std::vector<std::vector<uint32_t>> DimLists(
-    const std::vector<DimensionSet>& dims) {
-  std::vector<std::vector<uint32_t>> lists(dims.size());
-  for (size_t i = 0; i < dims.size(); ++i) {
-    lists[i] = dims[i].ToVector();
-    PROCLUS_CHECK(!lists[i].empty());
-  }
-  return lists;
-}
-
-}  // namespace
-
-Status ForEachBlock(const PointSource& source, const PassOptions& options,
-                    const BlockVisitor& visit) {
-  if (options.block_rows == 0)
-    return Status::InvalidArgument("block_rows must be > 0");
-  const Dataset* memory = source.InMemory();
-  if (memory == nullptr || options.num_threads <= 1) {
-    return source.Scan(options.block_rows, visit);
-  }
-  const size_t d = memory->dims();
-  const std::vector<double>& data = memory->matrix().data();
-  ParallelBlocks(memory->size(), options.block_rows, options.num_threads,
-                 [&](size_t, size_t first, size_t count) {
-                   visit(first,
-                         std::span<const double>(data.data() + first * d,
-                                                 count * d),
-                         count);
-                 });
-  return Status::OK();
-}
 
 Result<Matrix> LocalityStatsPass(const PointSource& source,
                                  const Matrix& medoids,
                                  const PassOptions& options) {
-  const size_t k = medoids.rows();
-  const size_t d = source.dims();
-  if (k == 0) return Status::InvalidArgument("no medoids");
-  if (medoids.cols() != d)
+  if (medoids.rows() == 0) return Status::InvalidArgument("no medoids");
+  if (medoids.cols() != source.dims())
     return Status::InvalidArgument("medoid dimensionality mismatch");
-  std::vector<double> delta = MedoidDeltas(medoids);
-
-  struct Partial {
-    std::vector<double> sums;   // k x d
-    std::vector<size_t> count;  // k
-  };
-  const size_t blocks = BlockCount(source.size(), options.block_rows);
-  std::vector<Partial> partials(blocks);
-
-  Status status = ForEachBlock(
-      source, options,
-      [&](size_t first, std::span<const double> data, size_t rows) {
-        Partial& partial = partials[first / options.block_rows];
-        partial.sums.assign(k * d, 0.0);
-        partial.count.assign(k, 0);
-        for (size_t r = 0; r < rows; ++r) {
-          std::span<const double> point = data.subspan(r * d, d);
-          for (size_t i = 0; i < k; ++i) {
-            auto medoid = medoids.row(i);
-            if (FullSegmental(point, medoid) <= delta[i]) {
-              double* sums = partial.sums.data() + i * d;
-              for (size_t j = 0; j < d; ++j) {
-                double diff = point[j] - medoid[j];
-                sums[j] += diff < 0 ? -diff : diff;
-              }
-              ++partial.count[i];
-            }
-          }
-        }
-      });
-  PROCLUS_RETURN_IF_ERROR(status);
-
-  Matrix X(k, d);
-  std::vector<size_t> count(k, 0);
-  for (const Partial& partial : partials) {
-    if (partial.sums.empty()) continue;
-    for (size_t i = 0; i < k; ++i) {
-      for (size_t j = 0; j < d; ++j)
-        X(i, j) += partial.sums[i * d + j];
-      count[i] += partial.count[i];
-    }
-  }
-  for (size_t i = 0; i < k; ++i) {
-    // Every medoid is a data point, so its own locality is non-empty as
-    // long as the medoid coordinates came from this source.
-    if (count[i] == 0) continue;
-    for (size_t j = 0; j < d; ++j)
-      X(i, j) /= static_cast<double>(count[i]);
-  }
-  return X;
+  LocalityStatsConsumer consumer;
+  PROCLUS_RETURN_IF_ERROR(consumer.Bind(&medoids));
+  PROCLUS_RETURN_IF_ERROR(ScanExecutor(options).Run(source, {&consumer}));
+  return consumer.TakeStats();
 }
 
 Result<Matrix> ClusterStatsPass(const PointSource& source,
                                 const Matrix& medoids,
                                 const std::vector<int>& labels,
                                 const PassOptions& options) {
-  const size_t k = medoids.rows();
-  const size_t d = source.dims();
-  if (k == 0) return Status::InvalidArgument("no medoids");
+  if (medoids.rows() == 0) return Status::InvalidArgument("no medoids");
   if (labels.size() != source.size())
     return Status::InvalidArgument("label count mismatch");
-
-  struct Partial {
-    std::vector<double> sums;
-    std::vector<size_t> count;
-  };
-  const size_t blocks = BlockCount(source.size(), options.block_rows);
-  std::vector<Partial> partials(blocks);
-
-  Status status = ForEachBlock(
-      source, options,
-      [&](size_t first, std::span<const double> data, size_t rows) {
-        Partial& partial = partials[first / options.block_rows];
-        partial.sums.assign(k * d, 0.0);
-        partial.count.assign(k, 0);
-        for (size_t r = 0; r < rows; ++r) {
-          int label = labels[first + r];
-          if (label == kOutlierLabel) continue;
-          size_t i = static_cast<size_t>(label);
-          // invariant: labels come from AssignPointsPass, which only emits
-          // kOutlierLabel or medoid indices in [0, k).
-          PROCLUS_CHECK(i < k);
-          std::span<const double> point = data.subspan(r * d, d);
-          auto medoid = medoids.row(i);
-          double* sums = partial.sums.data() + i * d;
-          for (size_t j = 0; j < d; ++j) {
-            double diff = point[j] - medoid[j];
-            sums[j] += diff < 0 ? -diff : diff;
-          }
-          ++partial.count[i];
-        }
-      });
-  PROCLUS_RETURN_IF_ERROR(status);
-
-  Matrix X(k, d);
-  std::vector<size_t> count(k, 0);
-  for (const Partial& partial : partials) {
-    if (partial.sums.empty()) continue;
-    for (size_t i = 0; i < k; ++i) {
-      for (size_t j = 0; j < d; ++j)
-        X(i, j) += partial.sums[i * d + j];
-      count[i] += partial.count[i];
-    }
-  }
-  for (size_t i = 0; i < k; ++i) {
-    if (count[i] == 0) continue;
-    for (size_t j = 0; j < d; ++j)
-      X(i, j) /= static_cast<double>(count[i]);
-  }
-  return X;
+  ClusterStatsConsumer consumer;
+  PROCLUS_RETURN_IF_ERROR(consumer.Bind(&medoids, &labels));
+  PROCLUS_RETURN_IF_ERROR(ScanExecutor(options).Run(source, {&consumer}));
+  return consumer.TakeStats();
 }
 
 Result<std::vector<int>> AssignPointsPass(
     const PointSource& source, const Matrix& medoids,
     const std::vector<DimensionSet>& dims, bool segmental_normalization,
     const PassOptions& options) {
-  const size_t k = medoids.rows();
-  const size_t d = source.dims();
-  if (k == 0) return Status::InvalidArgument("no medoids");
-  if (dims.size() != k)
+  if (medoids.rows() == 0) return Status::InvalidArgument("no medoids");
+  if (dims.size() != medoids.rows())
     return Status::InvalidArgument("dimension set count mismatch");
-  std::vector<std::vector<uint32_t>> dim_lists = DimLists(dims);
-
-  std::vector<int> labels(source.size());
-  Status status = ForEachBlock(
-      source, options,
-      [&](size_t first, std::span<const double> data, size_t rows) {
-        for (size_t r = 0; r < rows; ++r) {
-          std::span<const double> point = data.subspan(r * d, d);
-          double best = std::numeric_limits<double>::infinity();
-          int best_i = 0;
-          for (size_t i = 0; i < k; ++i) {
-            double dist =
-                segmental_normalization
-                    ? ManhattanSegmentalDistance(point, medoids.row(i),
-                                                 dim_lists[i])
-                    : RestrictedManhattanDistance(point, medoids.row(i),
-                                                  dim_lists[i]);
-            if (dist < best) {
-              best = dist;
-              best_i = static_cast<int>(i);
-            }
-          }
-          labels[first + r] = best_i;
-        }
-      });
-  PROCLUS_RETURN_IF_ERROR(status);
-  return labels;
+  AssignConsumer consumer;
+  PROCLUS_RETURN_IF_ERROR(consumer.Bind(&medoids, &dims,
+                                        segmental_normalization,
+                                        /*accumulate_centroids=*/false));
+  PROCLUS_RETURN_IF_ERROR(ScanExecutor(options).Run(source, {&consumer}));
+  return consumer.TakeLabels();
 }
 
 Result<double> EvaluateClustersPass(const PointSource& source,
                                     const std::vector<int>& labels,
                                     const std::vector<DimensionSet>& dims,
                                     const PassOptions& options) {
-  const size_t k = dims.size();
-  const size_t d = source.dims();
   if (labels.size() != source.size())
     return Status::InvalidArgument("label count mismatch");
-
+  ScanExecutor executor(options);
   // Scan 1: centroids.
-  struct SumPartial {
-    std::vector<double> sums;
-    std::vector<size_t> count;
-  };
-  const size_t blocks = BlockCount(source.size(), options.block_rows);
-  std::vector<SumPartial> partials(blocks);
-  Status status = ForEachBlock(
-      source, options,
-      [&](size_t first, std::span<const double> data, size_t rows) {
-        SumPartial& partial = partials[first / options.block_rows];
-        partial.sums.assign(k * d, 0.0);
-        partial.count.assign(k, 0);
-        for (size_t r = 0; r < rows; ++r) {
-          int label = labels[first + r];
-          if (label == kOutlierLabel) continue;
-          size_t i = static_cast<size_t>(label);
-          // invariant: labels come from AssignPointsPass, which only emits
-          // kOutlierLabel or medoid indices in [0, k).
-          PROCLUS_CHECK(i < k);
-          std::span<const double> point = data.subspan(r * d, d);
-          double* sums = partial.sums.data() + i * d;
-          for (size_t j = 0; j < d; ++j) sums[j] += point[j];
-          ++partial.count[i];
-        }
-      });
-  PROCLUS_RETURN_IF_ERROR(status);
-
-  Matrix centroid(k, d);
-  std::vector<size_t> count(k, 0);
-  for (const SumPartial& partial : partials) {
-    if (partial.sums.empty()) continue;
-    for (size_t i = 0; i < k; ++i) {
-      for (size_t j = 0; j < d; ++j)
-        centroid(i, j) += partial.sums[i * d + j];
-      count[i] += partial.count[i];
-    }
-  }
-  for (size_t i = 0; i < k; ++i) {
-    if (count[i] == 0) continue;
-    for (size_t j = 0; j < d; ++j)
-      centroid(i, j) /= static_cast<double>(count[i]);
-  }
-
+  CentroidConsumer centroids;
+  PROCLUS_RETURN_IF_ERROR(centroids.Bind(&labels, dims.size()));
+  PROCLUS_RETURN_IF_ERROR(executor.Run(source, {&centroids}));
   // Scan 2: per-dimension absolute deviations from the centroids.
-  for (auto& partial : partials) {
-    partial.sums.clear();
-    partial.count.clear();
-  }
-  status = ForEachBlock(
-      source, options,
-      [&](size_t first, std::span<const double> data, size_t rows) {
-        SumPartial& partial = partials[first / options.block_rows];
-        partial.sums.assign(k * d, 0.0);
-        for (size_t r = 0; r < rows; ++r) {
-          int label = labels[first + r];
-          if (label == kOutlierLabel) continue;
-          size_t i = static_cast<size_t>(label);
-          std::span<const double> point = data.subspan(r * d, d);
-          double* sums = partial.sums.data() + i * d;
-          for (size_t j = 0; j < d; ++j) {
-            double diff = point[j] - centroid(i, j);
-            sums[j] += diff < 0 ? -diff : diff;
-          }
-        }
-      });
-  PROCLUS_RETURN_IF_ERROR(status);
-
-  Matrix deviation(k, d);
-  for (const SumPartial& partial : partials) {
-    if (partial.sums.empty()) continue;
-    for (size_t i = 0; i < k; ++i)
-      for (size_t j = 0; j < d; ++j)
-        deviation(i, j) += partial.sums[i * d + j];
-  }
-
-  double weighted = 0.0;
-  size_t clustered = 0;
-  for (size_t i = 0; i < k; ++i) {
-    if (count[i] == 0) continue;
-    std::vector<uint32_t> dim_list = dims[i].ToVector();
-    // invariant: FindDimensions allocates >= 2 dimensions per medoid.
-    PROCLUS_CHECK(!dim_list.empty());
-    double w = 0.0;
-    for (uint32_t j : dim_list)
-      w += deviation(i, j) / static_cast<double>(count[i]);
-    w /= static_cast<double>(dim_list.size());
-    weighted += w * static_cast<double>(count[i]);
-    clustered += count[i];
-  }
-  return clustered == 0 ? 0.0
-                        : weighted / static_cast<double>(clustered);
+  DeviationConsumer deviation;
+  PROCLUS_RETURN_IF_ERROR(deviation.Bind(&labels, &centroids.centroids(),
+                                         &centroids.cluster_sizes(), &dims));
+  PROCLUS_RETURN_IF_ERROR(executor.Run(source, {&deviation}));
+  return deviation.objective();
 }
 
 Result<std::vector<int>> RefineAssignPass(
@@ -332,41 +68,16 @@ Result<std::vector<int>> RefineAssignPass(
     const std::vector<DimensionSet>& dims,
     const std::vector<double>& spheres, bool segmental_normalization,
     bool detect_outliers, const PassOptions& options) {
-  const size_t k = medoids.rows();
-  const size_t d = source.dims();
-  if (k == 0) return Status::InvalidArgument("no medoids");
-  if (dims.size() != k || spheres.size() != k)
+  if (medoids.rows() == 0) return Status::InvalidArgument("no medoids");
+  if (dims.size() != medoids.rows() || spheres.size() != medoids.rows())
     return Status::InvalidArgument("per-medoid input count mismatch");
-  std::vector<std::vector<uint32_t>> dim_lists = DimLists(dims);
-
-  std::vector<int> labels(source.size());
-  Status status = ForEachBlock(
-      source, options,
-      [&](size_t first, std::span<const double> data, size_t rows) {
-        for (size_t r = 0; r < rows; ++r) {
-          std::span<const double> point = data.subspan(r * d, d);
-          double best = std::numeric_limits<double>::infinity();
-          int best_i = 0;
-          bool inside_any = false;
-          for (size_t i = 0; i < k; ++i) {
-            double dist =
-                segmental_normalization
-                    ? ManhattanSegmentalDistance(point, medoids.row(i),
-                                                 dim_lists[i])
-                    : RestrictedManhattanDistance(point, medoids.row(i),
-                                                  dim_lists[i]);
-            if (dist <= spheres[i]) inside_any = true;
-            if (dist < best) {
-              best = dist;
-              best_i = static_cast<int>(i);
-            }
-          }
-          labels[first + r] =
-              (detect_outliers && !inside_any) ? kOutlierLabel : best_i;
-        }
-      });
-  PROCLUS_RETURN_IF_ERROR(status);
-  return labels;
+  RefineAssignConsumer consumer;
+  PROCLUS_RETURN_IF_ERROR(consumer.Bind(&medoids, &dims, &spheres,
+                                        segmental_normalization,
+                                        detect_outliers,
+                                        /*accumulate_centroids=*/false));
+  PROCLUS_RETURN_IF_ERROR(ScanExecutor(options).Run(source, {&consumer}));
+  return consumer.TakeLabels();
 }
 
 }  // namespace proclus

@@ -2,11 +2,14 @@
 //
 // Each pass is one scan over the data (the database-algorithm contract
 // of the paper) producing either per-point outputs (labels) or small
-// aggregates (k x d statistics). Scans over in-memory sources may be
-// block-parallel: every block computes an independent partial and the
-// partials are merged sequentially in block order, so results are
-// bit-identical for any thread count. Disk-backed sources scan
-// sequentially (the pass is I/O bound there anyway).
+// aggregates (k x d statistics). The passes are thin wrappers over the
+// scan-executor layer (data/engine.h, core/consumers.h): each one binds
+// the matching ScanConsumer and runs it over a single scan, inheriting
+// the executor's determinism contract — block-parallel over in-memory
+// sources, sequential block-ordered merge, bit-identical results for any
+// thread count. Callers that want to FUSE several computations into one
+// physical scan use the consumers and ScanExecutor::Run directly, as the
+// hill-climbing loop in core/proclus.cc does.
 //
 // Medoids are passed by coordinates (a k x d matrix) rather than point
 // indices so the passes never need random access into the source.
@@ -18,27 +21,15 @@
 #include <vector>
 
 #include "common/dimension_set.h"
-#include "common/parallel.h"
 #include "common/status.h"
+#include "data/engine.h"
 #include "data/point_source.h"
 
 namespace proclus {
 
-/// Execution options shared by all passes.
-struct PassOptions {
-  /// Worker threads for in-memory sources (1 = sequential). Results are
-  /// independent of this value.
-  size_t num_threads = 1;
-  /// Rows per block (and per disk read).
-  size_t block_rows = kDefaultBlockRows;
-};
-
-/// Visits every block of the source; in-memory sources are processed
-/// block-parallel with `options.num_threads`. The visitor is invoked
-/// concurrently for distinct blocks and must only touch state owned by
-/// its block (index it by first_row / block_rows).
-Status ForEachBlock(const PointSource& source, const PassOptions& options,
-                    const BlockVisitor& visit);
+/// Execution options shared by all passes (threads, block size, optional
+/// RunStats sink). See ScanOptions in data/engine.h.
+using PassOptions = ScanOptions;
 
 /// Locality statistics (iterative phase): X(i, j) = average |p_j - m_ij|
 /// over the points within delta_i of medoid i, where delta_i is the

@@ -4,10 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
-#include <unordered_set>
 
-#include "common/logging.h"
 #include "common/rng.h"
+#include "common/timer.h"
+#include "core/consumers.h"
 #include "core/find_dimensions.h"
 #include "core/greedy.h"
 #include "core/passes.h"
@@ -95,32 +95,274 @@ std::vector<size_t> FindBadMedoids(const std::vector<int>& labels, size_t k,
 
 namespace {
 
+// Reused buffers of ReplaceBadMedoids: the free-slot list is rebuilt
+// every iteration but never reallocated once it reaches capacity.
+struct MedoidScratch {
+  std::vector<uint8_t> used;       // One mark per candidate-pool slot.
+  std::vector<size_t> free_slots;  // Unused slots, ascending before shuffle.
+};
+
 // Replaces the clusters listed in `bad` within `medoids` (positions into
-// the candidate pool) by random unused candidates.
+// the candidate pool) by random unused candidates. The shuffle draws
+// depend only on the free-slot COUNT (pool size minus k), never on the
+// slot values, so two calls from identical Rng states advance the stream
+// identically whatever the medoid sets are.
 void ReplaceBadMedoids(size_t pool_size, const std::vector<size_t>& bad,
-                       std::vector<size_t>* medoid_slots, Rng& rng) {
-  std::unordered_set<size_t> used(medoid_slots->begin(),
-                                  medoid_slots->end());
-  std::vector<size_t> free_slots;
-  free_slots.reserve(pool_size);
+                       std::vector<size_t>* medoid_slots, Rng& rng,
+                       MedoidScratch& scratch) {
+  scratch.used.assign(pool_size, 0);
+  for (size_t slot : *medoid_slots) scratch.used[slot] = 1;
+  scratch.free_slots.clear();
   for (size_t slot = 0; slot < pool_size; ++slot)
-    if (!used.count(slot)) free_slots.push_back(slot);
-  rng.Shuffle(free_slots);
+    if (!scratch.used[slot]) scratch.free_slots.push_back(slot);
+  rng.Shuffle(scratch.free_slots);
   size_t next = 0;
   for (size_t cluster : bad) {
-    if (next >= free_slots.size()) break;  // Pool exhausted.
-    (*medoid_slots)[cluster] = free_slots[next++];
+    if (next >= scratch.free_slots.size()) break;  // Pool exhausted.
+    (*medoid_slots)[cluster] = scratch.free_slots[next++];
   }
 }
 
-// Builds the k x d coordinate matrix of the medoids at `slots` within
-// the candidate coordinate matrix.
-Matrix SlotsToCoords(const Matrix& candidate_coords,
-                     const std::vector<size_t>& slots) {
-  Matrix out(slots.size(), candidate_coords.cols());
+// Copies the k x d coordinate matrix of the medoids at `slots` within the
+// candidate coordinate matrix into `out`, reallocating only when the
+// shape changes.
+void SlotsToCoords(const Matrix& candidate_coords,
+                   const std::vector<size_t>& slots, Matrix* out) {
+  if (out->rows() != slots.size() ||
+      out->cols() != candidate_coords.cols() ||
+      out->data().size() != slots.size() * candidate_coords.cols()) {
+    *out = Matrix(slots.size(), candidate_coords.cols());
+  }
   for (size_t i = 0; i < slots.size(); ++i) {
     auto src = candidate_coords.row(slots[i]);
-    std::copy(src.begin(), src.end(), out.row(i).begin());
+    std::copy(src.begin(), src.end(), out->row(i).begin());
+  }
+}
+
+// Best state found by one hill-climbing restart.
+struct ClimbResult {
+  double objective = std::numeric_limits<double>::infinity();
+  std::vector<size_t> slots;
+  std::vector<DimensionSet> dims;
+  std::vector<int> labels;
+  size_t iterations = 0;
+  size_t improvements = 0;
+};
+
+// Long-lived consumers and buffers shared by every restart of the fused
+// climb, so steady-state iterations allocate nothing.
+struct FusedScratch {
+  LocalityStatsConsumer locality;
+  AssignConsumer assign;
+  DeviationConsumer deviation;
+  Matrix medoid_coords;  // Coordinates of the current medoid set.
+  Matrix spec_coords;    // Union coordinates of the speculative sets.
+  MedoidScratch medoids;
+  std::vector<size_t> next_a;      // Next set if this iteration improves.
+  std::vector<size_t> next_b;      // Next set if it does not.
+  std::vector<size_t> union_slots;
+};
+
+constexpr size_t kNoVariant = static_cast<size_t>(-1);
+
+// One hill-climbing restart on the fused scan engine: two physical scans
+// per iteration.
+//
+//   Scan 1  assignment + per-cluster centroid accumulation
+//   Scan 2  deviation evaluation + locality statistics of the NEXT
+//           medoid set
+//
+// The classic loop needs a third and fourth scan because the locality
+// statistics of the next iteration's medoids and the centroids of the
+// current labels each took a dedicated pass. Fusing the locality scan
+// works because the medoid replacement depends only on the assignment:
+// before the evaluation scan runs, both possible next medoid sets — the
+// one chosen if this iteration improves the objective and the one chosen
+// if it does not — are already known, so the scan computes locality
+// statistics for both (sharing per-point distances over the union of
+// their medoids) and the loop keeps whichever branch materializes.
+// The two replacement draws use identical Rng sequences (see
+// ReplaceBadMedoids), so the random stream — and therefore every result —
+// stays bit-identical to the classic engine.
+Result<ClimbResult> FusedClimb(const PointSource& source,
+                               const ProclusParams& params,
+                               const Matrix& candidate_coords,
+                               std::vector<size_t> current, Rng& rng,
+                               const ScanExecutor& executor,
+                               FusedScratch& s, RunStats& stats) {
+  const size_t k = params.num_clusters;
+  const size_t pool = candidate_coords.rows();
+  ClimbResult out;
+  std::vector<size_t> bad;  // Bad medoids of the best set so far.
+
+  // Bootstrap: the locality statistics of the initial medoid set are the
+  // only input the first iteration needs that no earlier scan produced.
+  SlotsToCoords(candidate_coords, current, &s.medoid_coords);
+  PROCLUS_RETURN_IF_ERROR(s.locality.Bind(&s.medoid_coords));
+  PROCLUS_RETURN_IF_ERROR(executor.Run(source, {&s.locality}));
+  ++stats.bootstrap_scans;
+  Matrix X = s.locality.TakeStats();
+
+  size_t since_improvement = 0;
+  while (out.iterations < params.max_iterations &&
+         since_improvement < params.max_no_improve) {
+    ++out.iterations;
+    auto dims = FindDimensions(X, params.avg_dims);
+    PROCLUS_RETURN_IF_ERROR(dims.status());
+
+    // Scan 1: assignment fused with centroid accumulation.
+    PROCLUS_RETURN_IF_ERROR(s.assign.Bind(&s.medoid_coords, &*dims,
+                                          params.segmental_normalization,
+                                          /*accumulate_centroids=*/true));
+    PROCLUS_RETURN_IF_ERROR(executor.Run(source, {&s.assign}));
+    ++stats.iterative_scans;
+
+    // Draw both speculative next medoid sets. Branch A materializes when
+    // this iteration improves the objective (base = current set, bad
+    // medoids from the fresh labels); branch B when it does not (base =
+    // best set so far, its stored bad medoids). The main rng advances
+    // through branch A's draw; branch B uses a copy that ends in the
+    // identical state.
+    std::vector<size_t> bad_a =
+        internal::FindBadMedoids(s.assign.labels(), k, params.min_deviation);
+    s.next_a = current;
+    const bool have_b = !out.slots.empty();
+    Rng rng_b = rng;
+    ReplaceBadMedoids(pool, bad_a, &s.next_a, rng, s.medoids);
+    const bool exhausted_a = s.next_a == current;
+    bool exhausted_b = false;
+    if (have_b) {
+      s.next_b = out.slots;
+      ReplaceBadMedoids(pool, bad, &s.next_b, rng_b, s.medoids);
+      exhausted_b = s.next_b == out.slots;
+    }
+
+    // A branch's locality statistics are only worth computing when the
+    // loop would actually continue with that branch.
+    const bool last_iteration = out.iterations == params.max_iterations;
+    const bool need_a = !last_iteration && !exhausted_a;
+    const bool need_b = have_b && !last_iteration && !exhausted_b &&
+                        since_improvement + 1 < params.max_no_improve;
+
+    // Scan 2: deviation evaluation, fused with the speculative locality
+    // statistics whenever a next iteration is possible.
+    PROCLUS_RETURN_IF_ERROR(
+        s.deviation.Bind(&s.assign.labels(), &s.assign.centroids(),
+                         &s.assign.cluster_sizes(), &*dims));
+    size_t variant_a = kNoVariant;
+    size_t variant_b = kNoVariant;
+    if (need_a || need_b) {
+      s.union_slots.clear();
+      std::vector<std::vector<size_t>> variant_rows;
+      if (need_a) {
+        s.union_slots.assign(s.next_a.begin(), s.next_a.end());
+        std::vector<size_t> rows(k);
+        std::iota(rows.begin(), rows.end(), size_t{0});
+        variant_rows.push_back(std::move(rows));
+        variant_a = 0;
+      }
+      if (need_b) {
+        std::vector<size_t> rows(k);
+        for (size_t i = 0; i < k; ++i) {
+          const size_t slot = s.next_b[i];
+          size_t pos = 0;
+          while (pos < s.union_slots.size() && s.union_slots[pos] != slot)
+            ++pos;
+          if (pos == s.union_slots.size()) s.union_slots.push_back(slot);
+          rows[i] = pos;
+        }
+        variant_b = variant_rows.size();
+        variant_rows.push_back(std::move(rows));
+      }
+      SlotsToCoords(candidate_coords, s.union_slots, &s.spec_coords);
+      PROCLUS_RETURN_IF_ERROR(
+          s.locality.Bind(&s.spec_coords, std::move(variant_rows)));
+      PROCLUS_RETURN_IF_ERROR(
+          executor.Run(source, {&s.deviation, &s.locality}));
+    } else {
+      PROCLUS_RETURN_IF_ERROR(executor.Run(source, {&s.deviation}));
+    }
+    ++stats.iterative_scans;
+    const double objective = s.deviation.objective();
+
+    const bool improved = objective < out.objective;
+    if (improved) {
+      out.objective = objective;
+      out.slots = current;
+      out.dims = std::move(dims).value();
+      out.labels = s.assign.labels();
+      bad = std::move(bad_a);
+      ++out.improvements;
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+    }
+    // invariant: the first iteration always improves on the infinite
+    // starting objective, so a non-improving iteration has a stored best
+    // set and branch B was drawn.
+    PROCLUS_CHECK(improved || have_b);
+    const bool exhausted = improved ? exhausted_a : exhausted_b;
+    if (exhausted) break;  // Candidate pool exhausted.
+    current = improved ? s.next_a : s.next_b;
+    if (last_iteration || since_improvement >= params.max_no_improve) break;
+    // The loop continues: the locality statistics of `current` came out
+    // of the evaluation scan above.
+    const size_t variant = improved ? variant_a : variant_b;
+    // invariant: need_a/need_b cover exactly the continue conditions
+    // checked right above, so the surviving branch was computed.
+    PROCLUS_CHECK(variant != kNoVariant);
+    X = s.locality.TakeStats(variant);
+    SlotsToCoords(candidate_coords, current, &s.medoid_coords);
+  }
+  return out;
+}
+
+// One hill-climbing restart on the classic pass-per-aggregate engine:
+// four physical scans per iteration (locality, assignment, centroids,
+// deviations). Kept as the measured before/after ablation for the fused
+// engine; results are bit-identical.
+Result<ClimbResult> ClassicClimb(const PointSource& source,
+                                 const ProclusParams& params,
+                                 const Matrix& candidate_coords,
+                                 std::vector<size_t> current, Rng& rng,
+                                 const PassOptions& pass_options,
+                                 Matrix& medoid_coords,
+                                 MedoidScratch& scratch) {
+  const size_t k = params.num_clusters;
+  ClimbResult out;
+  std::vector<size_t> bad;
+
+  size_t since_improvement = 0;
+  while (out.iterations < params.max_iterations &&
+         since_improvement < params.max_no_improve) {
+    ++out.iterations;
+    SlotsToCoords(candidate_coords, current, &medoid_coords);
+    auto X = LocalityStatsPass(source, medoid_coords, pass_options);
+    PROCLUS_RETURN_IF_ERROR(X.status());
+    auto dims = FindDimensions(*X, params.avg_dims);
+    PROCLUS_RETURN_IF_ERROR(dims.status());
+    auto labels =
+        AssignPointsPass(source, medoid_coords, *dims,
+                         params.segmental_normalization, pass_options);
+    PROCLUS_RETURN_IF_ERROR(labels.status());
+    auto objective =
+        EvaluateClustersPass(source, *labels, *dims, pass_options);
+    PROCLUS_RETURN_IF_ERROR(objective.status());
+
+    if (*objective < out.objective) {
+      out.objective = *objective;
+      out.slots = current;
+      out.dims = std::move(dims).value();
+      out.labels = std::move(labels).value();
+      bad = internal::FindBadMedoids(out.labels, k, params.min_deviation);
+      ++out.improvements;
+      since_improvement = 0;
+    } else {
+      ++since_improvement;
+    }
+    current = out.slots;
+    ReplaceBadMedoids(candidate_coords.rows(), bad, &current, rng, scratch);
+    if (current == out.slots) break;  // Candidate pool exhausted.
   }
   return out;
 }
@@ -133,7 +375,10 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
   Rng rng(params.seed);
   const size_t k = params.num_clusters;
   const size_t n = source.size();
-  PassOptions pass_options{params.num_threads, params.block_rows};
+  RunStats stats;
+  PassOptions pass_options{params.num_threads, params.block_rows, &stats};
+  Timer total_timer;
+  Timer phase_timer;
 
   // ----- Phase 1: Initialization -----
   // Sample A*k points, then reduce to B*k medoid candidates by greedy
@@ -165,88 +410,76 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
   auto candidate_coords_result = source.Fetch(candidates);
   PROCLUS_RETURN_IF_ERROR(candidate_coords_result.status());
   const Matrix& candidate_coords = *candidate_coords_result;
+  stats.init_scans = stats.scans_issued;
+  stats.init_seconds = phase_timer.ElapsedSeconds();
 
   // ----- Phase 2: Iterative (hill climbing with restarts) -----
+  phase_timer.Reset();
+  const uint64_t scans_before_climb = stats.scans_issued;
+  ScanExecutor executor(pass_options);
+  FusedScratch fused;
+  MedoidScratch classic_scratch;
+  Matrix classic_coords;
+
   double best_objective = std::numeric_limits<double>::infinity();
   std::vector<size_t> best_slots;
   std::vector<DimensionSet> best_dims;
   std::vector<int> best_labels;
-
   size_t iterations = 0;
   size_t improvements = 0;
   for (size_t restart = 0; restart < params.num_restarts; ++restart) {
-    std::vector<size_t> current =
+    std::vector<size_t> start =
         rng.SampleWithoutReplacement(candidates.size(), k);
-    double local_best = std::numeric_limits<double>::infinity();
-    std::vector<size_t> local_slots;
-    std::vector<DimensionSet> local_dims;
-    std::vector<int> local_labels;
-    std::vector<size_t> bad;
-
-    size_t local_iterations = 0;
-    size_t since_improvement = 0;
-    while (local_iterations < params.max_iterations &&
-           since_improvement < params.max_no_improve) {
-      ++local_iterations;
-      Matrix medoid_coords = SlotsToCoords(candidate_coords, current);
-      auto X = LocalityStatsPass(source, medoid_coords, pass_options);
-      PROCLUS_RETURN_IF_ERROR(X.status());
-      auto dims = FindDimensions(*X, params.avg_dims);
-      PROCLUS_RETURN_IF_ERROR(dims.status());
-      auto labels =
-          AssignPointsPass(source, medoid_coords, *dims,
-                           params.segmental_normalization, pass_options);
-      PROCLUS_RETURN_IF_ERROR(labels.status());
-      auto objective =
-          EvaluateClustersPass(source, *labels, *dims, pass_options);
-      PROCLUS_RETURN_IF_ERROR(objective.status());
-
-      if (*objective < local_best) {
-        local_best = *objective;
-        local_slots = current;
-        local_dims = std::move(dims).value();
-        local_labels = std::move(labels).value();
-        bad = internal::FindBadMedoids(local_labels, k,
-                                       params.min_deviation);
-        ++improvements;
-        since_improvement = 0;
-      } else {
-        ++since_improvement;
-      }
-      current = local_slots;
-      ReplaceBadMedoids(candidates.size(), bad, &current, rng);
-      if (current == local_slots) break;  // Candidate pool exhausted.
-    }
-    iterations += local_iterations;
-    if (local_best < best_objective) {
-      best_objective = local_best;
-      best_slots = std::move(local_slots);
-      best_dims = std::move(local_dims);
-      best_labels = std::move(local_labels);
+    auto climb =
+        params.fuse_scans
+            ? FusedClimb(source, params, candidate_coords, std::move(start),
+                         rng, executor, fused, stats)
+            : ClassicClimb(source, params, candidate_coords,
+                           std::move(start), rng, pass_options,
+                           classic_coords, classic_scratch);
+    PROCLUS_RETURN_IF_ERROR(climb.status());
+    iterations += climb->iterations;
+    improvements += climb->improvements;
+    if (climb->objective < best_objective) {
+      best_objective = climb->objective;
+      best_slots = std::move(climb->slots);
+      best_dims = std::move(climb->dims);
+      best_labels = std::move(climb->labels);
     }
   }
   // invariant: num_restarts >= 1 (validated) and every restart runs at
   // least one hill-climbing iteration, which always records a best set.
   PROCLUS_CHECK(!best_slots.empty());
+  stats.iterative_scans =
+      stats.scans_issued - scans_before_climb - stats.bootstrap_scans;
+  stats.iterative_seconds = phase_timer.ElapsedSeconds();
 
   ProjectedClustering result;
   result.iterations = iterations;
   result.improvements = improvements;
   result.medoids.reserve(k);
   for (size_t slot : best_slots) result.medoids.push_back(candidates[slot]);
-  Matrix medoid_coords = SlotsToCoords(candidate_coords, best_slots);
+  Matrix medoid_coords;
+  SlotsToCoords(candidate_coords, best_slots, &medoid_coords);
   result.medoid_coords = medoid_coords;
 
   if (!params.refine) {
     result.dimensions = std::move(best_dims);
     result.labels = std::move(best_labels);
     result.objective = best_objective;
+    stats.total_seconds = total_timer.ElapsedSeconds();
+    result.stats = stats;
     return result;
   }
 
   // ----- Phase 3: Refinement -----
   // Recompute dimensions from the best clusters (not localities), then
-  // reassign once more, detecting outliers by spheres of influence.
+  // reassign once more, detecting outliers by spheres of influence. The
+  // fused engine folds the centroid accumulation into the reassignment
+  // scan (3 scans total); the classic engine runs the two evaluation
+  // scans separately (4 scans).
+  phase_timer.Reset();
+  const uint64_t scans_before_refine = stats.scans_issued;
   auto X = ClusterStatsPass(source, medoid_coords, best_labels,
                             pass_options);
   PROCLUS_RETURN_IF_ERROR(X.status());
@@ -271,19 +504,38 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
       if (dist < spheres[i]) spheres[i] = dist;
     }
   }
-
-  auto labels = RefineAssignPass(source, medoid_coords, *refined_dims,
-                                 spheres, params.segmental_normalization,
-                                 params.detect_outliers, pass_options);
-  PROCLUS_RETURN_IF_ERROR(labels.status());
-
   result.spheres = spheres;
   result.dimensions = std::move(refined_dims).value();
-  result.labels = std::move(labels).value();
-  auto objective = EvaluateClustersPass(source, result.labels,
-                                        result.dimensions, pass_options);
-  PROCLUS_RETURN_IF_ERROR(objective.status());
-  result.objective = *objective;
+
+  if (params.fuse_scans) {
+    RefineAssignConsumer refine;
+    PROCLUS_RETURN_IF_ERROR(refine.Bind(
+        &medoid_coords, &result.dimensions, &spheres,
+        params.segmental_normalization, params.detect_outliers,
+        /*accumulate_centroids=*/true));
+    PROCLUS_RETURN_IF_ERROR(executor.Run(source, {&refine}));
+    DeviationConsumer deviation;
+    PROCLUS_RETURN_IF_ERROR(
+        deviation.Bind(&refine.labels(), &refine.centroids(),
+                       &refine.cluster_sizes(), &result.dimensions));
+    PROCLUS_RETURN_IF_ERROR(executor.Run(source, {&deviation}));
+    result.objective = deviation.objective();
+    result.labels = refine.TakeLabels();
+  } else {
+    auto labels = RefineAssignPass(source, medoid_coords, result.dimensions,
+                                   spheres, params.segmental_normalization,
+                                   params.detect_outliers, pass_options);
+    PROCLUS_RETURN_IF_ERROR(labels.status());
+    result.labels = std::move(labels).value();
+    auto objective = EvaluateClustersPass(source, result.labels,
+                                          result.dimensions, pass_options);
+    PROCLUS_RETURN_IF_ERROR(objective.status());
+    result.objective = *objective;
+  }
+  stats.refine_scans = stats.scans_issued - scans_before_refine;
+  stats.refine_seconds = phase_timer.ElapsedSeconds();
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  result.stats = stats;
   return result;
 }
 

@@ -88,6 +88,15 @@ struct ProclusParams {
   /// candidates are a plain random sample of size B*k — the ablation
   /// showing why the greedy step matters.
   bool two_step_init = true;
+  /// Run the fused scan engine: assignment + centroid accumulation share
+  /// one scan, and the evaluation scan doubles as the locality scan of
+  /// the speculatively-replaced next medoid set, so each hill-climbing
+  /// iteration reads the data twice (plus one locality bootstrap per
+  /// restart) instead of four times. Results are bit-identical to the
+  /// classic pass-per-aggregate loop (fuse_scans = false), which is kept
+  /// as the measured before/after ablation — see RunStats and
+  /// bench/scan_engine.cc.
+  bool fuse_scans = true;
 
   /// Validates the parameters against a dataset shape.
   Status Validate(size_t num_points, size_t dims) const;

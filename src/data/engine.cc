@@ -1,0 +1,59 @@
+#include "data/engine.h"
+
+namespace proclus {
+
+Status ScanExecutor::Run(const PointSource& source,
+                         std::span<ScanConsumer* const> consumers) const {
+  if (options_.block_rows == 0)
+    return Status::InvalidArgument("block_rows must be > 0");
+  if (consumers.empty())
+    return Status::InvalidArgument("no consumers");
+
+  ScanGeometry geometry;
+  geometry.rows = source.size();
+  geometry.dims = source.dims();
+  geometry.block_rows = options_.block_rows;
+  geometry.num_blocks = BlockCount(geometry.rows, geometry.block_rows);
+  for (ScanConsumer* consumer : consumers)
+    PROCLUS_RETURN_IF_ERROR(consumer->Prepare(geometry));
+
+  const IoCounters before = source.io();
+  const Dataset* memory = source.InMemory();
+  if (memory == nullptr || options_.num_threads <= 1) {
+    Status status = source.Scan(
+        options_.block_rows,
+        [&](size_t first, std::span<const double> data, size_t rows) {
+          const size_t block = first / options_.block_rows;
+          for (ScanConsumer* consumer : consumers)
+            consumer->ConsumeBlock(block, first, data, rows);
+        });
+    PROCLUS_RETURN_IF_ERROR(status);
+  } else {
+    const size_t d = memory->dims();
+    const std::vector<double>& data = memory->matrix().data();
+    ParallelBlocks(geometry.rows, options_.block_rows, options_.num_threads,
+                   [&](size_t block, size_t first, size_t count) {
+                     std::span<const double> view(data.data() + first * d,
+                                                  count * d);
+                     for (ScanConsumer* consumer : consumers)
+                       consumer->ConsumeBlock(block, first, view, count);
+                   });
+    // The zero-copy parallel path bypasses Scan(); keep the source's
+    // counters truthful anyway.
+    source.RecordScan(geometry.rows, /*bytes=*/0);
+  }
+
+  for (ScanConsumer* consumer : consumers)
+    PROCLUS_RETURN_IF_ERROR(consumer->Merge());
+
+  if (options_.stats != nullptr) {
+    options_.stats->scans_issued += 1;
+    options_.stats->rows_visited += geometry.rows;
+    options_.stats->bytes_read += source.io().bytes_read - before.bytes_read;
+    for (ScanConsumer* consumer : consumers)
+      options_.stats->distance_evals += consumer->distance_evals();
+  }
+  return Status::OK();
+}
+
+}  // namespace proclus

@@ -1,0 +1,121 @@
+// Scan executor: one physical scan over a PointSource feeding N logical
+// consumers.
+//
+// PROCLUS-style database algorithms are built from full scans that compute
+// either per-point outputs (labels) or small aggregates (k x d statistics).
+// Expressing each such computation as a ScanConsumer — per-block partial
+// state plus a deterministic block-ordered merge — lets the executor drive
+// several of them over ONE pass through the data, which is the difference
+// between re-reading a disk-resident dataset four times per iteration and
+// reading it once or twice.
+//
+// Determinism contract (inherited from common/parallel.h and preserved for
+// every consumer the executor runs):
+//  * ConsumeBlock is invoked exactly once per block; concurrently for
+//    distinct blocks when the source is in memory and num_threads > 1,
+//    sequentially in block order otherwise. A consumer must only touch
+//    state owned by that block (keyed by block_index) or per-point state
+//    at disjoint row ranges (keyed by first_row).
+//  * Merge runs sequentially after all blocks, and must combine partials
+//    in ascending block order. Floating-point addition is not associative,
+//    so this ordering — never the thread schedule — defines the result:
+//    outputs are bit-identical for every thread count, including 1.
+//  * When several consumers share a scan, each block is offered to them in
+//    list order within the same visit; consumers never observe each
+//    other's partials, so a fused run is bit-identical to running the
+//    same consumers over separate scans.
+
+#ifndef PROCLUS_DATA_ENGINE_H_
+#define PROCLUS_DATA_ENGINE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+
+#include "common/parallel.h"
+#include "common/run_stats.h"
+#include "common/status.h"
+#include "data/point_source.h"
+
+namespace proclus {
+
+/// Shape of the scan a consumer is about to receive.
+struct ScanGeometry {
+  /// Total rows in the source (N).
+  size_t rows = 0;
+  /// Dimensionality of each row (d).
+  size_t dims = 0;
+  /// Rows per block; every block except possibly the last has exactly
+  /// this many rows.
+  size_t block_rows = 0;
+  /// Number of blocks covering the source.
+  size_t num_blocks = 0;
+};
+
+/// One logical computation over a scan: allocates per-block partial state
+/// in Prepare, accumulates into it block by block, and combines the
+/// partials in block order in Merge. Consumers are reusable: Prepare is
+/// called at the start of every scan and must reset any carried state
+/// (implementations keep their buffers allocated across scans to avoid
+/// per-iteration churn).
+class ScanConsumer {
+ public:
+  virtual ~ScanConsumer() = default;
+
+  /// Called once before any block is delivered.
+  virtual Status Prepare(const ScanGeometry& geometry) = 0;
+
+  /// Delivers one block of `rows` points starting at row `first_row`
+  /// (`data` holds rows x dims doubles, row-major). May be called
+  /// concurrently for distinct blocks; see the contract above.
+  virtual void ConsumeBlock(size_t block_index, size_t first_row,
+                            std::span<const double> data, size_t rows) = 0;
+
+  /// Called sequentially after the last block; combines partials in
+  /// ascending block order into the consumer's outputs.
+  virtual Status Merge() = 0;
+
+  /// Point-to-point distance evaluations performed during the last scan
+  /// (computed analytically so no cross-thread counting is needed).
+  virtual uint64_t distance_evals() const { return 0; }
+};
+
+/// Execution options for a scan (shared by the pass wrappers as
+/// PassOptions).
+struct ScanOptions {
+  /// Worker threads for in-memory sources (1 = sequential). Results are
+  /// independent of this value.
+  size_t num_threads = 1;
+  /// Rows per block (and per disk read).
+  size_t block_rows = kDefaultBlockRows;
+  /// Optional sink for data-movement counters; every Run adds the scan,
+  /// rows, bytes, and distance evaluations it performed.
+  RunStats* stats = nullptr;
+};
+
+/// Drives N consumers over one physical scan of a source.
+class ScanExecutor {
+ public:
+  explicit ScanExecutor(const ScanOptions& options) : options_(options) {}
+
+  /// Runs one scan: Prepare on every consumer, one ConsumeBlock per block
+  /// per consumer, then Merge on every consumer in list order. Requires
+  /// at least one consumer.
+  Status Run(const PointSource& source,
+             std::span<ScanConsumer* const> consumers) const;
+  Status Run(const PointSource& source,
+             std::initializer_list<ScanConsumer*> consumers) const {
+    return Run(source,
+               std::span<ScanConsumer* const>(consumers.begin(),
+                                              consumers.size()));
+  }
+
+  const ScanOptions& options() const { return options_; }
+
+ private:
+  ScanOptions options_;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_DATA_ENGINE_H_

@@ -21,6 +21,7 @@ Status MemorySource::Scan(size_t block_rows, const BlockVisitor& visit)
     visit(first, std::span<const double>(data.data() + first * d, rows * d),
           rows);
   }
+  RecordScan(n, /*bytes=*/0);  // Blocks are zero-copy views.
   return Status::OK();
 }
 
@@ -34,6 +35,7 @@ Result<Matrix> MemorySource::Fetch(std::span<const size_t> indices) const {
     auto src = dataset_->point(indices[r]);
     std::copy(src.begin(), src.end(), out.row(r).begin());
   }
+  RecordFetch(indices.size(), /*bytes=*/0);
   return out;
 }
 
@@ -87,6 +89,7 @@ Status DiskSource::Scan(size_t block_rows, const BlockVisitor& visit) const {
     visit(first, std::span<const double>(buffer.data(), rows * cols_),
           rows);
   }
+  RecordScan(rows_, rows_ * cols_ * sizeof(double));
   return Status::OK();
 }
 
@@ -107,6 +110,7 @@ Result<Matrix> DiskSource::Fetch(std::span<const size_t> indices) const {
     if (!in) return Status::IOError("read failed for point " +
                                     std::to_string(indices[r]));
   }
+  RecordFetch(indices.size(), indices.size() * row_bytes);
   return out;
 }
 

@@ -19,6 +19,8 @@
 #ifndef PROCLUS_DATA_POINT_SOURCE_H_
 #define PROCLUS_DATA_POINT_SOURCE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -30,6 +32,17 @@
 
 namespace proclus {
 
+/// Snapshot of a source's cumulative physical-access counters (monotonic
+/// over the source's lifetime). `bytes_read` counts bytes physically read
+/// from backing storage: zero for in-memory sources, whose scans hand out
+/// zero-copy views.
+struct IoCounters {
+  uint64_t scans = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t bytes_read = 0;
+  uint64_t rows_fetched = 0;
+};
+
 /// Receives one block: index of its first row, row-major coordinate data
 /// (`rows` x dims() values), and the number of rows in the block.
 using BlockVisitor =
@@ -39,6 +52,12 @@ using BlockVisitor =
 /// Abstract scan/fetch access to N points in d dimensions.
 class PointSource {
  public:
+  PointSource() = default;
+  // Counters are bound to the source's identity, not its data: copies and
+  // moved-to sources start counting from zero.
+  PointSource(const PointSource&) noexcept {}
+  PointSource& operator=(const PointSource&) noexcept { return *this; }
+
   virtual ~PointSource() = default;
 
   /// Number of points N.
@@ -61,6 +80,43 @@ class PointSource {
   /// Non-null when the full point set is addressable in memory; enables
   /// the zero-copy parallel pass path.
   virtual const Dataset* InMemory() const { return nullptr; }
+
+  /// Cumulative access counters. Thread-compatible with concurrent
+  /// Scan/Fetch calls (relaxed atomics; each field is individually
+  /// consistent).
+  IoCounters io() const {
+    IoCounters out;
+    out.scans = scans_.load(std::memory_order_relaxed);
+    out.rows_scanned = rows_scanned_.load(std::memory_order_relaxed);
+    out.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    out.rows_fetched = rows_fetched_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ protected:
+  /// Implementations call this once per completed Scan.
+  void RecordScan(uint64_t rows, uint64_t bytes) const {
+    scans_.fetch_add(1, std::memory_order_relaxed);
+    rows_scanned_.fetch_add(rows, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// Implementations call this once per completed Fetch.
+  void RecordFetch(uint64_t rows, uint64_t bytes) const {
+    rows_fetched_.fetch_add(rows, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  // The executor's zero-copy parallel path reads an in-memory source's
+  // data without going through Scan(); it records the logical scan here so
+  // the counters stay truthful for every path.
+  friend class ScanExecutor;
+
+  mutable std::atomic<uint64_t> scans_{0};
+  mutable std::atomic<uint64_t> rows_scanned_{0};
+  mutable std::atomic<uint64_t> bytes_read_{0};
+  mutable std::atomic<uint64_t> rows_fetched_{0};
 };
 
 /// PointSource view over an in-memory Dataset (not owned).

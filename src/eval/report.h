@@ -25,6 +25,10 @@ class TableWriter {
   /// Renders the table with aligned columns and a header separator.
   std::string ToString() const;
 
+  /// Raw access for machine-readable emitters (bench --json).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

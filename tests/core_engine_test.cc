@@ -1,0 +1,288 @@
+// Engine-equivalence tests for the fused scan executor.
+//
+//  * The fused hill climb (ProclusParams::fuse_scans, the default) and the
+//    classic pass-per-aggregate loop reproduce the recorded pre-refactor
+//    goldens bit-for-bit: objective bits, a hash of the labels, medoid
+//    indices, iteration/improvement counts, and outliers.
+//  * Fused == classic across MemorySource/DiskSource and thread counts.
+//  * The RunStats scan budget holds exactly: the fused engine spends one
+//    bootstrap scan per restart plus 2 scans per iteration (the classic
+//    loop spends 4) and 3 refinement scans (classic: 4).
+//  * N consumers sharing one physical scan produce bit-identical outputs
+//    to the same consumers run over separate scans, while the scan and
+//    byte counters record the saved passes.
+
+#include "data/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/consumers.h"
+#include "core/proclus.h"
+#include "data/binary_io.h"
+#include "gen/synthetic.h"
+
+namespace proclus {
+namespace {
+
+struct Golden {
+  uint64_t algo_seed;
+  uint64_t objective_bits;
+  uint64_t labels_hash;
+  size_t iterations;
+  size_t improvements;
+  std::vector<size_t> medoids;
+  size_t outliers;
+};
+
+// Recorded from the pre-refactor pass-per-aggregate implementation on the
+// fixture below (n=5000, d=10, k=3, data seed 3). Both engines must keep
+// reproducing these bit-for-bit.
+const Golden kGoldens[] = {
+    {5, 0x400a6cd18d2f7a94ULL, 0x92d5dcf93bcdf92aULL, 128, 14,
+     {1924, 769, 4122}, 18},
+    {9, 0x400ab14d0fddf539ULL, 0x5e07399f4c3344b5ULL, 122, 12,
+     {4932, 3639, 3351}, 11},
+};
+
+uint64_t HashLabels(const std::vector<int>& labels) {
+  // FNV-1a over the label bytes, little-endian per label.
+  uint64_t h = 1469598103934665603ULL;
+  for (int v : labels) {
+    for (size_t b = 0; b < sizeof(v); ++b) {
+      h ^= static_cast<uint64_t>((static_cast<unsigned>(v) >> (8 * b)) &
+                                 0xff);
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+uint64_t ObjectiveBits(double objective) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &objective, sizeof(bits));
+  return bits;
+}
+
+struct Fixture {
+  SyntheticData data;
+  std::string disk_path;
+};
+
+Fixture MakeFixture() {
+  GeneratorParams gen;
+  gen.num_points = 5000;
+  gen.space_dims = 10;
+  gen.num_clusters = 3;
+  gen.cluster_dim_counts = {3, 3, 3};
+  gen.seed = 3;
+  auto data = GenerateSynthetic(gen);
+  EXPECT_TRUE(data.ok());
+  Fixture fixture;
+  fixture.data = std::move(data).value();
+  fixture.disk_path = ::testing::TempDir() + "/engine_fixture.bin";
+  EXPECT_TRUE(
+      WriteBinaryFile(fixture.data.dataset, fixture.disk_path).ok());
+  return fixture;
+}
+
+ProclusParams GoldenParams(uint64_t algo_seed, bool fuse) {
+  ProclusParams params;
+  params.num_clusters = 3;
+  params.avg_dims = 3.0;
+  params.seed = algo_seed;
+  params.num_restarts = 2;
+  params.block_rows = 512;
+  params.fuse_scans = fuse;
+  return params;
+}
+
+void ExpectGolden(const ProjectedClustering& result, const Golden& golden) {
+  EXPECT_EQ(ObjectiveBits(result.objective), golden.objective_bits);
+  EXPECT_EQ(HashLabels(result.labels), golden.labels_hash);
+  EXPECT_EQ(result.iterations, golden.iterations);
+  EXPECT_EQ(result.improvements, golden.improvements);
+  EXPECT_EQ(result.medoids, golden.medoids);
+  EXPECT_EQ(result.NumOutliers(), golden.outliers);
+}
+
+TEST(EngineGoldenTest, FusedReproducesSeedGoldens) {
+  Fixture fixture = MakeFixture();
+  for (const Golden& golden : kGoldens) {
+    auto result = RunProclus(fixture.data.dataset,
+                             GoldenParams(golden.algo_seed, true));
+    ASSERT_TRUE(result.ok());
+    ExpectGolden(*result, golden);
+    // Fused scan budget: one bootstrap scan per restart, 2 scans per
+    // iteration, 3 refinement scans, no scans during initialization.
+    const RunStats& stats = result->stats;
+    EXPECT_EQ(stats.init_scans, 0u);
+    EXPECT_EQ(stats.bootstrap_scans, 2u);
+    EXPECT_EQ(stats.iterative_scans, 2 * golden.iterations);
+    EXPECT_EQ(stats.refine_scans, 3u);
+    EXPECT_EQ(stats.scans_issued, stats.init_scans + stats.bootstrap_scans +
+                                      stats.iterative_scans +
+                                      stats.refine_scans);
+    EXPECT_EQ(stats.rows_visited, stats.scans_issued * 5000);
+    EXPECT_EQ(stats.bytes_read, 0u);  // In-memory blocks are zero-copy.
+    EXPECT_GT(stats.distance_evals, 0u);
+  }
+}
+
+TEST(EngineGoldenTest, ClassicReproducesSeedGoldens) {
+  Fixture fixture = MakeFixture();
+  for (const Golden& golden : kGoldens) {
+    auto result = RunProclus(fixture.data.dataset,
+                             GoldenParams(golden.algo_seed, false));
+    ASSERT_TRUE(result.ok());
+    ExpectGolden(*result, golden);
+    // Classic budget: 4 scans per iteration (locality, assign, and the
+    // two-scan evaluation), 4 refinement scans, no bootstrap.
+    const RunStats& stats = result->stats;
+    EXPECT_EQ(stats.bootstrap_scans, 0u);
+    EXPECT_EQ(stats.iterative_scans, 4 * golden.iterations);
+    EXPECT_EQ(stats.refine_scans, 4u);
+    EXPECT_EQ(stats.scans_issued,
+              stats.iterative_scans + stats.refine_scans);
+  }
+}
+
+TEST(EngineGoldenTest, FusedMatchesClassicAcrossSourcesAndThreads) {
+  Fixture fixture = MakeFixture();
+  auto disk = DiskSource::Open(fixture.disk_path);
+  ASSERT_TRUE(disk.ok());
+
+  auto base = RunProclus(fixture.data.dataset, GoldenParams(5, false));
+  ASSERT_TRUE(base.ok());
+
+  MemorySource memory(fixture.data.dataset);
+  const PointSource* sources[] = {&memory, &*disk};
+  for (const PointSource* source : sources) {
+    for (size_t threads : {1, 2, 7, 16}) {
+      ProclusParams params = GoldenParams(5, true);
+      params.num_threads = threads;
+      auto fused = RunProclusOnSource(*source, params);
+      ASSERT_TRUE(fused.ok());
+      EXPECT_EQ(fused->labels, base->labels) << threads << " threads";
+      EXPECT_EQ(fused->medoids, base->medoids);
+      EXPECT_EQ(ObjectiveBits(fused->objective),
+                ObjectiveBits(base->objective));
+      EXPECT_EQ(fused->iterations, base->iterations);
+      EXPECT_EQ(fused->improvements, base->improvements);
+      for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(fused->dimensions[i], base->dimensions[i]);
+    }
+  }
+}
+
+TEST(EngineGoldenTest, FusedSpendsAtMostTwoScansPerIteration) {
+  Fixture fixture = MakeFixture();
+  for (uint64_t seed : {5ULL, 9ULL, 17ULL}) {
+    auto result =
+        RunProclus(fixture.data.dataset, GoldenParams(seed, true));
+    ASSERT_TRUE(result.ok());
+    ASSERT_GT(result->iterations, 0u);
+    EXPECT_LE(result->stats.iterative_scans, 2 * result->iterations);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Executor-level behavior.
+// ---------------------------------------------------------------------
+
+struct ConsumerFixture {
+  Fixture base;
+  Matrix medoids;
+  std::vector<DimensionSet> dims;
+};
+
+ConsumerFixture MakeConsumerFixture() {
+  ConsumerFixture fixture{MakeFixture(), {}, {}};
+  MemorySource source(fixture.base.data.dataset);
+  std::vector<size_t> medoid_indices{10, 2000, 4000};
+  fixture.medoids = std::move(source.Fetch(medoid_indices)).value();
+  fixture.dims = {DimensionSet(10, {0, 3, 5}), DimensionSet(10, {1, 2}),
+                  DimensionSet(10, {4, 7, 8, 9})};
+  return fixture;
+}
+
+TEST(ScanExecutorTest, FusedScanMatchesSeparateScans) {
+  ConsumerFixture fixture = MakeConsumerFixture();
+  MemorySource source(fixture.base.data.dataset);
+
+  // Separate scans: locality statistics, then assignment + centroids.
+  RunStats separate_stats;
+  ScanExecutor separate(ScanOptions{1, 512, &separate_stats});
+  LocalityStatsConsumer locality_a;
+  AssignConsumer assign_a;
+  ASSERT_TRUE(locality_a.Bind(&fixture.medoids).ok());
+  ASSERT_TRUE(
+      assign_a.Bind(&fixture.medoids, &fixture.dims, true, true).ok());
+  ASSERT_TRUE(separate.Run(source, {&locality_a}).ok());
+  ASSERT_TRUE(separate.Run(source, {&assign_a}).ok());
+  EXPECT_EQ(separate_stats.scans_issued, 2u);
+  EXPECT_EQ(separate_stats.rows_visited, 2u * 5000);
+
+  // The same two consumers sharing one physical scan.
+  RunStats fused_stats;
+  ScanExecutor fused(ScanOptions{1, 512, &fused_stats});
+  LocalityStatsConsumer locality_b;
+  AssignConsumer assign_b;
+  ASSERT_TRUE(locality_b.Bind(&fixture.medoids).ok());
+  ASSERT_TRUE(
+      assign_b.Bind(&fixture.medoids, &fixture.dims, true, true).ok());
+  ASSERT_TRUE(fused.Run(source, {&locality_b, &assign_b}).ok());
+  EXPECT_EQ(fused_stats.scans_issued, 1u);
+  EXPECT_EQ(fused_stats.rows_visited, 5000u);
+  EXPECT_EQ(fused_stats.distance_evals, separate_stats.distance_evals);
+
+  // Consumers never observe each other's partials, so fusion is
+  // bit-identical to separate scans.
+  EXPECT_EQ(locality_a.stats(), locality_b.stats());
+  EXPECT_EQ(assign_a.labels(), assign_b.labels());
+  EXPECT_EQ(assign_a.centroids(), assign_b.centroids());
+  EXPECT_EQ(assign_a.cluster_sizes(), assign_b.cluster_sizes());
+}
+
+TEST(ScanExecutorTest, ValidatesOptionsAndConsumerList) {
+  ConsumerFixture fixture = MakeConsumerFixture();
+  MemorySource source(fixture.base.data.dataset);
+  LocalityStatsConsumer locality;
+  ASSERT_TRUE(locality.Bind(&fixture.medoids).ok());
+
+  ScanExecutor zero_blocks(ScanOptions{1, 0, nullptr});
+  EXPECT_FALSE(zero_blocks.Run(source, {&locality}).ok());
+
+  ScanExecutor ok_options(ScanOptions{1, 512, nullptr});
+  EXPECT_FALSE(
+      ok_options.Run(source, std::initializer_list<ScanConsumer*>{}).ok());
+}
+
+TEST(ScanExecutorTest, DiskScansAccountEveryByte) {
+  ConsumerFixture fixture = MakeConsumerFixture();
+  auto disk = DiskSource::Open(fixture.base.disk_path);
+  ASSERT_TRUE(disk.ok());
+
+  RunStats stats;
+  ScanExecutor executor(ScanOptions{1, 512, &stats});
+  LocalityStatsConsumer locality;
+  ASSERT_TRUE(locality.Bind(&fixture.medoids).ok());
+  const uint64_t bytes_per_scan = 5000ull * 10 * sizeof(double);
+  for (uint64_t scan = 1; scan <= 3; ++scan) {
+    ASSERT_TRUE(locality.Bind(&fixture.medoids).ok());
+    ASSERT_TRUE(executor.Run(*disk, {&locality}).ok());
+    EXPECT_EQ(stats.scans_issued, scan);
+    EXPECT_EQ(stats.bytes_read, scan * bytes_per_scan);
+  }
+
+  // The source's own cumulative counters agree with the executor's view.
+  IoCounters io = disk->io();
+  EXPECT_EQ(io.scans, 3u);
+  EXPECT_EQ(io.rows_scanned, 3u * 5000);
+  EXPECT_EQ(io.bytes_read, 3u * bytes_per_scan);
+  EXPECT_EQ(io.rows_fetched, 0u);  // No random access was issued.
+}
+
+}  // namespace
+}  // namespace proclus

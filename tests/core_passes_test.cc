@@ -61,7 +61,7 @@ TEST(PassesTest, LocalityStatsThreadInvariant) {
   PassOptions sequential{1, 512};
   auto base = LocalityStatsPass(memory, fixture.medoids, sequential);
   ASSERT_TRUE(base.ok());
-  for (size_t threads : {2, 4, 7}) {
+  for (size_t threads : {2, 4, 7, 16}) {
     PassOptions options{threads, 512};
     auto result = LocalityStatsPass(memory, fixture.medoids, options);
     ASSERT_TRUE(result.ok());
@@ -224,7 +224,7 @@ TEST(ProclusOnSourceTest, ThreadCountDoesNotChangeResult) {
 
   auto base = RunProclus(fixture.data.dataset, params);
   ASSERT_TRUE(base.ok());
-  for (size_t threads : {2, 4}) {
+  for (size_t threads : {2, 7, 16}) {
     ProclusParams threaded = params;
     threaded.num_threads = threads;
     auto result = RunProclus(fixture.data.dataset, threaded);

@@ -28,6 +28,13 @@ Enforces invariants that no generic tool knows about:
                       function body. value() on an unchecked Result aborts
                       the process, which turns malformed input into a crash.
                       Per-function pass over src/, bench/, and fuzz/.
+  raw-scan            Direct PointSource::Scan / ForEachBlock calls are
+                      forbidden outside the scan engine itself (src/data/
+                      engine.cc, src/data/point_source.cc): every data pass
+                      in src/, bench/, and examples/ must go through a
+                      ScanConsumer driven by ScanExecutor::Run, so scans can
+                      be fused and the RunStats scan/byte counters stay
+                      truthful.
   unordered-iteration A range-for over a std::unordered_map/set (declared in
                       the same file, directly or through a local alias)
                       whose body feeds an ordered sink — output streams,
@@ -66,6 +73,19 @@ BANNED_RANDOMNESS = [
 ]
 
 IOSTREAM_RE = re.compile(r"std\s*::\s*(cout|cerr|clog)\b")
+
+# --- raw-scan ---------------------------------------------------------------
+
+# Directories whose data passes must run on the scan executor. Tests and
+# tools may exercise the raw API (the executor's own tests have to).
+RAW_SCAN_DIRS = ("src", "bench", "examples")
+
+# The scan machinery itself: the executor that drives consumers over
+# Scan(), and the PointSource implementations.
+RAW_SCAN_ALLOWLIST = (os.path.join("src", "data", "engine.cc"),
+                      os.path.join("src", "data", "point_source.cc"))
+
+RAW_SCAN_RE = re.compile(r"(?:\.|->)\s*Scan\s*\(|\bForEachBlock\s*\(")
 
 # A function definition returning Status or Result<...>: return type at the
 # start of a (possibly indented) line, then a qualified name and parameter
@@ -256,6 +276,22 @@ def check_iostream(rel_path, original_lines, code, findings):
             rel_path, ln, "iostream-in-library",
             f"library code must not use std::{m.group(1)}; use PROCLUS_LOG "
             "from common/logging.h"))
+
+
+def check_raw_scan(rel_path, original_lines, code, findings):
+    top = rel_path.split(os.sep, 1)[0]
+    if top not in RAW_SCAN_DIRS or rel_path in RAW_SCAN_ALLOWLIST:
+        return
+    for m in RAW_SCAN_RE.finditer(code):
+        ln = line_of(code, m.start())
+        if allowed(original_lines, ln, "raw-scan"):
+            continue
+        findings.append(Finding(
+            rel_path, ln, "raw-scan",
+            "raw PointSource scan bypasses the scan executor; express the "
+            "pass as a ScanConsumer and drive it with ScanExecutor::Run "
+            "(data/engine.h) so it can share physical scans and the "
+            "RunStats data-movement counters stay truthful"))
 
 
 def check_status_fn_checks(rel_path, original_lines, code, findings):
@@ -494,6 +530,7 @@ def lint_file(root, rel_path, findings):
     code = strip_comments_and_strings(text)
     check_banned_randomness(rel_path, original_lines, code, findings)
     check_iostream(rel_path, original_lines, code, findings)
+    check_raw_scan(rel_path, original_lines, code, findings)
     check_status_fn_checks(rel_path, original_lines, code, findings)
     check_result_unchecked(rel_path, original_lines, code, findings)
     check_unordered_iteration(rel_path, original_lines, code, findings)
@@ -653,6 +690,44 @@ SELF_TEST_FIXTURES = [
      "  auto r = Compute();\n"
      "  // Crash-on-error is intended here: r comes from a constant.\n"
      "  return r.value();  // lint:allow(result-unchecked)\n"
+     "}\n"
+     "}\n",
+     []),
+    # raw-scan: a pass calling PointSource::Scan directly.
+    ("src/core/raw_pass.cc",
+     "#include \"data/point_source.h\"\n"
+     "namespace proclus {\n"
+     "void Sum(const PointSource& source) {\n"
+     "  source.Scan(512, [](size_t, auto, size_t) {});\n"
+     "}\n"
+     "void SumPtr(const PointSource* source) {\n"
+     "  ForEachBlock(*source);\n"
+     "}\n"
+     "}\n",
+     ["raw-scan", "raw-scan"]),
+    # The executor implementation itself is allowlisted.
+    ("src/data/engine.cc",
+     "#include \"data/engine.h\"\n"
+     "namespace proclus {\n"
+     "void Drive(const PointSource& source) {\n"
+     "  source.Scan(512, [](size_t, auto, size_t) {});\n"
+     "}\n"
+     "}\n",
+     []),
+    # Tests may exercise the raw API.
+    ("tests/raw_scan_test.cc",
+     "#include \"data/point_source.h\"\n"
+     "void Probe(const proclus::PointSource& source) {\n"
+     "  source.Scan(1, [](size_t, auto, size_t) {});\n"
+     "}\n",
+     []),
+    # Explicit suppression with justification.
+    ("src/core/raw_allowed.cc",
+     "#include \"data/point_source.h\"\n"
+     "namespace proclus {\n"
+     "void Peek(const PointSource& source) {\n"
+     "  // One-off probe; stats are not reported from this path.\n"
+     "  source.Scan(512, [](size_t, auto, size_t) {});  // lint:allow(raw-scan)\n"
      "}\n"
      "}\n",
      []),

@@ -174,6 +174,11 @@ void PrintRunStats(const std::string& prefix, const RunStats& stats) {
           static_cast<double>(stats.iterative_scans));
   PrintKV(prefix + " refine scans",
           static_cast<double>(stats.refine_scans));
+  PrintKV(prefix + " retries", static_cast<double>(stats.retries));
+  PrintKV(prefix + " failed scans",
+          static_cast<double>(stats.failed_scans));
+  PrintKV(prefix + " wasted rows",
+          static_cast<double>(stats.wasted_rows));
 }
 
 void PrintTable(const std::string& name, const TableWriter& table) {

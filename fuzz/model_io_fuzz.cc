@@ -1,0 +1,53 @@
+// Model/checkpoint loader harness: the input bytes are an untrusted
+// persisted artifact, fed to both deserializers. Checkpoints ("PCKP"
+// binary) carry an XXH64 integrity trailer, so hostile bytes must be
+// rejected with a Status before any field is consumed — truncation, bit
+// flips, bad magic/version, trailing garbage, and forged length fields
+// all land here. Models (versioned text) must likewise never crash.
+// Anything either loader accepts must re-serialize to a stable byte
+// string (save → load → save is bitwise idempotent).
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "core/model_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  {
+    std::istringstream in(bytes, std::ios::binary);
+    auto checkpoint = proclus::LoadCheckpoint(in);
+    if (checkpoint.ok()) {
+      std::ostringstream out(std::ios::binary);
+      PROCLUS_CHECK(proclus::SaveCheckpoint(*checkpoint, out).ok());
+      const std::string serialized = out.str();
+      std::istringstream back_in(serialized, std::ios::binary);
+      auto back = proclus::LoadCheckpoint(back_in);
+      PROCLUS_CHECK(back.ok());
+      std::ostringstream out2(std::ios::binary);
+      PROCLUS_CHECK(proclus::SaveCheckpoint(*back, out2).ok());
+      PROCLUS_CHECK(out2.str() == serialized);
+    }
+  }
+
+  {
+    std::istringstream in(bytes);
+    auto model = proclus::LoadModel(in);
+    if (model.ok()) {
+      std::ostringstream out;
+      if (proclus::SaveModel(*model, out).ok()) {
+        const std::string serialized = out.str();
+        std::istringstream back_in(serialized);
+        auto back = proclus::LoadModel(back_in);
+        PROCLUS_CHECK(back.ok());
+        std::ostringstream out2;
+        PROCLUS_CHECK(proclus::SaveModel(*back, out2).ok());
+        PROCLUS_CHECK(out2.str() == serialized);
+      }
+    }
+  }
+  return 0;
+}

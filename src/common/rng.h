@@ -38,6 +38,22 @@ class SplitMix64 {
   uint64_t state_;
 };
 
+/// Complete serializable snapshot of an Rng: the xoshiro256** state words
+/// plus the cached Marsaglia-polar spare variate. Restoring a snapshot
+/// continues the stream bit-for-bit, including the next Normal() draw.
+struct RngState {
+  uint64_t state[4] = {0, 0, 0, 0};
+  double normal_spare = 0.0;
+  bool has_normal_spare = false;
+
+  bool operator==(const RngState& other) const {
+    return state[0] == other.state[0] && state[1] == other.state[1] &&
+           state[2] == other.state[2] && state[3] == other.state[3] &&
+           normal_spare == other.normal_spare &&
+           has_normal_spare == other.has_normal_spare;
+  }
+};
+
 /// xoshiro256** PRNG with distribution helpers.
 ///
 /// Not thread-safe; create one Rng per thread / per algorithm run.
@@ -134,6 +150,29 @@ class Rng {
 
   /// Derives an independent child generator (for parallel sub-streams).
   Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+  /// Captures the full generator state (for checkpointing).
+  RngState SaveState() const {
+    RngState s;
+    s.state[0] = state_[0];
+    s.state[1] = state_[1];
+    s.state[2] = state_[2];
+    s.state[3] = state_[3];
+    s.normal_spare = normal_spare_;
+    s.has_normal_spare = has_normal_spare_;
+    return s;
+  }
+
+  /// Restores a state captured by SaveState(); the stream continues
+  /// bit-for-bit from the capture point.
+  void RestoreState(const RngState& s) {
+    state_[0] = s.state[0];
+    state_[1] = s.state[1];
+    state_[2] = s.state[2];
+    state_[3] = s.state[3];
+    normal_spare_ = s.normal_spare;
+    has_normal_spare_ = s.has_normal_spare;
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

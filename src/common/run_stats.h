@@ -29,6 +29,15 @@ struct RunStats {
   /// Point-to-point distance evaluations performed by scan consumers.
   uint64_t distance_evals = 0;
 
+  // ----- Resilience counters (recorded by ScanExecutor / retry helpers) -----
+  /// Operations (scans or fetches) re-issued after a transient failure.
+  uint64_t retries = 0;
+  /// Scan attempts that ended in a failure (whether or not retried).
+  uint64_t failed_scans = 0;
+  /// Rows that had been delivered to consumers by scan attempts that later
+  /// failed; the rows were discarded by Reset() and re-delivered.
+  uint64_t wasted_rows = 0;
+
   // ----- Scan attribution per phase (recorded by the driver) -----
   /// Scans issued by the initialization phase (0 for PROCLUS: the phase
   /// only fetches the sample by position).
@@ -55,6 +64,9 @@ struct RunStats {
     rows_visited += other.rows_visited;
     bytes_read += other.bytes_read;
     distance_evals += other.distance_evals;
+    retries += other.retries;
+    failed_scans += other.failed_scans;
+    wasted_rows += other.wasted_rows;
     init_scans += other.init_scans;
     bootstrap_scans += other.bootstrap_scans;
     iterative_scans += other.iterative_scans;

@@ -16,6 +16,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
     case StatusCode::kInternal:

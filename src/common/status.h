@@ -22,6 +22,7 @@ enum class StatusCode {
   kOutOfRange,
   kIOError,
   kCorruption,
+  kDataLoss,
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
@@ -57,6 +58,9 @@ class [[nodiscard]] Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));

@@ -17,6 +17,14 @@
 // per-point, per-cluster order of the original pass bodies and merges
 // partials in ascending block order, so its outputs are bit-identical to
 // the pre-refactor passes for identical inputs.
+//
+// Rollback (ScanConsumer::Reset): all consumers here keep the default
+// no-op deliberately. Each ConsumeBlock fully overwrites its block's
+// partial (sums/labels are assigned, never accumulated across scans) and
+// a successful scan delivers every block exactly once, so re-running
+// Prepare + a full scan after a failed attempt leaves no trace of the
+// discarded blocks. Any future consumer that accumulates into state NOT
+// keyed by block or row must override Reset to discard it.
 
 #ifndef PROCLUS_CORE_CONSUMERS_H_
 #define PROCLUS_CORE_CONSUMERS_H_

@@ -1,8 +1,12 @@
 #include "core/model_io.h"
 
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+
+#include "common/hash.h"
 
 namespace proclus {
 
@@ -131,6 +135,220 @@ Result<ProjectedClustering> LoadModelFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
   return LoadModel(in);
+}
+
+// ---------- Checkpoints ----------
+
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'P', 'C', 'K', 'P'};
+constexpr uint32_t kCheckpointVersion = 1;
+
+template <typename T>
+void PutRaw(std::string& out, const T& value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void PutU64Vector(std::string& out, const std::vector<uint64_t>& v) {
+  PutRaw(out, static_cast<uint64_t>(v.size()));
+  if (!v.empty())
+    out.append(reinterpret_cast<const char*>(v.data()),
+               v.size() * sizeof(uint64_t));
+}
+
+void PutI32Vector(std::string& out, const std::vector<int32_t>& v) {
+  PutRaw(out, static_cast<uint64_t>(v.size()));
+  if (!v.empty())
+    out.append(reinterpret_cast<const char*>(v.data()),
+               v.size() * sizeof(int32_t));
+}
+
+void PutDimLists(std::string& out,
+                 const std::vector<std::vector<uint32_t>>& lists) {
+  PutRaw(out, static_cast<uint64_t>(lists.size()));
+  for (const auto& list : lists) {
+    PutRaw(out, static_cast<uint64_t>(list.size()));
+    if (!list.empty())
+      out.append(reinterpret_cast<const char*>(list.data()),
+                 list.size() * sizeof(uint32_t));
+  }
+}
+
+// Bounds-checked reader over the in-memory checkpoint payload: every Read
+// validates against the remaining bytes, so a hostile length field can
+// never drive an out-of-bounds access or an allocation beyond the bytes
+// actually present.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t len) : p_(data), len_(len) {}
+
+  size_t remaining() const { return len_ - off_; }
+
+  bool ReadBytes(void* dest, size_t n) {
+    if (n > remaining()) return false;
+    std::memcpy(dest, p_ + off_, n);
+    off_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool Read(T* value) {
+    return ReadBytes(value, sizeof(T));
+  }
+
+  template <typename T>
+  bool ReadVector(std::vector<T>* out) {
+    uint64_t count = 0;
+    if (!Read(&count)) return false;
+    if (count > remaining() / sizeof(T)) return false;
+    out->resize(static_cast<size_t>(count));
+    return count == 0 ||
+           ReadBytes(out->data(), static_cast<size_t>(count) * sizeof(T));
+  }
+
+  bool ReadDimLists(std::vector<std::vector<uint32_t>>* out) {
+    uint64_t count = 0;
+    if (!Read(&count)) return false;
+    // Each list costs at least its 8-byte count.
+    if (count > remaining() / sizeof(uint64_t)) return false;
+    out->resize(static_cast<size_t>(count));
+    for (auto& list : *out)
+      if (!ReadVector(&list)) return false;
+    return true;
+  }
+
+ private:
+  const char* p_;
+  size_t len_;
+  size_t off_ = 0;
+};
+
+std::string SerializeCheckpoint(const ProclusCheckpoint& ck) {
+  std::string out;
+  out.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutRaw(out, kCheckpointVersion);
+  PutRaw(out, ck.fingerprint);
+  PutRaw(out, ck.num_dims);
+  PutRaw(out, ck.restart);
+  for (uint64_t word : ck.rng.state) PutRaw(out, word);
+  PutRaw(out, ck.rng.normal_spare);
+  PutRaw(out, static_cast<uint8_t>(ck.rng.has_normal_spare ? 1 : 0));
+  PutU64Vector(out, ck.candidates);
+  PutU64Vector(out, ck.climb_current);
+  PutRaw(out, ck.climb_objective);
+  PutU64Vector(out, ck.climb_slots);
+  PutDimLists(out, ck.climb_dims);
+  PutI32Vector(out, ck.climb_labels);
+  PutRaw(out, ck.climb_iterations);
+  PutRaw(out, ck.climb_improvements);
+  PutU64Vector(out, ck.climb_bad);
+  PutRaw(out, ck.since_improvement);
+  PutRaw(out, ck.best_objective);
+  PutU64Vector(out, ck.best_slots);
+  PutDimLists(out, ck.best_dims);
+  PutI32Vector(out, ck.best_labels);
+  PutRaw(out, ck.total_iterations);
+  PutRaw(out, ck.total_improvements);
+  PutRaw(out, Xxh64::Hash(out.data(), out.size()));
+  return out;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const ProclusCheckpoint& checkpoint,
+                      std::ostream& out) {
+  const std::string bytes = SerializeCheckpoint(checkpoint);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("checkpoint write failed");
+  return Status::OK();
+}
+
+Status SaveCheckpointFile(const ProclusCheckpoint& checkpoint,
+                          const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      return Status::IOError("cannot open '" + tmp + "' for writing");
+    Status status = SaveCheckpoint(checkpoint, out);
+    if (!status.ok()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return status;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IOError("checkpoint flush to '" + tmp + "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<ProclusCheckpoint> LoadCheckpoint(std::istream& in) {
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  // Smallest valid checkpoint: magic + version + trailer alone exceed 16.
+  if (bytes.size() < sizeof(kCheckpointMagic) + sizeof(uint32_t) +
+                         sizeof(uint64_t))
+    return Status::Corruption("checkpoint truncated: " +
+                              std::to_string(bytes.size()) + " bytes");
+  if (std::memcmp(bytes.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0)
+    return Status::Corruption("not a PROCLUS checkpoint (bad magic)");
+
+  // Verify the trailer before believing any field.
+  const size_t body = bytes.size() - sizeof(uint64_t);
+  uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + body, sizeof(stored));
+  const uint64_t computed = Xxh64::Hash(bytes.data(), body);
+  if (stored != computed)
+    return Status::DataLoss(
+        "checkpoint integrity trailer mismatch: stored " +
+        std::to_string(stored) + ", computed " + std::to_string(computed));
+
+  Cursor cur(bytes.data() + sizeof(kCheckpointMagic),
+             body - sizeof(kCheckpointMagic));
+  uint32_t version = 0;
+  if (!cur.Read(&version))
+    return Status::Corruption("checkpoint truncated in header");
+  if (version != kCheckpointVersion)
+    return Status::Corruption("unsupported checkpoint version " +
+                              std::to_string(version));
+  ProclusCheckpoint ck;
+  uint8_t has_spare = 0;
+  bool ok = cur.Read(&ck.fingerprint) && cur.Read(&ck.num_dims) &&
+            cur.Read(&ck.restart);
+  for (uint64_t& word : ck.rng.state) ok = ok && cur.Read(&word);
+  ok = ok && cur.Read(&ck.rng.normal_spare) && cur.Read(&has_spare) &&
+       cur.ReadVector(&ck.candidates) && cur.ReadVector(&ck.climb_current) &&
+       cur.Read(&ck.climb_objective) && cur.ReadVector(&ck.climb_slots) &&
+       cur.ReadDimLists(&ck.climb_dims) &&
+       cur.ReadVector(&ck.climb_labels) && cur.Read(&ck.climb_iterations) &&
+       cur.Read(&ck.climb_improvements) && cur.ReadVector(&ck.climb_bad) &&
+       cur.Read(&ck.since_improvement) && cur.Read(&ck.best_objective) &&
+       cur.ReadVector(&ck.best_slots) && cur.ReadDimLists(&ck.best_dims) &&
+       cur.ReadVector(&ck.best_labels) && cur.Read(&ck.total_iterations) &&
+       cur.Read(&ck.total_improvements);
+  if (!ok) return Status::Corruption("checkpoint truncated in body");
+  if (cur.remaining() != 0)
+    return Status::Corruption("checkpoint has " +
+                              std::to_string(cur.remaining()) +
+                              " trailing bytes");
+  ck.rng.has_normal_spare = has_spare != 0;
+  return ck;
+}
+
+Result<ProclusCheckpoint> LoadCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return Status::NotFound("cannot open checkpoint '" + path + "'");
+  return LoadCheckpoint(in);
 }
 
 }  // namespace proclus

@@ -1,15 +1,31 @@
-// Persistence for fitted models: a small, versioned, human-readable text
-// format holding everything ClassifyPoints needs (medoid coordinates,
-// dimension subsets, spheres of influence, objective) — deliberately NOT
-// the training labels, which belong to the training data, can be large,
-// and are reproducible via ClassifyPoints on the training set.
+// Persistence for fitted models and mid-run checkpoints.
+//
+// Models: a small, versioned, human-readable text format holding everything
+// ClassifyPoints needs (medoid coordinates, dimension subsets, spheres of
+// influence, objective) — deliberately NOT the training labels, which belong
+// to the training data, can be large, and are reproducible via
+// ClassifyPoints on the training set.
+//
+// Checkpoints: a little-endian binary format ("PCKP", version 1) capturing
+// the full mid-climb state of a PROCLUS run — restart index, iteration
+// counters, current/best medoid sets, objective, labels, dimension sets,
+// candidate pool, and the complete RNG state — terminated by an XXH64
+// integrity trailer over everything before it. A fingerprint field binds
+// the checkpoint to the run configuration (parameters + data shape) that
+// wrote it. Writes are atomic (tmp file + rename), so a crash mid-write
+// leaves the previous checkpoint intact; truncated or bit-flipped files
+// fail the trailer check and are rejected with a Status, never consumed.
 
 #ifndef PROCLUS_CORE_MODEL_IO_H_
 #define PROCLUS_CORE_MODEL_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "core/model.h"
 
@@ -28,6 +44,61 @@ Result<ProjectedClustering> LoadModel(std::istream& in);
 
 /// Reads a model from the file at `path`.
 Result<ProjectedClustering> LoadModelFile(const std::string& path);
+
+/// Serializable mid-climb state of a PROCLUS run. The climb_* fields hold
+/// the in-progress restart (captured at the top of a hill-climbing
+/// iteration); the best_* fields hold the accumulated winner of the
+/// completed restarts. Dimension sets are stored as sorted index lists
+/// over a `num_dims`-dimensional space.
+struct ProclusCheckpoint {
+  /// Binds the checkpoint to the (parameters, data shape) that wrote it.
+  uint64_t fingerprint = 0;
+  /// Dimensionality d of the data (capacity of every dimension set).
+  uint64_t num_dims = 0;
+  /// Index of the restart in progress.
+  uint64_t restart = 0;
+  /// Full RNG state at the capture point.
+  RngState rng;
+  /// Global point indices of the candidate medoid pool (phase 1 output).
+  std::vector<uint64_t> candidates;
+
+  // In-progress restart (loop-top state of the hill climb).
+  std::vector<uint64_t> climb_current;
+  double climb_objective = std::numeric_limits<double>::infinity();
+  std::vector<uint64_t> climb_slots;
+  std::vector<std::vector<uint32_t>> climb_dims;
+  std::vector<int32_t> climb_labels;
+  uint64_t climb_iterations = 0;
+  uint64_t climb_improvements = 0;
+  std::vector<uint64_t> climb_bad;
+  uint64_t since_improvement = 0;
+
+  // Best across completed restarts.
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::vector<uint64_t> best_slots;
+  std::vector<std::vector<uint32_t>> best_dims;
+  std::vector<int32_t> best_labels;
+  uint64_t total_iterations = 0;
+  uint64_t total_improvements = 0;
+};
+
+/// Serializes `checkpoint` (binary "PCKP" v1 + XXH64 trailer) to a stream.
+Status SaveCheckpoint(const ProclusCheckpoint& checkpoint, std::ostream& out);
+
+/// Atomically replaces the file at `path` with `checkpoint`: the bytes are
+/// written to `path + ".tmp"` and renamed over `path`, so a crash mid-write
+/// never destroys the previous checkpoint.
+Status SaveCheckpointFile(const ProclusCheckpoint& checkpoint,
+                          const std::string& path);
+
+/// Reads a checkpoint written by SaveCheckpoint. Truncated input, a bad
+/// magic/version, or an XXH64 trailer mismatch yield Corruption/DataLoss —
+/// a damaged checkpoint is never partially consumed.
+Result<ProclusCheckpoint> LoadCheckpoint(std::istream& in);
+
+/// Reads a checkpoint from the file at `path`. A missing/unopenable file
+/// yields NotFound (callers treat that as "start fresh").
+Result<ProclusCheckpoint> LoadCheckpointFile(const std::string& path);
 
 }  // namespace proclus
 

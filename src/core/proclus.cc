@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <numeric>
+#include <utility>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/consumers.h"
 #include "core/find_dimensions.h"
 #include "core/greedy.h"
+#include "core/model_io.h"
 #include "core/passes.h"
 #include "distance/metric.h"
 #include "distance/segmental.h"
@@ -42,6 +46,10 @@ Status ProclusParams::Validate(size_t num_points, size_t dims) const {
     return Status::InvalidArgument("num_restarts must be >= 1");
   if (block_rows == 0)
     return Status::InvalidArgument("block_rows must be >= 1");
+  if (!checkpoint.path.empty() && checkpoint.every_iterations == 0)
+    return Status::InvalidArgument(
+        "checkpoint.every_iterations must be >= 1 when a checkpoint path "
+        "is set");
   return Status::OK();
 }
 
@@ -149,6 +157,25 @@ struct ClimbResult {
   size_t improvements = 0;
 };
 
+// Complete loop-top state of one hill-climbing restart — everything a
+// checkpoint must capture to replay the remaining iterations exactly
+// (the locality statistics X are deliberately NOT part of it: they are
+// regenerated on resume by a bootstrap scan of `current`, bit-identical
+// to the fused variant extraction that produced them mid-run). Callers
+// seed `current` (fresh start) or all fields (resume) before the climb.
+struct ClimbState {
+  std::vector<size_t> current;   // Medoid slots under evaluation.
+  ClimbResult out;               // Best of this restart so far.
+  std::vector<size_t> bad;       // Bad medoids of out.slots.
+  size_t since_improvement = 0;
+};
+
+// Invoked at the top of every hill-climbing iteration, before any work
+// of that iteration, with the restart's complete state. Used by
+// RunProclusOnSource to write periodic checkpoints. A failure aborts the
+// climb.
+using ClimbHook = std::function<Status(const ClimbState&)>;
+
 // Long-lived consumers and buffers shared by every restart of the fused
 // climb, so steady-state iterations allocate nothing.
 struct FusedScratch {
@@ -184,28 +211,31 @@ constexpr size_t kNoVariant = static_cast<size_t>(-1);
 // The two replacement draws use identical Rng sequences (see
 // ReplaceBadMedoids), so the random stream — and therefore every result —
 // stays bit-identical to the classic engine.
-Result<ClimbResult> FusedClimb(const PointSource& source,
-                               const ProclusParams& params,
-                               const Matrix& candidate_coords,
-                               std::vector<size_t> current, Rng& rng,
-                               const ScanExecutor& executor,
-                               FusedScratch& s, RunStats& stats) {
+Status FusedClimb(const PointSource& source, const ProclusParams& params,
+                  const Matrix& candidate_coords, ClimbState& st, Rng& rng,
+                  const ScanExecutor& executor, FusedScratch& s,
+                  RunStats& stats, const ClimbHook& hook) {
   const size_t k = params.num_clusters;
   const size_t pool = candidate_coords.rows();
-  ClimbResult out;
-  std::vector<size_t> bad;  // Bad medoids of the best set so far.
+  std::vector<size_t>& current = st.current;
+  ClimbResult& out = st.out;
+  std::vector<size_t>& bad = st.bad;  // Bad medoids of the best set so far.
+  size_t& since_improvement = st.since_improvement;
 
   // Bootstrap: the locality statistics of the initial medoid set are the
   // only input the first iteration needs that no earlier scan produced.
+  // On resume this regenerates the X a mid-run iteration would have
+  // extracted from the fused evaluation scan — bit-identically, since
+  // variant extraction equals a dedicated scan of the same medoid set.
   SlotsToCoords(candidate_coords, current, &s.medoid_coords);
   PROCLUS_RETURN_IF_ERROR(s.locality.Bind(&s.medoid_coords));
   PROCLUS_RETURN_IF_ERROR(executor.Run(source, {&s.locality}));
   ++stats.bootstrap_scans;
   Matrix X = s.locality.TakeStats();
 
-  size_t since_improvement = 0;
   while (out.iterations < params.max_iterations &&
          since_improvement < params.max_no_improve) {
+    if (hook) PROCLUS_RETURN_IF_ERROR(hook(st));
     ++out.iterations;
     auto dims = FindDimensions(X, params.avg_dims);
     PROCLUS_RETURN_IF_ERROR(dims.status());
@@ -314,27 +344,27 @@ Result<ClimbResult> FusedClimb(const PointSource& source,
     X = s.locality.TakeStats(variant);
     SlotsToCoords(candidate_coords, current, &s.medoid_coords);
   }
-  return out;
+  return Status::OK();
 }
 
 // One hill-climbing restart on the classic pass-per-aggregate engine:
 // four physical scans per iteration (locality, assignment, centroids,
 // deviations). Kept as the measured before/after ablation for the fused
 // engine; results are bit-identical.
-Result<ClimbResult> ClassicClimb(const PointSource& source,
-                                 const ProclusParams& params,
-                                 const Matrix& candidate_coords,
-                                 std::vector<size_t> current, Rng& rng,
-                                 const PassOptions& pass_options,
-                                 Matrix& medoid_coords,
-                                 MedoidScratch& scratch) {
+Status ClassicClimb(const PointSource& source, const ProclusParams& params,
+                    const Matrix& candidate_coords, ClimbState& st,
+                    Rng& rng, const PassOptions& pass_options,
+                    Matrix& medoid_coords, MedoidScratch& scratch,
+                    const ClimbHook& hook) {
   const size_t k = params.num_clusters;
-  ClimbResult out;
-  std::vector<size_t> bad;
+  std::vector<size_t>& current = st.current;
+  ClimbResult& out = st.out;
+  std::vector<size_t>& bad = st.bad;
+  size_t& since_improvement = st.since_improvement;
 
-  size_t since_improvement = 0;
   while (out.iterations < params.max_iterations &&
          since_improvement < params.max_no_improve) {
+    if (hook) PROCLUS_RETURN_IF_ERROR(hook(st));
     ++out.iterations;
     SlotsToCoords(candidate_coords, current, &medoid_coords);
     auto X = LocalityStatsPass(source, medoid_coords, pass_options);
@@ -364,6 +394,127 @@ Result<ClimbResult> ClassicClimb(const PointSource& source,
     ReplaceBadMedoids(candidate_coords.rows(), bad, &current, rng, scratch);
     if (current == out.slots) break;  // Candidate pool exhausted.
   }
+  return Status::OK();
+}
+
+// Configuration fingerprint a checkpoint is bound to: every parameter
+// that influences the numerical result, plus the data shape. num_threads
+// and fuse_scans are deliberately EXCLUDED — both are proven
+// bit-identical (see tests/core_engine_test.cc), so a checkpoint written
+// under one thread count or engine may be resumed under another.
+uint64_t ParamsFingerprint(const ProclusParams& p, size_t n, size_t d) {
+  Xxh64 h(/*seed=*/0x50434c5350524f43ULL);  // "PCLSPROC"
+  auto put_u64 = [&h](uint64_t v) { h.Update(&v, sizeof(v)); };
+  auto put_f64 = [&h](double v) { h.Update(&v, sizeof(v)); };
+  put_u64(p.num_clusters);
+  put_f64(p.avg_dims);
+  put_u64(p.sample_factor);
+  put_u64(p.candidate_factor);
+  put_f64(p.min_deviation);
+  put_u64(p.max_no_improve);
+  put_u64(p.max_iterations);
+  put_u64(p.num_restarts);
+  put_u64(static_cast<uint64_t>(p.init_metric));
+  put_u64(p.seed);
+  put_u64(p.block_rows);
+  put_u64((p.refine ? 1u : 0u) | (p.detect_outliers ? 2u : 0u) |
+          (p.segmental_normalization ? 4u : 0u) |
+          (p.two_step_init ? 8u : 0u));
+  put_u64(n);
+  put_u64(d);
+  return h.Digest();
+}
+
+// Semantic validation of a fingerprint-matched checkpoint: every index
+// must be in range and every per-cluster vector the right length, so a
+// forged or stale file can never drive an out-of-bounds access. The
+// integrity trailer already rules out accidental corruption; this rules
+// out a checkpoint that is internally inconsistent with the run shape.
+Status ValidateCheckpoint(const ProclusCheckpoint& ck,
+                          const ProclusParams& params, size_t n, size_t d) {
+  const size_t k = params.num_clusters;
+  auto bad = [](const std::string& what) {
+    return Status::Corruption("checkpoint is inconsistent: " + what);
+  };
+  if (ck.num_dims != d) return bad("dimensionality mismatch");
+  if (ck.restart >= params.num_restarts) return bad("restart out of range");
+  if (ck.candidates.size() < k || ck.candidates.size() > n)
+    return bad("candidate pool size out of range");
+  for (uint64_t c : ck.candidates)
+    if (c >= n) return bad("candidate index out of range");
+  const size_t pool = ck.candidates.size();
+  auto check_slots = [&](const std::vector<uint64_t>& slots,
+                         const char* name, bool may_be_empty) -> Status {
+    if (slots.empty() && may_be_empty) return Status::OK();
+    if (slots.size() != k)
+      return bad(std::string(name) + " has wrong length");
+    for (uint64_t s : slots)
+      if (s >= pool) return bad(std::string(name) + " index out of range");
+    return Status::OK();
+  };
+  PROCLUS_RETURN_IF_ERROR(
+      check_slots(ck.climb_current, "climb_current", false));
+  PROCLUS_RETURN_IF_ERROR(check_slots(ck.climb_slots, "climb_slots", true));
+  PROCLUS_RETURN_IF_ERROR(check_slots(ck.best_slots, "best_slots", true));
+  auto check_dims = [&](const std::vector<std::vector<uint32_t>>& lists,
+                        const std::vector<uint64_t>& slots,
+                        const char* name) -> Status {
+    if (lists.size() != slots.size())
+      return bad(std::string(name) + " count does not match medoids");
+    for (const auto& list : lists) {
+      if (list.size() < 2 || list.size() > d)
+        return bad(std::string(name) + " entry has invalid size");
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (list[i] >= d)
+          return bad(std::string(name) + " dimension out of range");
+        if (i > 0 && list[i] <= list[i - 1])
+          return bad(std::string(name) + " entry is not strictly sorted");
+      }
+    }
+    return Status::OK();
+  };
+  PROCLUS_RETURN_IF_ERROR(
+      check_dims(ck.climb_dims, ck.climb_slots, "climb_dims"));
+  PROCLUS_RETURN_IF_ERROR(check_dims(ck.best_dims, ck.best_slots,
+                                     "best_dims"));
+  auto check_labels = [&](const std::vector<int32_t>& labels,
+                          const std::vector<uint64_t>& slots,
+                          const char* name) -> Status {
+    if (slots.empty()) {
+      if (!labels.empty())
+        return bad(std::string(name) + " present without medoids");
+      return Status::OK();
+    }
+    if (labels.size() != n)
+      return bad(std::string(name) + " has wrong length");
+    for (int32_t label : labels)
+      if (label != kOutlierLabel &&
+          (label < 0 || static_cast<size_t>(label) >= k))
+        return bad(std::string(name) + " value out of range");
+    return Status::OK();
+  };
+  PROCLUS_RETURN_IF_ERROR(
+      check_labels(ck.climb_labels, ck.climb_slots, "climb_labels"));
+  PROCLUS_RETURN_IF_ERROR(
+      check_labels(ck.best_labels, ck.best_slots, "best_labels"));
+  if (ck.climb_bad.size() > k) return bad("climb_bad has wrong length");
+  for (uint64_t c : ck.climb_bad)
+    if (c >= k) return bad("climb_bad index out of range");
+  if (ck.climb_iterations > params.max_iterations)
+    return bad("climb_iterations out of range");
+  if (ck.since_improvement > params.max_no_improve)
+    return bad("since_improvement out of range");
+  if (ck.climb_slots.empty() && ck.climb_iterations != 0)
+    return bad("iterations recorded without a best set");
+  return Status::OK();
+}
+
+// Rebuilds DimensionSets from the checkpoint's sorted index lists.
+std::vector<DimensionSet> DimsFromLists(
+    const std::vector<std::vector<uint32_t>>& lists, size_t d) {
+  std::vector<DimensionSet> out;
+  out.reserve(lists.size());
+  for (const auto& list : lists) out.emplace_back(d, list);
   return out;
 }
 
@@ -375,23 +526,55 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
   Rng rng(params.seed);
   const size_t k = params.num_clusters;
   const size_t n = source.size();
+  const size_t d = source.dims();
   RunStats stats;
-  PassOptions pass_options{params.num_threads, params.block_rows, &stats};
+  PassOptions pass_options{params.num_threads, params.block_rows, &stats,
+                           params.retry};
   Timer total_timer;
   Timer phase_timer;
+
+  // ----- Resume -----
+  // A compatible checkpoint replaces phase 1 and the completed prefix of
+  // the restart loop. The fingerprint binds it to this exact
+  // configuration and data shape; a mismatch is an error (resuming a
+  // different run would silently produce wrong results), while a missing
+  // file just starts fresh.
+  const uint64_t fingerprint = ParamsFingerprint(params, n, d);
+  ProclusCheckpoint resume_ck;
+  bool resuming = false;
+  if (!params.checkpoint.path.empty() && params.checkpoint.resume) {
+    auto loaded = LoadCheckpointFile(params.checkpoint.path);
+    if (loaded.ok()) {
+      if (loaded->fingerprint != fingerprint)
+        return Status::InvalidArgument(
+            "checkpoint '" + params.checkpoint.path +
+            "' was written by a different run configuration");
+      PROCLUS_RETURN_IF_ERROR(ValidateCheckpoint(*loaded, params, n, d));
+      resume_ck = *std::move(loaded);
+      resuming = true;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
 
   // ----- Phase 1: Initialization -----
   // Sample A*k points, then reduce to B*k medoid candidates by greedy
   // farthest-first (or take a plain random candidate set in the
-  // ablation). Only these few points are ever fetched by position.
-  const size_t sample_size = std::min(n, params.sample_factor * k);
-  const size_t candidate_size =
-      std::max(k, std::min(sample_size, params.candidate_factor * k));
+  // ablation). Only these few points are ever fetched by position. A
+  // resumed run reuses the checkpointed candidate pool — the restored
+  // RNG state already reflects the draws this phase made.
   std::vector<size_t> candidates;  // Global point indices.
-  if (params.two_step_init) {
+  if (resuming) {
+    candidates.assign(resume_ck.candidates.begin(),
+                      resume_ck.candidates.end());
+  } else if (params.two_step_init) {
+    const size_t sample_size = std::min(n, params.sample_factor * k);
+    const size_t candidate_size =
+        std::max(k, std::min(sample_size, params.candidate_factor * k));
     std::vector<size_t> sample =
         rng.SampleWithoutReplacement(n, sample_size);
-    auto sample_coords = source.Fetch(sample);
+    auto sample_coords =
+        FetchWithRetry(source, sample, params.retry, &stats);
     PROCLUS_RETURN_IF_ERROR(sample_coords.status());
     Dataset sample_dataset(std::move(sample_coords).value());
     std::vector<size_t> local(sample.size());
@@ -402,12 +585,17 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
     for (size_t local_index : picked)
       candidates.push_back(sample[local_index]);
   } else {
+    const size_t sample_size = std::min(n, params.sample_factor * k);
+    const size_t candidate_size =
+        std::max(k, std::min(sample_size, params.candidate_factor * k));
     candidates = rng.SampleWithoutReplacement(n, candidate_size);
   }
-  // invariant: candidate_size was clamped to >= k above, and both sampling
-  // paths return exactly candidate_size indices.
+  // invariant: candidate_size was clamped to >= k, both sampling paths
+  // return exactly candidate_size indices, and ValidateCheckpoint
+  // enforces the same bound on a resumed pool.
   PROCLUS_CHECK(candidates.size() >= k);
-  auto candidate_coords_result = source.Fetch(candidates);
+  auto candidate_coords_result =
+      FetchWithRetry(source, candidates, params.retry, &stats);
   PROCLUS_RETURN_IF_ERROR(candidate_coords_result.status());
   const Matrix& candidate_coords = *candidate_coords_result;
   stats.init_scans = stats.scans_issued;
@@ -425,26 +613,98 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
   std::vector<size_t> best_slots;
   std::vector<DimensionSet> best_dims;
   std::vector<int> best_labels;
-  size_t iterations = 0;
-  size_t improvements = 0;
-  for (size_t restart = 0; restart < params.num_restarts; ++restart) {
-    std::vector<size_t> start =
-        rng.SampleWithoutReplacement(candidates.size(), k);
-    auto climb =
+  size_t iterations = 0;    // Committed totals of COMPLETED restarts;
+  size_t improvements = 0;  // the in-progress climb's counts live in st.
+
+  size_t first_restart = 0;
+  ClimbState seeded;
+  bool have_seed = false;
+  if (resuming) {
+    first_restart = resume_ck.restart;
+    best_objective = resume_ck.best_objective;
+    best_slots.assign(resume_ck.best_slots.begin(),
+                      resume_ck.best_slots.end());
+    best_dims = DimsFromLists(resume_ck.best_dims, d);
+    best_labels.assign(resume_ck.best_labels.begin(),
+                       resume_ck.best_labels.end());
+    iterations = resume_ck.total_iterations;
+    improvements = resume_ck.total_improvements;
+    seeded.current.assign(resume_ck.climb_current.begin(),
+                          resume_ck.climb_current.end());
+    seeded.out.objective = resume_ck.climb_objective;
+    seeded.out.slots.assign(resume_ck.climb_slots.begin(),
+                            resume_ck.climb_slots.end());
+    seeded.out.dims = DimsFromLists(resume_ck.climb_dims, d);
+    seeded.out.labels.assign(resume_ck.climb_labels.begin(),
+                             resume_ck.climb_labels.end());
+    seeded.out.iterations = resume_ck.climb_iterations;
+    seeded.out.improvements = resume_ck.climb_improvements;
+    seeded.bad.assign(resume_ck.climb_bad.begin(),
+                      resume_ck.climb_bad.end());
+    seeded.since_improvement = resume_ck.since_improvement;
+    have_seed = true;
+    rng.RestoreState(resume_ck.rng);
+  }
+
+  size_t current_restart = first_restart;
+  ClimbHook hook;
+  if (!params.checkpoint.path.empty()) {
+    hook = [&](const ClimbState& cs) -> Status {
+      if (cs.out.iterations % params.checkpoint.every_iterations != 0)
+        return Status::OK();
+      ProclusCheckpoint ck;
+      ck.fingerprint = fingerprint;
+      ck.num_dims = d;
+      ck.restart = current_restart;
+      ck.rng = rng.SaveState();
+      ck.candidates.assign(candidates.begin(), candidates.end());
+      ck.climb_current.assign(cs.current.begin(), cs.current.end());
+      ck.climb_objective = cs.out.objective;
+      ck.climb_slots.assign(cs.out.slots.begin(), cs.out.slots.end());
+      ck.climb_dims.reserve(cs.out.dims.size());
+      for (const DimensionSet& ds : cs.out.dims)
+        ck.climb_dims.push_back(ds.ToVector());
+      ck.climb_labels.assign(cs.out.labels.begin(), cs.out.labels.end());
+      ck.climb_iterations = cs.out.iterations;
+      ck.climb_improvements = cs.out.improvements;
+      ck.climb_bad.assign(cs.bad.begin(), cs.bad.end());
+      ck.since_improvement = cs.since_improvement;
+      ck.best_objective = best_objective;
+      ck.best_slots.assign(best_slots.begin(), best_slots.end());
+      ck.best_dims.reserve(best_dims.size());
+      for (const DimensionSet& ds : best_dims)
+        ck.best_dims.push_back(ds.ToVector());
+      ck.best_labels.assign(best_labels.begin(), best_labels.end());
+      ck.total_iterations = iterations;
+      ck.total_improvements = improvements;
+      return SaveCheckpointFile(ck, params.checkpoint.path);
+    };
+  }
+
+  for (size_t restart = first_restart; restart < params.num_restarts;
+       ++restart) {
+    current_restart = restart;
+    ClimbState st;
+    if (have_seed && restart == first_restart) {
+      st = std::move(seeded);
+    } else {
+      st.current = rng.SampleWithoutReplacement(candidates.size(), k);
+    }
+    Status climb =
         params.fuse_scans
-            ? FusedClimb(source, params, candidate_coords, std::move(start),
-                         rng, executor, fused, stats)
-            : ClassicClimb(source, params, candidate_coords,
-                           std::move(start), rng, pass_options,
-                           classic_coords, classic_scratch);
-    PROCLUS_RETURN_IF_ERROR(climb.status());
-    iterations += climb->iterations;
-    improvements += climb->improvements;
-    if (climb->objective < best_objective) {
-      best_objective = climb->objective;
-      best_slots = std::move(climb->slots);
-      best_dims = std::move(climb->dims);
-      best_labels = std::move(climb->labels);
+            ? FusedClimb(source, params, candidate_coords, st, rng,
+                         executor, fused, stats, hook)
+            : ClassicClimb(source, params, candidate_coords, st, rng,
+                           pass_options, classic_coords, classic_scratch,
+                           hook);
+    PROCLUS_RETURN_IF_ERROR(climb);
+    iterations += st.out.iterations;
+    improvements += st.out.improvements;
+    if (st.out.objective < best_objective) {
+      best_objective = st.out.objective;
+      best_slots = std::move(st.out.slots);
+      best_dims = std::move(st.out.dims);
+      best_labels = std::move(st.out.labels);
     }
   }
   // invariant: num_restarts >= 1 (validated) and every restart runs at

@@ -27,7 +27,9 @@
 #define PROCLUS_CORE_PROCLUS_H_
 
 #include <cstdint>
+#include <string>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/model.h"
 #include "data/dataset.h"
@@ -35,6 +37,27 @@
 #include "distance/metric.h"
 
 namespace proclus {
+
+/// Periodic checkpointing of the iterative phase. When `path` is
+/// non-empty, the run atomically rewrites a checkpoint file (see
+/// core/model_io.h) at the top of every `every_iterations`-th
+/// hill-climbing iteration, and — when `resume` is set — restores from an
+/// existing compatible checkpoint at that path instead of starting over.
+/// A resumed run is bit-identical to an uninterrupted one: the checkpoint
+/// carries the full RNG state, so the remaining iterations replay the
+/// exact random stream the interrupted run would have drawn.
+struct CheckpointOptions {
+  /// Checkpoint file path; empty disables checkpointing entirely.
+  std::string path;
+  /// Save period in hill-climbing iterations (per capture opportunity at
+  /// the top of each iteration). Must be >= 1 when `path` is set.
+  size_t every_iterations = 16;
+  /// Resume from an existing checkpoint at `path` if one is present and
+  /// matches this run's configuration fingerprint. A missing file starts
+  /// fresh; a mismatched or damaged file is an error, never silently
+  /// ignored.
+  bool resume = true;
+};
 
 /// Tunable parameters of PROCLUS. Defaults follow the paper where it gives
 /// values (min_deviation = 0.1) and use conservative constants elsewhere.
@@ -97,6 +120,16 @@ struct ProclusParams {
   /// as the measured before/after ablation — see RunStats and
   /// bench/scan_engine.cc.
   bool fuse_scans = true;
+
+  // --- Resilience (no effect on results, only on survival). ---
+  /// Retry schedule for transient I/O failures (IOError/DataLoss): scans
+  /// are re-issued whole by the executor after resetting every consumer,
+  /// and fetches are re-issued via FetchWithRetry. Results are
+  /// bit-identical whether or not any retry happened; RunStats records
+  /// retries / failed_scans / wasted_rows.
+  RetryPolicy retry{};
+  /// Periodic checkpoint/resume of the iterative phase.
+  CheckpointOptions checkpoint{};
 
   /// Validates the parameters against a dataset shape.
   Status Validate(size_t num_points, size_t dims) const;

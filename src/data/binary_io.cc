@@ -6,11 +6,14 @@
 #include <fstream>
 #include <limits>
 
+#include "common/hash.h"
+
 namespace proclus {
 
 namespace {
 constexpr char kMagic[4] = {'P', 'C', 'L', 'S'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionPlain = 1;
+constexpr uint32_t kVersionChecksummed = 2;
 
 // Chunk size (in doubles) for the incremental payload read: 512 KiB. Reading
 // incrementally means a hostile header can never force an allocation larger
@@ -45,22 +48,39 @@ std::streamoff RemainingBytes(std::istream& in) {
 }
 }  // namespace
 
-Status WriteBinary(const Dataset& dataset, std::ostream& out) {
+Status WriteBinary(const Dataset& dataset, std::ostream& out,
+                   uint64_t checksum_block_rows) {
+  if (checksum_block_rows == 0)
+    return Status::InvalidArgument("checksum_block_rows must be positive");
+  const uint64_t rows = dataset.size();
+  const uint64_t cols = dataset.dims();
+  const uint64_t num_blocks =
+      rows / checksum_block_rows + (rows % checksum_block_rows != 0 ? 1 : 0);
   out.write(kMagic, sizeof(kMagic));
-  PutRaw(out, kVersion);
-  PutRaw(out, static_cast<uint64_t>(dataset.size()));
-  PutRaw(out, static_cast<uint64_t>(dataset.dims()));
+  PutRaw(out, kVersionChecksummed);
+  PutRaw(out, rows);
+  PutRaw(out, cols);
+  PutRaw(out, checksum_block_rows);
+  PutRaw(out, num_blocks);
   const auto& data = dataset.matrix().data();
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    const uint64_t first = b * checksum_block_rows;
+    const uint64_t block_rows = std::min(checksum_block_rows, rows - first);
+    PutRaw(out, Xxh64::Hash(data.data() + first * cols,
+                            static_cast<size_t>(block_rows * cols) *
+                                sizeof(double)));
+  }
   out.write(reinterpret_cast<const char*>(data.data()),
             static_cast<std::streamsize>(data.size() * sizeof(double)));
   if (!out) return Status::IOError("binary write failed");
   return Status::OK();
 }
 
-Status WriteBinaryFile(const Dataset& dataset, const std::string& path) {
+Status WriteBinaryFile(const Dataset& dataset, const std::string& path,
+                       uint64_t checksum_block_rows) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  return WriteBinary(dataset, out);
+  return WriteBinary(dataset, out, checksum_block_rows);
 }
 
 Result<Dataset> ReadBinary(std::istream& in) {
@@ -70,7 +90,7 @@ Result<Dataset> ReadBinary(std::istream& in) {
     return Status::Corruption("bad magic; not a PROCLUS binary dataset");
   uint32_t version;
   if (!GetRaw(in, &version)) return Status::Corruption("truncated header");
-  if (version != kVersion)
+  if (version != kVersionPlain && version != kVersionChecksummed)
     return Status::Corruption("unsupported version " +
                               std::to_string(version));
   uint64_t rows, cols;
@@ -87,6 +107,37 @@ Result<Dataset> ReadBinary(std::istream& in) {
   if (count64 > std::numeric_limits<size_t>::max() / sizeof(double))
     return Status::Corruption("payload size overflows size_t");
   const size_t count = static_cast<size_t>(count64);
+
+  // v2: checksum geometry + table precede the payload. The block count is
+  // validated against the header shape before it sizes any allocation.
+  uint64_t csum_block_rows = 0;
+  std::vector<uint64_t> checksums;
+  if (version == kVersionChecksummed) {
+    uint64_t num_blocks = 0;
+    if (!GetRaw(in, &csum_block_rows) || !GetRaw(in, &num_blocks))
+      return Status::Corruption("truncated checksum header");
+    if (csum_block_rows == 0)
+      return Status::Corruption("checksum_block_rows must be positive");
+    const uint64_t expected_blocks =
+        rows / csum_block_rows + (rows % csum_block_rows != 0 ? 1 : 0);
+    if (num_blocks != expected_blocks)
+      return Status::Corruption(
+          "checksum table has " + std::to_string(num_blocks) +
+          " blocks, shape implies " + std::to_string(expected_blocks));
+    // Incremental read, same rationale as the payload: a hostile block
+    // count cannot force an allocation larger than the bytes present.
+    checksums.reserve(static_cast<size_t>(
+        std::min<uint64_t>(num_blocks, kChunkElems)));
+    while (checksums.size() < num_blocks) {
+      const size_t take = static_cast<size_t>(
+          std::min<uint64_t>(kChunkElems, num_blocks - checksums.size()));
+      const size_t old = checksums.size();
+      checksums.resize(old + take);
+      in.read(reinterpret_cast<char*>(checksums.data() + old),
+              static_cast<std::streamsize>(take * sizeof(uint64_t)));
+      if (!in) return Status::Corruption("truncated checksum table");
+    }
+  }
 
   // Fast-fail on seekable streams: a header promising more payload than the
   // stream holds is rejected before any allocation happens.
@@ -112,6 +163,26 @@ Result<Dataset> ReadBinary(std::istream& in) {
             static_cast<std::streamsize>(take * sizeof(double)));
     if (!in) return Status::Corruption("truncated payload");
   }
+
+  if (version == kVersionChecksummed) {
+    for (size_t b = 0; b < checksums.size(); ++b) {
+      const uint64_t first = static_cast<uint64_t>(b) * csum_block_rows;
+      const uint64_t block_rows = std::min<uint64_t>(csum_block_rows,
+                                                     rows - first);
+      const size_t block_bytes =
+          static_cast<size_t>(block_rows * cols) * sizeof(double);
+      const uint64_t actual =
+          Xxh64::Hash(data.data() + static_cast<size_t>(first * cols),
+                      block_bytes);
+      if (actual != checksums[b]) {
+        return Status::DataLoss(
+            "checksum mismatch in block " + std::to_string(b) + " (rows " +
+            std::to_string(first) + ".." + std::to_string(first + block_rows) +
+            "): expected " + std::to_string(checksums[b]) + ", computed " +
+            std::to_string(actual));
+      }
+    }
+  }
   return Dataset(Matrix(static_cast<size_t>(rows), static_cast<size_t>(cols),
                         std::move(data)));
 }
@@ -120,6 +191,25 @@ Result<Dataset> ReadBinaryFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
   return ReadBinary(in);
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  if (end == std::streampos(-1))
+    return Status::IOError("cannot determine size of '" + path + "'");
+  in.seekg(0);
+  std::string bytes(static_cast<size_t>(end), '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!in) {
+    return Status::IOError("short read of '" + path + "' at byte offset " +
+                           std::to_string(in.gcount()) + ": expected " +
+                           std::to_string(bytes.size()) + " bytes, got " +
+                           std::to_string(in.gcount()));
+  }
+  return bytes;
 }
 
 }  // namespace proclus

@@ -3,12 +3,23 @@
 // runs (the Figure 7 sweep re-uses the same 500k-point file across
 // algorithms).
 //
-// Layout: magic "PCLS" (4 bytes) | version u32 | rows u64 | cols u64 |
-//         rows*cols f64 values (row-major).
+// Version 2 (written by WriteBinary) adds a per-block XXH64 checksum table
+// so readers detect silent on-disk corruption instead of consuming garbage
+// coordinates. Version 1 snapshots (no checksums) remain readable.
+//
+// v1: magic "PCLS" (4) | version u32 | rows u64 | cols u64 |
+//     rows*cols f64 values (row-major).
+// v2: magic "PCLS" (4) | version u32 | rows u64 | cols u64 |
+//     checksum_block_rows u64 | num_checksum_blocks u64 |
+//     num_checksum_blocks x u64 XXH64(block payload, seed 0) |
+//     rows*cols f64 values (row-major).
+// num_checksum_blocks = ceil(rows / checksum_block_rows); the final block
+// may cover fewer rows.
 
 #ifndef PROCLUS_DATA_BINARY_IO_H_
 #define PROCLUS_DATA_BINARY_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -17,11 +28,19 @@
 
 namespace proclus {
 
-/// Writes the dataset's points to a binary stream.
-Status WriteBinary(const Dataset& dataset, std::ostream& out);
+/// Rows covered by one checksum in a v2 snapshot (writer default). Small
+/// enough that point fetches verify cheaply, large enough that the table
+/// stays negligible next to the payload.
+inline constexpr uint64_t kDefaultChecksumBlockRows = 256;
+
+/// Writes the dataset's points to a binary stream (current format, v2:
+/// checksummed). `checksum_block_rows` sets the integrity granularity.
+Status WriteBinary(const Dataset& dataset, std::ostream& out,
+                   uint64_t checksum_block_rows = kDefaultChecksumBlockRows);
 
 /// Writes the dataset's points to the file at `path`.
-Status WriteBinaryFile(const Dataset& dataset, const std::string& path);
+Status WriteBinaryFile(const Dataset& dataset, const std::string& path,
+                       uint64_t checksum_block_rows = kDefaultChecksumBlockRows);
 
 /// Reads a dataset previously written with WriteBinary.
 ///
@@ -34,6 +53,13 @@ Result<Dataset> ReadBinary(std::istream& in);
 
 /// Reads a dataset from the file at `path`.
 Result<Dataset> ReadBinaryFile(const std::string& path);
+
+/// Reads the whole file at `path` into a byte string via the checked I/O
+/// layer. Errors carry the path and the expected/actual byte counts. This is
+/// the sanctioned route for text readers (e.g. CSV) so that every file read
+/// in src/data stays behind one audited implementation (see the raw-ifstream
+/// lint rule).
+Result<std::string> ReadFileBytes(const std::string& path);
 
 }  // namespace proclus
 

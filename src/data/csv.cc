@@ -4,7 +4,10 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <utility>
 #include <vector>
+
+#include "data/binary_io.h"
 
 namespace proclus {
 
@@ -168,8 +171,11 @@ Result<Dataset> ReadCsv(std::istream& in, const CsvOptions& options) {
 
 Result<Dataset> ReadCsvFile(const std::string& path,
                             const CsvOptions& options) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  // File access goes through the checked I/O layer (see the raw-ifstream
+  // lint rule); the parser itself stays stream-based.
+  Result<std::string> bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  std::istringstream in(*std::move(bytes));
   return ReadCsv(in, options);
 }
 

@@ -20,14 +20,37 @@ Status ScanExecutor::Run(const PointSource& source,
   const IoCounters before = source.io();
   const Dataset* memory = source.InMemory();
   if (memory == nullptr || options_.num_threads <= 1) {
-    Status status = source.Scan(
-        options_.block_rows,
-        [&](size_t first, std::span<const double> data, size_t rows) {
-          const size_t block = first / options_.block_rows;
-          for (ScanConsumer* consumer : consumers)
-            consumer->ConsumeBlock(block, first, data, rows);
-        });
-    PROCLUS_RETURN_IF_ERROR(status);
+    // A scan can fail mid-pass (transient I/O error, detected corruption,
+    // short read) after blocks were already delivered. Every consumer is
+    // rolled back (Reset + re-Prepare) and the whole scan re-issued under
+    // the retry policy, so a survived fault changes counters but never
+    // results.
+    const size_t max_attempts =
+        options_.retry.max_attempts == 0 ? 1 : options_.retry.max_attempts;
+    for (size_t attempt = 1;; ++attempt) {
+      uint64_t delivered_rows = 0;
+      Status status = source.Scan(
+          options_.block_rows,
+          [&](size_t first, std::span<const double> data, size_t rows) {
+            const size_t block = first / options_.block_rows;
+            delivered_rows += rows;
+            for (ScanConsumer* consumer : consumers)
+              consumer->ConsumeBlock(block, first, data, rows);
+          });
+      if (status.ok()) break;
+      const bool retryable =
+          IsTransient(status) && attempt < max_attempts;
+      if (options_.stats != nullptr) {
+        options_.stats->failed_scans += 1;
+        options_.stats->wasted_rows += delivered_rows;
+        if (retryable) options_.stats->retries += 1;
+      }
+      if (!retryable) return status;
+      for (ScanConsumer* consumer : consumers) consumer->Reset();
+      for (ScanConsumer* consumer : consumers)
+        PROCLUS_RETURN_IF_ERROR(consumer->Prepare(geometry));
+      SleepBackoff(options_.retry, attempt);
+    }
   } else {
     const size_t d = memory->dims();
     const std::vector<double>& data = memory->matrix().data();
@@ -54,6 +77,23 @@ Status ScanExecutor::Run(const PointSource& source,
       options_.stats->distance_evals += consumer->distance_evals();
   }
   return Status::OK();
+}
+
+Result<Matrix> FetchWithRetry(const PointSource& source,
+                              std::span<const size_t> indices,
+                              const RetryPolicy& policy,
+                              RunStats* stats) {
+  const size_t max_attempts =
+      policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  for (size_t attempt = 1;; ++attempt) {
+    Result<Matrix> result = source.Fetch(indices);
+    if (result.ok() || !IsTransient(result.status()) ||
+        attempt >= max_attempts) {
+      return result;
+    }
+    if (stats != nullptr) stats->retries += 1;
+    SleepBackoff(policy, attempt);
+  }
 }
 
 }  // namespace proclus

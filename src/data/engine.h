@@ -32,7 +32,9 @@
 #include <initializer_list>
 #include <span>
 
+#include "common/matrix.h"
 #include "common/parallel.h"
+#include "common/retry.h"
 #include "common/run_stats.h"
 #include "common/status.h"
 #include "data/point_source.h"
@@ -75,6 +77,15 @@ class ScanConsumer {
   /// ascending block order into the consumer's outputs.
   virtual Status Merge() = 0;
 
+  /// Rollback contract: called by the executor when a scan attempt failed
+  /// after delivering some blocks, before Prepare() is called again for
+  /// the retry. After Reset() + Prepare(), the consumer must behave as if
+  /// the failed attempt never happened — no partial state from discarded
+  /// blocks may survive into the re-issued scan. The default is a no-op,
+  /// which is correct for consumers whose Prepare() fully re-initializes
+  /// every partial that Merge() reads.
+  virtual void Reset() {}
+
   /// Point-to-point distance evaluations performed during the last scan
   /// (computed analytically so no cross-thread counting is needed).
   virtual uint64_t distance_evals() const { return 0; }
@@ -91,6 +102,10 @@ struct ScanOptions {
   /// Optional sink for data-movement counters; every Run adds the scan,
   /// rows, bytes, and distance evaluations it performed.
   RunStats* stats = nullptr;
+  /// Retry schedule for transient scan failures (IOError/DataLoss). A
+  /// failed attempt Resets every consumer and re-issues the whole scan;
+  /// results are bit-identical whether or not any retry happened.
+  RetryPolicy retry{};
 };
 
 /// Drives N consumers over one physical scan of a source.
@@ -115,6 +130,15 @@ class ScanExecutor {
  private:
   ScanOptions options_;
 };
+
+/// Fetch with bounded retry of transient failures: re-issues
+/// source.Fetch(indices) under `policy` while the status is transient
+/// (IOError/DataLoss). Each re-issue is counted into stats->retries when
+/// `stats` is non-null. Results are bit-identical to a first-try success.
+Result<Matrix> FetchWithRetry(const PointSource& source,
+                              std::span<const size_t> indices,
+                              const RetryPolicy& policy,
+                              RunStats* stats = nullptr);
 
 }  // namespace proclus
 

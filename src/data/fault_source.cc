@@ -1,0 +1,182 @@
+#include "data/fault_source.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace proclus {
+
+namespace {
+
+// Distinct stream per operation: SplitMix64 seeded by a mix of the plan
+// seed and the operation index. The golden-ratio multiplier decorrelates
+// consecutive indices; the constant offset keeps op 0 away from the raw
+// seed.
+uint64_t OpStreamSeed(uint64_t seed, uint64_t op) {
+  return seed ^ (op * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+}
+
+double ToUnit(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjectingPointSource::Decision FaultInjectingPointSource::Decide(
+    uint64_t op) const {
+  SplitMix64 gen(OpStreamSeed(plan_.seed, op));
+  Decision out;
+  const double u = ToUnit(gen.Next());
+  if (u < plan_.fail_rate) {
+    out.kind = FaultKind::kFail;
+  } else if (u < plan_.fail_rate + plan_.corrupt_rate) {
+    out.kind = FaultKind::kCorrupt;
+  } else if (u < plan_.fail_rate + plan_.corrupt_rate +
+                     plan_.short_read_rate) {
+    out.kind = FaultKind::kShortRead;
+  }
+  out.position = gen.Next();
+  out.delayed = ToUnit(gen.Next()) < plan_.delay_rate;
+  return out;
+}
+
+FaultInjectingPointSource::Decision FaultInjectingPointSource::Admit(
+    uint64_t op) const {
+  Decision d = Decide(op);
+  if (d.delayed && plan_.delay.count() > 0) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(plan_.delay);
+  }
+  if (d.kind != FaultKind::kNone &&
+      consecutive_.load(std::memory_order_relaxed) >=
+          plan_.max_consecutive) {
+    // A run of max_consecutive injected faults forces the next operation
+    // through, so bounded retry always converges.
+    d.kind = FaultKind::kNone;
+  }
+  return d;
+}
+
+void FaultInjectingPointSource::NoteClean() const {
+  const uint64_t run = consecutive_.exchange(0, std::memory_order_relaxed);
+  if (run > 0) absorbed_.fetch_add(run, std::memory_order_relaxed);
+}
+
+Status FaultInjectingPointSource::Scan(size_t block_rows,
+                                       const BlockVisitor& visit) const {
+  if (block_rows == 0)
+    return Status::InvalidArgument("block_rows must be > 0");
+  const uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
+  if (plan_.kill_after_ops > 0 && op >= plan_.kill_after_ops) {
+    scan_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected permanent failure (kill) at operation " +
+                           std::to_string(op));
+  }
+  const Decision d = Admit(op);
+
+  const IoCounters inner_before = inner_->io();
+  if (d.kind == FaultKind::kNone) {
+    Status status = inner_->Scan(block_rows, visit);
+    if (status.ok()) {
+      NoteClean();
+      RecordScan(inner_->size(),
+                 inner_->io().bytes_read - inner_before.bytes_read);
+    }
+    return status;
+  }
+
+  const size_t n = inner_->size();
+  const size_t cols = inner_->dims();
+  const size_t num_blocks =
+      n == 0 ? 0 : (n + block_rows - 1) / block_rows;
+  const size_t fail_block =
+      num_blocks == 0 ? 0 : static_cast<size_t>(d.position % num_blocks);
+  // The inner scan is driven to completion but blocks at and after the
+  // fault position are withheld from the caller; the inner source's
+  // counters keep the wasted physical reads truthful.
+  bool tripped = false;
+  Status inner_status = inner_->Scan(
+      block_rows,
+      [&](size_t first, std::span<const double> data, size_t rows) {
+        if (tripped) return;
+        const size_t block = first / block_rows;
+        if (block == fail_block) {
+          if (d.kind == FaultKind::kShortRead) {
+            const size_t keep = rows / 2;
+            if (keep > 0)
+              visit(first, data.first(keep * cols), keep);
+          }
+          tripped = true;
+          return;
+        }
+        visit(first, data, rows);
+      });
+  // A genuine inner failure outranks the injected one.
+  if (!inner_status.ok()) return inner_status;
+
+  consecutive_.fetch_add(1, std::memory_order_relaxed);
+  scan_faults_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t fail_offset =
+      static_cast<uint64_t>(fail_block) * block_rows * cols *
+      sizeof(double);
+  switch (d.kind) {
+    case FaultKind::kCorrupt:
+      corruptions_.fetch_add(1, std::memory_order_relaxed);
+      return Status::DataLoss(
+          "injected checksum mismatch in scan block " +
+          std::to_string(fail_block) + " (payload byte offset " +
+          std::to_string(fail_offset) + ", operation " +
+          std::to_string(op) + ")");
+    case FaultKind::kShortRead:
+      short_reads_.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError(
+          "injected short read in scan block " +
+          std::to_string(fail_block) + " (payload byte offset " +
+          std::to_string(fail_offset) + ", operation " +
+          std::to_string(op) + ")");
+    case FaultKind::kFail:
+    default:
+      return Status::IOError(
+          "injected transient failure in scan block " +
+          std::to_string(fail_block) + " (payload byte offset " +
+          std::to_string(fail_offset) + ", operation " +
+          std::to_string(op) + ")");
+  }
+}
+
+Result<Matrix> FaultInjectingPointSource::Fetch(
+    std::span<const size_t> indices) const {
+  const uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
+  if (plan_.kill_after_ops > 0 && op >= plan_.kill_after_ops) {
+    fetch_faults_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected permanent failure (kill) at operation " +
+                           std::to_string(op));
+  }
+  const Decision d = Admit(op);
+  if (d.kind != FaultKind::kNone) {
+    consecutive_.fetch_add(1, std::memory_order_relaxed);
+    fetch_faults_.fetch_add(1, std::memory_order_relaxed);
+    if (d.kind == FaultKind::kCorrupt) {
+      corruptions_.fetch_add(1, std::memory_order_relaxed);
+      return Status::DataLoss("injected checksum mismatch fetching " +
+                              std::to_string(indices.size()) +
+                              " points (operation " + std::to_string(op) +
+                              ")");
+    }
+    return Status::IOError("injected transient failure fetching " +
+                           std::to_string(indices.size()) +
+                           " points (operation " + std::to_string(op) + ")");
+  }
+  const IoCounters inner_before = inner_->io();
+  Result<Matrix> result = inner_->Fetch(indices);
+  if (result.ok()) {
+    NoteClean();
+    RecordFetch(indices.size(),
+                inner_->io().bytes_read - inner_before.bytes_read);
+  }
+  return result;
+}
+
+}  // namespace proclus

@@ -1,0 +1,150 @@
+// FaultInjectingPointSource: a deterministic fault-injection decorator for
+// any PointSource.
+//
+// Production storage fails: reads error transiently, return short, or hand
+// back corrupted bytes; latency spikes. This decorator injects exactly those
+// faults from a reproducible, seeded schedule so the resilience layer
+// (executor retry, consumer Reset, checkpoint/resume) can be *proved*
+// harmless — a run that survives injected faults must be bit-identical to a
+// fault-free run, because the schedule draws from its own SplitMix64 stream
+// keyed by (plan.seed, operation index) and never touches any algorithm Rng.
+//
+// Fault model per operation (one Scan or Fetch call):
+//  * transient failure  — the operation returns IOError having delivered
+//    only the blocks before a schedule-chosen position;
+//  * short read         — the chosen block is delivered truncated (half its
+//    rows), then the scan returns IOError: exercises the executor's
+//    partial-block rollback;
+//  * detected corruption — the operation returns DataLoss at the chosen
+//    block with block/offset detail, modeling in-flight corruption caught
+//    by an integrity check (a re-read may succeed, so it is retryable;
+//    corrupted bytes are never delivered — persistent on-disk corruption
+//    is DiskSource's own checksum verification, tested separately);
+//  * latency spike      — the operation sleeps plan.delay first.
+//
+// `max_consecutive` caps how many faults in a row the schedule may inject,
+// so any retry policy with max_attempts > max_consecutive is guaranteed to
+// make progress. `kill_after_ops` turns every operation from that index on
+// into a permanent failure — a deterministic "crash" for checkpoint/resume
+// tests. InMemory() deliberately returns nullptr so the executor's
+// zero-copy parallel path cannot bypass injection.
+
+#ifndef PROCLUS_DATA_FAULT_SOURCE_H_
+#define PROCLUS_DATA_FAULT_SOURCE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "data/point_source.h"
+
+namespace proclus {
+
+/// Reproducible fault schedule. Rates are per-operation probabilities and
+/// partition the unit interval: an operation suffers at most one fault.
+struct FaultPlan {
+  /// Seeds the schedule; same seed + same operation sequence = same faults.
+  uint64_t seed = 1;
+  /// P(transient failure) per operation.
+  double fail_rate = 0.0;
+  /// P(detected per-block corruption -> DataLoss) per operation.
+  double corrupt_rate = 0.0;
+  /// P(short read: truncated block + IOError) per Scan operation.
+  double short_read_rate = 0.0;
+  /// Upper bound on consecutively injected faults; the next operation after
+  /// a run of this length is always allowed to succeed.
+  size_t max_consecutive = 2;
+  /// Sleep injected on a latency-spike operation.
+  std::chrono::microseconds delay{0};
+  /// P(latency spike) per operation (independent of the fault draw).
+  double delay_rate = 0.0;
+  /// When non-zero: every operation with index >= kill_after_ops fails
+  /// permanently (simulated crash; exceeds any retry budget).
+  uint64_t kill_after_ops = 0;
+};
+
+/// Snapshot of the injector's cumulative counters.
+struct FaultCounters {
+  /// Operations (Scan or Fetch calls) that consulted the schedule.
+  uint64_t operations = 0;
+  /// Injected faults, by operation type.
+  uint64_t injected_scan_faults = 0;
+  uint64_t injected_fetch_faults = 0;
+  /// Of the injected faults: how many were corruption / short reads.
+  uint64_t injected_corruptions = 0;
+  uint64_t injected_short_reads = 0;
+  /// Latency spikes served.
+  uint64_t delays = 0;
+  /// Injected faults that a later clean operation proved absorbed — i.e.
+  /// the caller retried past them.
+  uint64_t absorbed = 0;
+};
+
+/// Decorator injecting FaultPlan faults into an inner PointSource.
+/// Thread-compatible like any PointSource; with concurrent callers the
+/// schedule is still seeded and valid, but the assignment of operation
+/// indices to callers follows the arrival interleaving.
+class FaultInjectingPointSource final : public PointSource {
+ public:
+  /// Wraps `inner`, which must outlive this source.
+  FaultInjectingPointSource(const PointSource& inner, const FaultPlan& plan)
+      : inner_(&inner), plan_(plan) {}
+
+  size_t size() const override { return inner_->size(); }
+  size_t dims() const override { return inner_->dims(); }
+  Status Scan(size_t block_rows, const BlockVisitor& visit) const override;
+  Result<Matrix> Fetch(std::span<const size_t> indices) const override;
+  /// Always null: every access must flow through the (faultable) Scan.
+  const Dataset* InMemory() const override { return nullptr; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Cumulative injection counters.
+  FaultCounters fault_counters() const {
+    FaultCounters out;
+    out.operations = ops_.load(std::memory_order_relaxed);
+    out.injected_scan_faults =
+        scan_faults_.load(std::memory_order_relaxed);
+    out.injected_fetch_faults =
+        fetch_faults_.load(std::memory_order_relaxed);
+    out.injected_corruptions =
+        corruptions_.load(std::memory_order_relaxed);
+    out.injected_short_reads =
+        short_reads_.load(std::memory_order_relaxed);
+    out.delays = delays_.load(std::memory_order_relaxed);
+    out.absorbed = absorbed_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  enum class FaultKind { kNone, kFail, kCorrupt, kShortRead };
+  struct Decision {
+    FaultKind kind = FaultKind::kNone;
+    uint64_t position = 0;  // which block of a scan fails (mod num_blocks)
+    bool delayed = false;
+  };
+
+  /// Deterministic schedule lookup for operation `op`.
+  Decision Decide(uint64_t op) const;
+  /// Applies max_consecutive / kill_after_ops to the raw decision, serves
+  /// the latency spike, and bumps the operation counter bookkeeping.
+  Decision Admit(uint64_t op) const;
+  /// Bookkeeping after a clean (non-injected) operation completed.
+  void NoteClean() const;
+
+  const PointSource* inner_;
+  FaultPlan plan_;
+
+  mutable std::atomic<uint64_t> ops_{0};
+  mutable std::atomic<uint64_t> scan_faults_{0};
+  mutable std::atomic<uint64_t> fetch_faults_{0};
+  mutable std::atomic<uint64_t> corruptions_{0};
+  mutable std::atomic<uint64_t> short_reads_{0};
+  mutable std::atomic<uint64_t> delays_{0};
+  mutable std::atomic<uint64_t> absorbed_{0};
+  mutable std::atomic<uint64_t> consecutive_{0};
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_DATA_FAULT_SOURCE_H_

@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
+
+#include "common/hash.h"
 
 namespace proclus {
 
@@ -43,9 +46,17 @@ Result<Matrix> MemorySource::Fetch(std::span<const size_t> indices) const {
 
 namespace {
 constexpr char kMagic[4] = {'P', 'C', 'L', 'S'};
-constexpr uint32_t kSupportedVersion = 1;
+constexpr uint32_t kVersionPlain = 1;
+constexpr uint32_t kVersionChecksummed = 2;
 // magic(4) + version(4) + rows(8) + cols(8)
 constexpr size_t kHeaderBytes = 24;
+
+std::string ShortReadDetail(const std::string& path, uint64_t offset,
+                            uint64_t expected, std::streamsize actual) {
+  return "'" + path + "' at byte offset " + std::to_string(offset) +
+         ": expected " + std::to_string(expected) + " bytes, got " +
+         std::to_string(actual < 0 ? 0 : actual);
+}
 }  // namespace
 
 Result<DiskSource> DiskSource::Open(const std::string& path) {
@@ -60,17 +71,69 @@ Result<DiskSource> DiskSource::Open(const std::string& path) {
   in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     return Status::Corruption("'" + path + "' is not a PROCLUS snapshot");
-  if (version != kSupportedVersion)
+  if (version != kVersionPlain && version != kVersionChecksummed)
     return Status::Corruption("unsupported snapshot version " +
                               std::to_string(version));
-  // Validate the payload length against the header.
+  if (rows > 0 && cols == 0)
+    return Status::Corruption("'" + path + "' has points of dimension 0");
+  if (cols > 0 && rows > std::numeric_limits<uint64_t>::max() / cols)
+    return Status::Corruption("'" + path + "' element count overflows");
+  const uint64_t payload64 = rows * cols;
+  if (payload64 > std::numeric_limits<uint64_t>::max() / sizeof(double))
+    return Status::Corruption("'" + path + "' payload size overflows");
+  const uint64_t payload_bytes = payload64 * sizeof(double);
+
+  uint64_t csum_block_rows = 0;
+  uint64_t num_blocks = 0;
+  uint64_t data_offset = kHeaderBytes;
+  if (version == kVersionChecksummed) {
+    in.read(reinterpret_cast<char*>(&csum_block_rows),
+            sizeof(csum_block_rows));
+    in.read(reinterpret_cast<char*>(&num_blocks), sizeof(num_blocks));
+    if (!in)
+      return Status::Corruption("'" + path +
+                                "' has a truncated checksum header");
+    if (csum_block_rows == 0)
+      return Status::Corruption("'" + path +
+                                "' checksum_block_rows must be positive");
+    const uint64_t expected_blocks =
+        rows / csum_block_rows + (rows % csum_block_rows != 0 ? 1 : 0);
+    if (num_blocks != expected_blocks)
+      return Status::Corruption(
+          "'" + path + "' checksum table has " + std::to_string(num_blocks) +
+          " blocks, shape implies " + std::to_string(expected_blocks));
+    data_offset = kHeaderBytes + 16 + num_blocks * sizeof(uint64_t);
+  }
+
+  // Validate the payload length against the header before reading the
+  // checksum table (which the size check also bounds).
   in.seekg(0, std::ios::end);
-  uint64_t expected =
-      kHeaderBytes + rows * cols * static_cast<uint64_t>(sizeof(double));
-  if (static_cast<uint64_t>(in.tellg()) < expected)
-    return Status::Corruption("'" + path + "' is truncated");
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  const uint64_t expected = data_offset + payload_bytes;
+  if (file_size < expected)
+    return Status::Corruption(
+        "'" + path + "' is truncated: header promises " +
+        std::to_string(expected) + " bytes, file has " +
+        std::to_string(file_size));
+
+  std::vector<uint64_t> checksums(static_cast<size_t>(num_blocks));
+  if (num_blocks > 0) {
+    in.seekg(static_cast<std::streamoff>(kHeaderBytes + 16));
+    in.read(reinterpret_cast<char*>(checksums.data()),
+            static_cast<std::streamsize>(checksums.size() *
+                                         sizeof(uint64_t)));
+    if (!in)
+      return Status::IOError("short read of checksum table in " +
+                             ShortReadDetail(path, kHeaderBytes + 16,
+                                             checksums.size() *
+                                                 sizeof(uint64_t),
+                                             in.gcount()));
+  }
   return DiskSource(path, static_cast<size_t>(rows),
-                    static_cast<size_t>(cols), kHeaderBytes);
+                    static_cast<size_t>(cols),
+                    static_cast<size_t>(data_offset),
+                    static_cast<size_t>(csum_block_rows),
+                    std::move(checksums));
 }
 
 Status DiskSource::Scan(size_t block_rows, const BlockVisitor& visit) const {
@@ -79,13 +142,57 @@ Status DiskSource::Scan(size_t block_rows, const BlockVisitor& visit) const {
   std::ifstream in(path_, std::ios::binary);
   if (!in) return Status::IOError("cannot reopen '" + path_ + "'");
   in.seekg(static_cast<std::streamoff>(data_offset_));
+  const size_t row_bytes = cols_ * sizeof(double);
   std::vector<double> buffer(block_rows * cols_);
+  // Streaming integrity: checksum blocks are hashed as their bytes pass
+  // through, independent of the scan block size (the two block geometries
+  // need not align). A completed checksum block is verified before its
+  // last rows are delivered; rows of a still-open checksum block can have
+  // been delivered before a mismatch is detected, which is why a failed
+  // scan must be discarded wholesale (ScanConsumer::Reset contract).
+  Xxh64 hasher;
+  size_t csum_block = 0;
+  size_t rows_in_csum_block = 0;
+  size_t rows_hashed = 0;
   for (size_t first = 0; first < rows_; first += block_rows) {
     size_t rows = std::min(block_rows, rows_ - first);
     in.read(reinterpret_cast<char*>(buffer.data()),
-            static_cast<std::streamsize>(rows * cols_ * sizeof(double)));
-    if (!in) return Status::IOError("read failed at row " +
-                                    std::to_string(first));
+            static_cast<std::streamsize>(rows * row_bytes));
+    if (!in)
+      return Status::IOError(
+          "scan read failed in " +
+          ShortReadDetail(path_, data_offset_ + first * row_bytes,
+                          rows * row_bytes, in.gcount()));
+    if (!checksums_.empty()) {
+      const char* p = reinterpret_cast<const char*>(buffer.data());
+      size_t left = rows;
+      while (left > 0) {
+        const size_t take =
+            std::min(checksum_block_rows_ - rows_in_csum_block, left);
+        hasher.Update(p, take * row_bytes);
+        p += take * row_bytes;
+        left -= take;
+        rows_in_csum_block += take;
+        rows_hashed += take;
+        if (rows_in_csum_block == checksum_block_rows_ ||
+            rows_hashed == rows_) {
+          const uint64_t digest = hasher.Digest();
+          if (digest != checksums_[csum_block]) {
+            return Status::DataLoss(
+                "checksum mismatch in '" + path_ + "' block " +
+                std::to_string(csum_block) + " (byte offset " +
+                std::to_string(data_offset_ +
+                               csum_block * checksum_block_rows_ *
+                                   row_bytes) +
+                "): expected " + std::to_string(checksums_[csum_block]) +
+                ", computed " + std::to_string(digest));
+          }
+          hasher.Reset();
+          ++csum_block;
+          rows_in_csum_block = 0;
+        }
+      }
+    }
     visit(first, std::span<const double>(buffer.data(), rows * cols_),
           rows);
   }
@@ -98,19 +205,79 @@ Result<Matrix> DiskSource::Fetch(std::span<const size_t> indices) const {
   if (!in) return Status::IOError("cannot reopen '" + path_ + "'");
   Matrix out(indices.size(), cols_);
   const size_t row_bytes = cols_ * sizeof(double);
+  // v2 fetches read and verify the whole checksum block containing the
+  // row; the last verified block is cached so runs of nearby indices pay
+  // for it once.
+  std::vector<double> block_buf;
+  size_t cached_block = std::numeric_limits<size_t>::max();
+  uint64_t bytes_read = 0;
   for (size_t r = 0; r < indices.size(); ++r) {
-    if (indices[r] >= rows_)
-      return Status::OutOfRange("point index " +
-                                std::to_string(indices[r]) +
+    const size_t idx = indices[r];
+    if (idx >= rows_)
+      return Status::OutOfRange("point index " + std::to_string(idx) +
                                 " out of range");
-    in.seekg(static_cast<std::streamoff>(data_offset_ +
-                                         indices[r] * row_bytes));
-    in.read(reinterpret_cast<char*>(out.row(r).data()),
-            static_cast<std::streamsize>(row_bytes));
-    if (!in) return Status::IOError("read failed for point " +
-                                    std::to_string(indices[r]));
+    Status status = RunWithRetry(retry_, [&]() -> Status {
+      if (!in || !in.is_open()) {
+        // A failed attempt leaves the stream in an error state; reopen for
+        // the retry and drop the (possibly suspect) cached block.
+        in.clear();
+        in.close();
+        in.open(path_, std::ios::binary);
+        cached_block = std::numeric_limits<size_t>::max();
+        if (!in) return Status::IOError("cannot reopen '" + path_ + "'");
+      }
+      if (checksums_.empty()) {
+        const uint64_t offset = data_offset_ + idx * row_bytes;
+        in.seekg(static_cast<std::streamoff>(offset));
+        in.read(reinterpret_cast<char*>(out.row(r).data()),
+                static_cast<std::streamsize>(row_bytes));
+        if (!in)
+          return Status::IOError("fetch of point " + std::to_string(idx) +
+                                 " failed in " +
+                                 ShortReadDetail(path_, offset, row_bytes,
+                                                 in.gcount()));
+        bytes_read += row_bytes;
+        return Status::OK();
+      }
+      const size_t block = idx / checksum_block_rows_;
+      if (block != cached_block) {
+        const size_t block_first = block * checksum_block_rows_;
+        const size_t block_rows =
+            std::min(checksum_block_rows_, rows_ - block_first);
+        const uint64_t offset = data_offset_ + block_first * row_bytes;
+        block_buf.resize(block_rows * cols_);
+        in.seekg(static_cast<std::streamoff>(offset));
+        in.read(reinterpret_cast<char*>(block_buf.data()),
+                static_cast<std::streamsize>(block_rows * row_bytes));
+        if (!in)
+          return Status::IOError("fetch of point " + std::to_string(idx) +
+                                 " failed in " +
+                                 ShortReadDetail(path_, offset,
+                                                 block_rows * row_bytes,
+                                                 in.gcount()));
+        bytes_read += block_rows * row_bytes;
+        const uint64_t digest =
+            Xxh64::Hash(block_buf.data(), block_rows * row_bytes);
+        if (digest != checksums_[block]) {
+          return Status::DataLoss(
+              "checksum mismatch in '" + path_ + "' block " +
+              std::to_string(block) + " (byte offset " +
+              std::to_string(offset) + ") while fetching point " +
+              std::to_string(idx) + ": expected " +
+              std::to_string(checksums_[block]) + ", computed " +
+              std::to_string(digest));
+        }
+        cached_block = block;
+      }
+      std::memcpy(out.row(r).data(),
+                  block_buf.data() +
+                      (idx - block * checksum_block_rows_) * cols_,
+                  row_bytes);
+      return Status::OK();
+    });
+    if (!status.ok()) return status;
   }
-  RecordFetch(indices.size(), indices.size() * row_bytes);
+  RecordFetch(indices.size(), bytes_read);
   return out;
 }
 

@@ -25,8 +25,10 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/matrix.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "data/dataset.h"
 
@@ -138,6 +140,18 @@ class MemorySource final : public PointSource {
 /// PointSource over a binary dataset snapshot on disk (the format of
 /// data/binary_io.h), reading blocks through a bounded buffer so the
 /// full data never needs to fit in memory.
+///
+/// Integrity: version-2 snapshots carry a per-block XXH64 checksum table.
+/// Scan verifies every checksum block as its bytes stream past and Fetch
+/// verifies the block containing each requested row; a mismatch yields
+/// DataLoss with the block index and byte offset. Version-1 snapshots
+/// (no checksums) are still readable, unverified.
+///
+/// Resilience: Fetch re-issues transiently failed row reads under
+/// `retry_policy()` (stream reopened between attempts). Scan does NOT
+/// retry internally — a mid-scan failure invalidates everything already
+/// delivered to visitors, so the re-issue belongs to the caller that owns
+/// the consumer state (ScanExecutor::Run).
 class DiskSource final : public PointSource {
  public:
   /// Opens and validates the snapshot at `path`.
@@ -148,18 +162,32 @@ class DiskSource final : public PointSource {
   Status Scan(size_t block_rows, const BlockVisitor& visit) const override;
   Result<Matrix> Fetch(std::span<const size_t> indices) const override;
 
+  /// Retry schedule for transient Fetch failures.
+  const RetryPolicy& retry_policy() const { return retry_; }
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
+  /// True when the snapshot carries a checksum table (version >= 2).
+  bool verifies_checksums() const { return !checksums_.empty(); }
+
  private:
-  DiskSource(std::string path, size_t rows, size_t cols,
-             size_t data_offset)
+  DiskSource(std::string path, size_t rows, size_t cols, size_t data_offset,
+             size_t checksum_block_rows, std::vector<uint64_t> checksums)
       : path_(std::move(path)),
         rows_(rows),
         cols_(cols),
-        data_offset_(data_offset) {}
+        data_offset_(data_offset),
+        checksum_block_rows_(checksum_block_rows),
+        checksums_(std::move(checksums)) {}
 
   std::string path_;
   size_t rows_;
   size_t cols_;
   size_t data_offset_;
+  // v2 only: rows per checksum block and one XXH64 digest per block
+  // (empty for v1 snapshots).
+  size_t checksum_block_rows_;
+  std::vector<uint64_t> checksums_;
+  RetryPolicy retry_;
 };
 
 }  // namespace proclus

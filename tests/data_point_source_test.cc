@@ -1,6 +1,8 @@
 #include "data/point_source.h"
 
+#include <cstdint>
 #include <fstream>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -9,6 +11,14 @@
 
 namespace proclus {
 namespace {
+
+// Asserts that `status`'s message mentions `substr` (used to pin down the
+// diagnostic detail contract: path, byte offset, expected/actual sizes).
+void ExpectMessageContains(const Status& status, const std::string& substr) {
+  EXPECT_NE(status.message().find(substr), std::string::npos)
+      << "status message \"" << status.message()
+      << "\" does not contain \"" << substr << "\"";
+}
 
 Dataset RandomDataset(size_t n, size_t d, uint64_t seed = 5) {
   Rng rng(seed);
@@ -149,6 +159,218 @@ TEST(DiskSourceTest, NotInMemory) {
   auto source = DiskSource::Open(path);
   ASSERT_TRUE(source.ok());
   EXPECT_EQ(source->InMemory(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Counter identity semantics.
+// ---------------------------------------------------------------------
+
+TEST(PointSourceCountersTest, CopiesAndMovedToStartAtZero) {
+  Dataset ds = RandomDataset(64, 4);
+  std::string path = WriteTempSnapshot(ds, "counter_source.bin");
+  auto opened = DiskSource::Open(path);
+  ASSERT_TRUE(opened.ok());
+  DiskSource original = *std::move(opened);
+  CollectScan(original, 16);
+  std::vector<size_t> some{0, 63};
+  ASSERT_TRUE(original.Fetch(some).ok());
+  IoCounters before = original.io();
+  EXPECT_EQ(before.scans, 1u);
+  EXPECT_EQ(before.rows_scanned, 64u);
+  EXPECT_GT(before.bytes_read, 0u);
+  EXPECT_EQ(before.rows_fetched, 2u);
+
+  // Counters are bound to the source's identity, not its data: a copy
+  // counts from zero while the original keeps its totals.
+  DiskSource copy = original;
+  IoCounters copied = copy.io();
+  EXPECT_EQ(copied.scans, 0u);
+  EXPECT_EQ(copied.rows_scanned, 0u);
+  EXPECT_EQ(copied.bytes_read, 0u);
+  EXPECT_EQ(copied.rows_fetched, 0u);
+  EXPECT_EQ(original.io().scans, before.scans);
+  EXPECT_EQ(original.io().bytes_read, before.bytes_read);
+
+  // A moved-to source likewise starts from zero, and still works.
+  DiskSource moved = std::move(original);
+  IoCounters fresh = moved.io();
+  EXPECT_EQ(fresh.scans, 0u);
+  EXPECT_EQ(fresh.rows_scanned, 0u);
+  EXPECT_EQ(fresh.bytes_read, 0u);
+  EXPECT_EQ(fresh.rows_fetched, 0u);
+  CollectScan(moved, 64);
+  EXPECT_EQ(moved.io().scans, 1u);
+  EXPECT_EQ(moved.io().rows_scanned, 64u);
+}
+
+// ---------------------------------------------------------------------
+// Detailed failure Statuses: every I/O error names the path and the byte
+// offset and sizes involved, so a corrupted deployment is diagnosable
+// from the message alone.
+// ---------------------------------------------------------------------
+
+// Shrinks the file at `path` to `keep` bytes.
+void TruncateFile(const std::string& path, size_t keep) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_LT(keep, bytes.size());
+  bytes.resize(keep);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// XORs one byte of the file at `path`.
+void FlipByte(const std::string& path, size_t offset) {
+  std::fstream f(path,
+                 std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.get(byte);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(byte ^ 0x5a));
+}
+
+// v2 layout: 24-byte header, 16 bytes of checksum geometry, then the
+// XXH64 table, then the payload.
+size_t DataOffset(size_t rows, size_t csum_block_rows) {
+  const size_t blocks =
+      rows / csum_block_rows + (rows % csum_block_rows != 0 ? 1 : 0);
+  return 24 + 16 + blocks * sizeof(uint64_t);
+}
+
+TEST(DiskSourceTest, ScanErrorNamesPathOffsetAndSizes) {
+  Dataset ds = RandomDataset(100, 4);
+  std::string path = WriteTempSnapshot(ds, "scan_detail.bin");
+  auto source = DiskSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  // Truncate AFTER opening: Open's up-front size validation has passed,
+  // so the failure surfaces mid-scan exactly where the bytes run out.
+  const size_t data_offset = DataOffset(100, kDefaultChecksumBlockRows);
+  const size_t row_bytes = 4 * sizeof(double);
+  TruncateFile(path, data_offset + 64 * row_bytes);
+  Status status =
+      source->Scan(32, [](size_t, std::span<const double>, size_t) {});
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  // The third scan block starts at row 64 = byte data_offset + 64*32 and
+  // wants 32 rows; none of its bytes exist.
+  ExpectMessageContains(status, "'" + path + "'");
+  ExpectMessageContains(status, "byte offset " + std::to_string(data_offset + 64 * row_bytes));
+  ExpectMessageContains(status, "expected " + std::to_string(32 * row_bytes) + " bytes, got 0");
+}
+
+TEST(DiskSourceTest, FetchErrorNamesPathOffsetAndSizes) {
+  Dataset ds = RandomDataset(100, 4);
+  std::string path = WriteTempSnapshot(ds, "fetch_detail.bin");
+  auto source = DiskSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  const size_t data_offset = DataOffset(100, kDefaultChecksumBlockRows);
+  TruncateFile(path, data_offset + 10 * 4 * sizeof(double));
+  std::vector<size_t> indices{99};
+  Status status = source->Fetch(indices).status();
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  ExpectMessageContains(status, "fetch of point 99");
+  ExpectMessageContains(status, "'" + path + "'");
+  ExpectMessageContains(status, "byte offset");
+  ExpectMessageContains(status, "expected");
+}
+
+TEST(DiskSourceTest, OpenTruncationReportsPromisedAndActualSizes) {
+  Dataset ds = RandomDataset(20, 3);
+  std::string path = WriteTempSnapshot(ds, "open_detail.bin");
+  const size_t data_offset = DataOffset(20, kDefaultChecksumBlockRows);
+  const size_t full = data_offset + 20 * 3 * sizeof(double);
+  TruncateFile(path, full - 10);
+  Status status = DiskSource::Open(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  ExpectMessageContains(status, "header promises " + std::to_string(full));
+  ExpectMessageContains(status, "file has " + std::to_string(full - 10));
+}
+
+// ---------------------------------------------------------------------
+// Checksum verification (v2 snapshots).
+// ---------------------------------------------------------------------
+
+TEST(DiskSourceTest, NewSnapshotsCarryChecksums) {
+  Dataset ds = RandomDataset(10, 2);
+  std::string path = WriteTempSnapshot(ds, "csum_source.bin");
+  auto source = DiskSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  EXPECT_TRUE(source->verifies_checksums());
+}
+
+TEST(DiskSourceTest, ScanDetectsCorruptedBlockWithOffset) {
+  // 600 rows x 4 dims with the default 256-row checksum blocks: blocks
+  // cover rows [0,256), [256,512), [512,600).
+  Dataset ds = RandomDataset(600, 4);
+  std::string path = WriteTempSnapshot(ds, "corrupt_scan.bin");
+  auto source = DiskSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  const size_t data_offset = DataOffset(600, kDefaultChecksumBlockRows);
+  const size_t row_bytes = 4 * sizeof(double);
+  // Flip a byte inside checksum block 1 (row 300).
+  FlipByte(path, data_offset + 300 * row_bytes + 3);
+  Status status =
+      source->Scan(128, [](size_t, std::span<const double>, size_t) {});
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  ExpectMessageContains(status, "checksum mismatch");
+  ExpectMessageContains(status, "block 1");
+  ExpectMessageContains(status, "byte offset " + std::to_string(data_offset + 256 * row_bytes));
+  ExpectMessageContains(status, "expected");
+  ExpectMessageContains(status, "computed");
+}
+
+TEST(DiskSourceTest, FetchVerifiesOnlyTheContainingBlock) {
+  Dataset ds = RandomDataset(600, 4);
+  std::string path = WriteTempSnapshot(ds, "corrupt_fetch.bin");
+  auto source = DiskSource::Open(path);
+  ASSERT_TRUE(source.ok());
+  const size_t data_offset = DataOffset(600, kDefaultChecksumBlockRows);
+  FlipByte(path, data_offset + 300 * 4 * sizeof(double));
+  // Rows in clean blocks still fetch (and match the original data).
+  std::vector<size_t> clean{0, 599};
+  auto fetched = source->Fetch(clean);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ((*fetched)(0, j), ds.at(0, j));
+    EXPECT_EQ((*fetched)(1, j), ds.at(599, j));
+  }
+  // A row inside the damaged block is refused, with the point named.
+  std::vector<size_t> dirty{300};
+  Status status = source->Fetch(dirty).status();
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  ExpectMessageContains(status, "block 1");
+  ExpectMessageContains(status, "fetching point 300");
+}
+
+TEST(DiskSourceTest, V1SnapshotsReadableButUnverified) {
+  // Hand-written version-1 snapshot: 24-byte header, payload, no table.
+  Dataset ds = RandomDataset(50, 3);
+  std::string path = ::testing::TempDir() + "/v1_source.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const char magic[4] = {'P', 'C', 'L', 'S'};
+    const uint32_t version = 1;
+    const uint64_t rows = 50, cols = 3;
+    out.write(magic, 4);
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(
+        reinterpret_cast<const char*>(ds.matrix().data().data()),
+        static_cast<std::streamsize>(50 * 3 * sizeof(double)));
+  }
+  auto source = DiskSource::Open(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_FALSE(source->verifies_checksums());
+  EXPECT_EQ(CollectScan(*source, 16), ds.matrix());
+  // Without a checksum table, corruption passes silently — which is why
+  // WriteBinary emits version 2 by default.
+  FlipByte(path, 24 + 7 * 3 * sizeof(double));
+  Status status =
+      source->Scan(16, [](size_t, std::span<const double>, size_t) {});
+  EXPECT_TRUE(status.ok());
 }
 
 }  // namespace

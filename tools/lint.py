@@ -30,11 +30,18 @@ Enforces invariants that no generic tool knows about:
                       Per-function pass over src/, bench/, and fuzz/.
   raw-scan            Direct PointSource::Scan / ForEachBlock calls are
                       forbidden outside the scan engine itself (src/data/
-                      engine.cc, src/data/point_source.cc): every data pass
-                      in src/, bench/, and examples/ must go through a
-                      ScanConsumer driven by ScanExecutor::Run, so scans can
-                      be fused and the RunStats scan/byte counters stay
-                      truthful.
+                      engine.cc, src/data/point_source.cc, and the
+                      fault-injection decorator src/data/fault_source.cc):
+                      every data pass in src/, bench/, and examples/ must go
+                      through a ScanConsumer driven by ScanExecutor::Run, so
+                      scans can be fused and the RunStats scan/byte counters
+                      stay truthful.
+  raw-ifstream        Direct std::ifstream use in src/data is forbidden
+                      outside binary_io.cc and point_source.cc: every other
+                      reader must go through ReadFileBytes (data/binary_io.h)
+                      or the PointSource layer, which report short reads and
+                      corruption as detailed Statuses (path, byte offset,
+                      expected/actual sizes) instead of silently truncating.
   unordered-iteration A range-for over a std::unordered_map/set (declared in
                       the same file, directly or through a local alias)
                       whose body feeds an ordered sink — output streams,
@@ -81,11 +88,26 @@ IOSTREAM_RE = re.compile(r"std\s*::\s*(cout|cerr|clog)\b")
 RAW_SCAN_DIRS = ("src", "bench", "examples")
 
 # The scan machinery itself: the executor that drives consumers over
-# Scan(), and the PointSource implementations.
+# Scan(), the PointSource implementations, and the fault-injection
+# decorator (which must drive the inner source's raw scan to simulate
+# mid-scan failures).
 RAW_SCAN_ALLOWLIST = (os.path.join("src", "data", "engine.cc"),
-                      os.path.join("src", "data", "point_source.cc"))
+                      os.path.join("src", "data", "point_source.cc"),
+                      os.path.join("src", "data", "fault_source.cc"))
 
 RAW_SCAN_RE = re.compile(r"(?:\.|->)\s*Scan\s*\(|\bForEachBlock\s*\(")
+
+# --- raw-ifstream -----------------------------------------------------------
+
+# The only src/data files that may open files for reading directly: the
+# checked binary reader (which implements ReadFileBytes) and the
+# PointSource layer. Everything else must consume their detailed-Status
+# I/O instead of re-inventing silent-truncation reads.
+RAW_IFSTREAM_DIR = os.path.join("src", "data")
+RAW_IFSTREAM_ALLOWLIST = (os.path.join("src", "data", "binary_io.cc"),
+                          os.path.join("src", "data", "point_source.cc"))
+
+RAW_IFSTREAM_RE = re.compile(r"std\s*::\s*ifstream\b")
 
 # A function definition returning Status or Result<...>: return type at the
 # start of a (possibly indented) line, then a qualified name and parameter
@@ -292,6 +314,22 @@ def check_raw_scan(rel_path, original_lines, code, findings):
             "pass as a ScanConsumer and drive it with ScanExecutor::Run "
             "(data/engine.h) so it can share physical scans and the "
             "RunStats data-movement counters stay truthful"))
+
+
+def check_raw_ifstream(rel_path, original_lines, code, findings):
+    if not rel_path.startswith(RAW_IFSTREAM_DIR + os.sep):
+        return
+    if rel_path in RAW_IFSTREAM_ALLOWLIST:
+        return
+    for m in RAW_IFSTREAM_RE.finditer(code):
+        ln = line_of(code, m.start())
+        if allowed(original_lines, ln, "raw-ifstream"):
+            continue
+        findings.append(Finding(
+            rel_path, ln, "raw-ifstream",
+            "direct std::ifstream in src/data silently truncates on I/O "
+            "errors; read through ReadFileBytes (data/binary_io.h) or the "
+            "PointSource layer so failures surface as detailed Statuses"))
 
 
 def check_status_fn_checks(rel_path, original_lines, code, findings):
@@ -531,6 +569,7 @@ def lint_file(root, rel_path, findings):
     check_banned_randomness(rel_path, original_lines, code, findings)
     check_iostream(rel_path, original_lines, code, findings)
     check_raw_scan(rel_path, original_lines, code, findings)
+    check_raw_ifstream(rel_path, original_lines, code, findings)
     check_status_fn_checks(rel_path, original_lines, code, findings)
     check_result_unchecked(rel_path, original_lines, code, findings)
     check_unordered_iteration(rel_path, original_lines, code, findings)
@@ -728,6 +767,47 @@ SELF_TEST_FIXTURES = [
      "void Peek(const PointSource& source) {\n"
      "  // One-off probe; stats are not reported from this path.\n"
      "  source.Scan(512, [](size_t, auto, size_t) {});  // lint:allow(raw-scan)\n"
+     "}\n"
+     "}\n",
+     []),
+    # raw-ifstream: a src/data file opening a file directly.
+    ("src/data/sneaky_reader.cc",
+     "#include <fstream>\n"
+     "namespace proclus {\n"
+     "int Peek(const char* path) {\n"
+     "  std::ifstream in(path);\n"
+     "  return in.get();\n"
+     "}\n"
+     "}\n",
+     ["raw-ifstream"]),
+    # The checked binary reader itself is allowlisted.
+    ("src/data/binary_io.cc",
+     "#include <fstream>\n"
+     "namespace proclus {\n"
+     "int Peek(const char* path) {\n"
+     "  std::ifstream in(path);\n"
+     "  return in.get();\n"
+     "}\n"
+     "}\n",
+     []),
+    # Outside src/data the rule does not apply (core/model_io.cc reads
+    # models through its own versioned format).
+    ("src/core/reader.cc",
+     "#include <fstream>\n"
+     "namespace proclus {\n"
+     "int Peek(const char* path) {\n"
+     "  std::ifstream in(path);\n"
+     "  return in.get();\n"
+     "}\n"
+     "}\n",
+     []),
+    # Explicit suppression with justification.
+    ("src/data/probe_allowed.cc",
+     "#include <fstream>\n"
+     "namespace proclus {\n"
+     "bool Exists(const char* path) {\n"
+     "  // Existence probe only; no payload bytes are consumed.\n"
+     "  return std::ifstream(path).good();  // lint:allow(raw-ifstream)\n"
      "}\n"
      "}\n",
      []),

@@ -168,6 +168,16 @@ void PrintRunStats(const std::string& prefix, const RunStats& stats) {
   PrintKV(prefix + " bytes read", static_cast<double>(stats.bytes_read));
   PrintKV(prefix + " distance evals",
           static_cast<double>(stats.distance_evals));
+  PrintKV(prefix + " kernel batches",
+          static_cast<double>(stats.kernel_batches));
+  PrintKV(prefix + " kernel rows",
+          static_cast<double>(stats.kernel_rows));
+  PrintKV(prefix + " tile reuse hits",
+          static_cast<double>(stats.tile_reuse_hits));
+  PrintKV(prefix + " locality cache hits",
+          static_cast<double>(stats.locality_cache_hits));
+  PrintKV(prefix + " locality cache misses",
+          static_cast<double>(stats.locality_cache_misses));
   PrintKV(prefix + " bootstrap scans",
           static_cast<double>(stats.bootstrap_scans));
   PrintKV(prefix + " iterative scans",

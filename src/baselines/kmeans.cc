@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "data/engine.h"
+#include "distance/batch.h"
 #include "distance/metric.h"
 
 namespace proclus {
@@ -42,26 +43,35 @@ class MinDist2Consumer final : public ScanConsumer {
     if (center_->size() != geometry.dims)
       return Status::InvalidArgument("center dimensionality mismatch");
     dims_ = geometry.dims;
+    PrepareKernelScratch(scratch_, geometry.num_blocks);
     distance_evals_ = geometry.rows;
     return Status::OK();
   }
 
-  void ConsumeBlock(size_t, size_t first_row, std::span<const double> data,
-                    size_t rows) override {
+  void ConsumeBlock(size_t block_index, size_t first_row,
+                    std::span<const double> data, size_t rows) override {
+    KernelScratch& scratch = scratch_[block_index];
+    scratch.dist.resize(rows);
+    SquaredEuclideanBatch(data, rows, dims_, *center_, scratch,
+                          scratch.dist.data());
     for (size_t r = 0; r < rows; ++r) {
-      double d2 = SquaredEuclideanDistance(data.subspan(r * dims_, dims_),
-                                           *center_);
       double& slot = (*dist2_)[first_row + r];
-      if (d2 < slot) slot = d2;
+      if (scratch.dist[r] < slot) slot = scratch.dist[r];
     }
   }
 
   Status Merge() override { return Status::OK(); }
   uint64_t distance_evals() const override { return distance_evals_; }
+  KernelStats kernel_stats() const override {
+    KernelStats totals;
+    for (const KernelScratch& scratch : scratch_) totals.Accumulate(scratch);
+    return totals;
+  }
 
  private:
   const std::vector<double>* center_ = nullptr;
   std::vector<double>* dist2_ = nullptr;
+  std::vector<KernelScratch> scratch_;  // [block]
   size_t dims_ = 0;
   uint64_t distance_evals_ = 0;
 };
@@ -82,6 +92,7 @@ class LloydConsumer final : public ScanConsumer {
     labels_.resize(geometry.rows);
     partials_.resize(geometry.num_blocks);
     inertia_partials_.assign(geometry.num_blocks, 0.0);
+    PrepareKernelScratch(scratch_, geometry.num_blocks);
     distance_evals_ =
         static_cast<uint64_t>(geometry.rows) * centroids_->size();
     return Status::OK();
@@ -94,23 +105,17 @@ class LloydConsumer final : public ScanConsumer {
     BlockPartial& partial = partials_[block_index];
     partial.sums.assign(k * d, 0.0);
     partial.count.assign(k, 0);
+    KernelScratch& scratch = scratch_[block_index];
+    SquaredEuclideanArgminBatch(data, rows, d, *centroids_, scratch,
+                                labels_.data() + first_row);
     double inertia = 0.0;
     for (size_t r = 0; r < rows; ++r) {
       std::span<const double> point = data.subspan(r * d, d);
-      double best = std::numeric_limits<double>::infinity();
-      int best_i = 0;
-      for (size_t c = 0; c < k; ++c) {
-        double d2 = SquaredEuclideanDistance(point, (*centroids_)[c]);
-        if (d2 < best) {
-          best = d2;
-          best_i = static_cast<int>(c);
-        }
-      }
-      labels_[first_row + r] = best_i;
-      inertia += best;
-      double* sums = partial.sums.data() + static_cast<size_t>(best_i) * d;
+      const size_t c = static_cast<size_t>(labels_[first_row + r]);
+      inertia += scratch.best[r];
+      double* sums = partial.sums.data() + c * d;
       for (size_t j = 0; j < d; ++j) sums[j] += point[j];
-      ++partial.count[static_cast<size_t>(best_i)];
+      ++partial.count[c];
     }
     inertia_partials_[block_index] = inertia;
   }
@@ -132,6 +137,11 @@ class LloydConsumer final : public ScanConsumer {
   }
 
   uint64_t distance_evals() const override { return distance_evals_; }
+  KernelStats kernel_stats() const override {
+    KernelStats totals;
+    for (const KernelScratch& scratch : scratch_) totals.Accumulate(scratch);
+    return totals;
+  }
 
   const std::vector<int>& labels() const { return labels_; }
   std::vector<int> TakeLabels() { return std::move(labels_); }
@@ -150,6 +160,7 @@ class LloydConsumer final : public ScanConsumer {
   std::vector<int> labels_;
   std::vector<BlockPartial> partials_;
   std::vector<double> inertia_partials_;
+  std::vector<KernelScratch> scratch_;  // [block]
   std::vector<double> sums_;
   std::vector<size_t> counts_;
   double inertia_ = 0.0;

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "data/engine.h"
+#include "distance/batch.h"
 
 namespace proclus {
 
@@ -75,6 +76,7 @@ class MedoidAssignConsumer final : public ScanConsumer {
     dims_ = geometry.dims;
     labels_.resize(geometry.rows);
     cost_partials_.assign(geometry.num_blocks, 0.0);
+    PrepareKernelScratch(scratch_, geometry.num_blocks);
     distance_evals_ =
         static_cast<uint64_t>(geometry.rows) * medoids_->rows();
     return Status::OK();
@@ -82,22 +84,11 @@ class MedoidAssignConsumer final : public ScanConsumer {
 
   void ConsumeBlock(size_t block_index, size_t first_row,
                     std::span<const double> data, size_t rows) override {
-    const size_t k = medoids_->rows();
+    KernelScratch& scratch = scratch_[block_index];
+    MetricArgminBatch(data, rows, dims_, metric_, *medoids_, scratch,
+                      labels_.data() + first_row);
     double cost = 0.0;
-    for (size_t r = 0; r < rows; ++r) {
-      std::span<const double> point = data.subspan(r * dims_, dims_);
-      double best = std::numeric_limits<double>::infinity();
-      int best_i = 0;
-      for (size_t m = 0; m < k; ++m) {
-        double d = Distance(metric_, point, medoids_->row(m));
-        if (d < best) {
-          best = d;
-          best_i = static_cast<int>(m);
-        }
-      }
-      labels_[first_row + r] = best_i;
-      cost += best;
-    }
+    for (size_t r = 0; r < rows; ++r) cost += scratch.best[r];
     cost_partials_[block_index] = cost;
   }
 
@@ -108,6 +99,11 @@ class MedoidAssignConsumer final : public ScanConsumer {
   }
 
   uint64_t distance_evals() const override { return distance_evals_; }
+  KernelStats kernel_stats() const override {
+    KernelStats totals;
+    for (const KernelScratch& scratch : scratch_) totals.Accumulate(scratch);
+    return totals;
+  }
 
   const std::vector<int>& labels() const { return labels_; }
   double cost() const { return cost_; }
@@ -117,6 +113,7 @@ class MedoidAssignConsumer final : public ScanConsumer {
   MetricKind metric_ = MetricKind::kManhattan;
   std::vector<int> labels_;
   std::vector<double> cost_partials_;
+  std::vector<KernelScratch> scratch_;  // [block]
   double cost_ = 0.0;
   size_t dims_ = 0;
   uint64_t distance_evals_ = 0;

@@ -85,18 +85,26 @@ class DimensionSet {
     return (blocks_[d >> 6] >> (d & 63)) & 1ULL;
   }
 
-  /// Dimensions in increasing order.
-  std::vector<uint32_t> ToVector() const {
-    std::vector<uint32_t> out;
-    out.reserve(size());
+  /// Calls `fn(d)` for every dimension in increasing order, without
+  /// materializing a list (the allocation-free iteration path).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
     for (size_t i = 0; i < blocks_.size(); ++i) {
       uint64_t b = blocks_[i];
       while (b) {
         int bit = std::countr_zero(b);
-        out.push_back(static_cast<uint32_t>(i * 64 + bit));
+        fn(static_cast<uint32_t>(i * 64 + bit));
         b &= b - 1;
       }
     }
+  }
+
+  /// Dimensions in increasing order. Allocates; hot loops should
+  /// materialize once and reuse the list (see distance/segmental.h).
+  std::vector<uint32_t> ToVector() const {
+    std::vector<uint32_t> out;
+    out.reserve(size());
+    ForEach([&out](uint32_t d) { out.push_back(d); });
     return out;
   }
 

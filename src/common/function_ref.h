@@ -1,0 +1,53 @@
+// FunctionRef: a non-owning, non-allocating reference to a callable.
+//
+// std::function type-erases by (potentially) heap-allocating a copy of the
+// callable; passing one through a hot dispatch path like ParallelBlocks
+// costs an allocation plus an indirect call per scan. FunctionRef erases
+// with two words — the callable's address and a stamped-out invoker — so
+// handing a lambda to the scan machinery never touches the heap.
+//
+// Lifetime rule: FunctionRef does not extend the callable's lifetime. It
+// is safe exactly where a `const F&` parameter would be safe: as a
+// function parameter consumed before the call returns (the style of
+// ParallelBlocks and ThreadPool::Run). Never store one beyond the call.
+
+#ifndef PROCLUS_COMMON_FUNCTION_REF_H_
+#define PROCLUS_COMMON_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace proclus {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds to any callable invocable as R(Args...). Implicit so call
+  /// sites can keep passing lambdas directly.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  FunctionRef(F&& f)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_FUNCTION_REF_H_

@@ -2,17 +2,22 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace proclus {
 
 void ParallelBlocks(size_t total, size_t block_size, size_t num_threads,
-                    const std::function<void(size_t, size_t, size_t)>&
-                        process) {
+                    FunctionRef<void(size_t, size_t, size_t)> process) {
   if (total == 0) return;
   PROCLUS_CHECK(block_size > 0);
   const size_t blocks = BlockCount(total, block_size);
   if (num_threads == 0) num_threads = 1;
   num_threads = std::min(num_threads, blocks);
 
+  // The static round-robin mapping is a function of the logical worker
+  // index, never of the executing thread, so results (and the TSan-
+  // checked access pattern) are identical whether workers run on pool
+  // threads, the caller, or all sequentially.
   auto run_blocks = [&](size_t worker) {
     for (size_t block = worker; block < blocks; block += num_threads) {
       size_t first = block * block_size;
@@ -25,11 +30,7 @@ void ParallelBlocks(size_t total, size_t block_size, size_t num_threads,
     run_blocks(0);
     return;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (size_t worker = 0; worker < num_threads; ++worker)
-    workers.emplace_back(run_blocks, worker);
-  for (auto& thread : workers) thread.join();
+  ThreadPool::Global().Run(num_threads, run_blocks);
 }
 
 }  // namespace proclus

@@ -7,16 +7,19 @@
 // schedule — work is split into fixed-size blocks, each block produces an
 // independent partial result, and partials are merged sequentially in
 // block order. The result is identical for any thread count, including 1.
+//
+// Execution rides the process-wide persistent ThreadPool
+// (common/thread_pool.h): `num_threads` names the number of logical
+// workers (and thus the static block→worker mapping), not a number of
+// threads spawned per call.
 
 #ifndef PROCLUS_COMMON_PARALLEL_H_
 #define PROCLUS_COMMON_PARALLEL_H_
 
 #include <cstddef>
-#include <functional>
-#include <thread>
-#include <vector>
 
 #include "common/check.h"
+#include "common/function_ref.h"
 
 namespace proclus {
 
@@ -32,15 +35,15 @@ inline size_t BlockCount(size_t total, size_t block_size) {
 
 /// Runs `process(block_index, first_item, item_count)` for every block of
 /// `block_size` items covering [0, total), using up to `num_threads`
-/// worker threads (1 = fully sequential, 0 treated as 1). Blocks are
+/// logical workers (1 = fully sequential, 0 treated as 1). Blocks are
 /// distributed statically (round-robin by block index), so each block is
 /// always processed by a deterministic, schedule-independent code path.
 /// The caller typically writes partial results into a pre-sized vector
 /// indexed by block_index and merges them afterwards in block order.
 void ParallelBlocks(size_t total, size_t block_size, size_t num_threads,
-                    const std::function<void(size_t block_index,
-                                             size_t first_item,
-                                             size_t item_count)>& process);
+                    FunctionRef<void(size_t block_index, size_t first_item,
+                                     size_t item_count)>
+                        process);
 
 }  // namespace proclus
 

@@ -29,6 +29,23 @@ struct RunStats {
   /// Point-to-point distance evaluations performed by scan consumers.
   uint64_t distance_evals = 0;
 
+  // ----- Batched-kernel counters (recorded by ScanExecutor) -----
+  /// Batch-kernel invocations (one reference point scored against one
+  /// block of rows; see distance/batch.h).
+  uint64_t kernel_batches = 0;
+  /// (row, reference) pairs scored by batch kernels. kernel_rows divided
+  /// by wall time is the row throughput of the kernel layer.
+  uint64_t kernel_rows = 0;
+  /// Batch-kernel invocations that reused a cached column tile instead of
+  /// re-gathering it from the row-major block.
+  uint64_t tile_reuse_hits = 0;
+  /// Locality-scan medoid distance columns served from the cross-scan
+  /// cache (fused engine only). Each hit skips one full n-row distance
+  /// computation.
+  uint64_t locality_cache_hits = 0;
+  /// Locality-scan medoid distance columns that had to be computed.
+  uint64_t locality_cache_misses = 0;
+
   // ----- Resilience counters (recorded by ScanExecutor / retry helpers) -----
   /// Operations (scans or fetches) re-issued after a transient failure.
   uint64_t retries = 0;
@@ -64,6 +81,11 @@ struct RunStats {
     rows_visited += other.rows_visited;
     bytes_read += other.bytes_read;
     distance_evals += other.distance_evals;
+    kernel_batches += other.kernel_batches;
+    kernel_rows += other.kernel_rows;
+    tile_reuse_hits += other.tile_reuse_hits;
+    locality_cache_hits += other.locality_cache_hits;
+    locality_cache_misses += other.locality_cache_misses;
     retries += other.retries;
     failed_scans += other.failed_scans;
     wasted_rows += other.wasted_rows;

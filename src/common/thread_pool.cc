@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace proclus {
+
+namespace {
+
+// True while this thread is executing inside ThreadPool::Run (as the
+// caller or as a pool worker running a task). A nested Run on such a
+// thread must not block on the pool — the pool may be fully occupied by
+// the very batch that issued it — so it runs inline instead.
+thread_local bool tls_inside_run = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i)
+    threads_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(/*num_threads=*/0);
+  return pool;
+}
+
+size_t ThreadPool::DrainTasks(const FunctionRef<void(size_t)>& task,
+                              size_t num_tasks) {
+  size_t done = 0;
+  for (;;) {
+    const size_t i = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_tasks) break;
+    task(i);
+    ++done;
+  }
+  return done;
+}
+
+void ThreadPool::Run(size_t num_tasks, FunctionRef<void(size_t)> task) {
+  if (num_tasks == 0) return;
+  if (threads_.empty() || num_tasks == 1 || tls_inside_run) {
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  tls_inside_run = true;
+  std::unique_lock<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    num_tasks_ = num_tasks;
+    remaining_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller races the workers for task indices rather than blocking:
+  // this guarantees progress even when the pool is saturated by another
+  // caller's batch.
+  const size_t done = DrainTasks(task, num_tasks);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  remaining_ -= done;
+  // Waiting for active_workers_ == 0 (not just remaining_ == 0) ensures
+  // no worker still holds a pointer into this batch when Run returns and
+  // the next batch overwrites the shared state.
+  done_cv_.wait(lock,
+                [this] { return remaining_ == 0 && active_workers_ == 0; });
+  task_ = nullptr;
+  lock.unlock();
+  run_lock.unlock();
+  tls_inside_run = false;
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_inside_run = true;  // Tasks issuing nested Runs execute them inline.
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this, seen_generation] {
+      return stop_ || generation_ != seen_generation;
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    if (task_ == nullptr) continue;  // Woke after the batch completed.
+    ++active_workers_;
+    const FunctionRef<void(size_t)>* task = task_;
+    const size_t num_tasks = num_tasks_;
+    lock.unlock();
+
+    const size_t done = DrainTasks(*task, num_tasks);
+
+    lock.lock();
+    remaining_ -= done;
+    --active_workers_;
+    if (remaining_ == 0 && active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace proclus

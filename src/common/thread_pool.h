@@ -1,0 +1,87 @@
+// Persistent worker pool behind ParallelBlocks.
+//
+// The scan engine used to spawn fresh std::threads for every parallel
+// scan — roughly 125 spawn/join cycles per PROCLUS run at the benchmark
+// config, each costing tens of microseconds of kernel work. The pool
+// keeps its workers alive for the life of the process and hands them
+// task indices instead.
+//
+// Determinism: the pool distributes *worker indices*, not data. All scan
+// state is keyed by block index and merged in ascending block order
+// (common/parallel.h), so which OS thread happens to execute a given
+// worker index can never influence results. Run(n, task) promises only
+// that task(0) ... task(n-1) each execute exactly once before it returns.
+
+#ifndef PROCLUS_COMMON_THREAD_POOL_H_
+#define PROCLUS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/function_ref.h"
+
+namespace proclus {
+
+/// Fixed-size pool of worker threads executing indexed task batches.
+class ThreadPool {
+ public:
+  /// Pool with `num_threads` workers (0 = hardware concurrency). Workers
+  /// start immediately and idle on a condition variable until Run.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers. The caller must ensure no Run is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool, lazily constructed on the first parallel scan and
+  /// sized to the hardware concurrency. Destroyed at static-destruction
+  /// time, after main returns.
+  static ThreadPool& Global();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs task(i) for every i in [0, num_tasks) and returns when all
+  /// calls have completed. The calling thread participates in the work,
+  /// so `num_tasks` may exceed the pool size and progress is guaranteed
+  /// even when every pool worker is busy. Tasks are claimed dynamically,
+  /// so a task must not depend on which thread executes it.
+  ///
+  /// Concurrent Run calls from different threads are serialized; a
+  /// reentrant Run (issued from inside a task) degrades to inline
+  /// sequential execution on the calling thread.
+  void Run(size_t num_tasks, FunctionRef<void(size_t)> task);
+
+ private:
+  void WorkerLoop();
+  // Claims and executes tasks until the batch is drained; returns the
+  // number of tasks this thread executed.
+  size_t DrainTasks(const FunctionRef<void(size_t)>& task, size_t num_tasks);
+
+  // Serializes top-level Run calls so batch state is single-writer.
+  std::mutex run_mu_;
+
+  // Batch state, guarded by mu_ (except next_task_, claimed atomically).
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const FunctionRef<void(size_t)>* task_ = nullptr;
+  size_t num_tasks_ = 0;
+  size_t remaining_ = 0;
+  size_t active_workers_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::atomic<size_t> next_task_{0};
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_THREAD_POOL_H_

@@ -1,11 +1,9 @@
 #include "core/consumers.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 
-#include "distance/metric.h"
-#include "distance/segmental.h"
+#include "distance/batch.h"
 #include "gen/ground_truth.h"
 
 namespace proclus {
@@ -16,6 +14,14 @@ namespace {
 inline double FullSegmental(std::span<const double> a,
                             std::span<const double> b) {
   return ManhattanDistance(a, b) / static_cast<double>(a.size());
+}
+
+// Sums a consumer's per-block kernel scratches for kernel_stats().
+ScanConsumer::KernelStats SumKernelStats(
+    const std::vector<KernelScratch>& scratches) {
+  ScanConsumer::KernelStats totals;
+  for (const KernelScratch& scratch : scratches) totals.Accumulate(scratch);
+  return totals;
 }
 
 // Materialized dimension lists (the hot loops iterate plain indices).
@@ -59,6 +65,8 @@ Status LocalityStatsConsumer::Bind(
   }
   medoids_ = medoids;
   variant_rows_ = std::move(variant_rows);
+  cache_ = nullptr;
+  slots_.clear();
 
   // delta_i = full-space segmental distance from variant medoid i to its
   // nearest other medoid of the same variant (infinity when k == 1).
@@ -87,24 +95,105 @@ Status LocalityStatsConsumer::Bind(const Matrix* medoids) {
   return Bind(medoids, {std::move(all)});
 }
 
+Status LocalityStatsConsumer::Bind(
+    const Matrix* medoids, std::vector<std::vector<size_t>> variant_rows,
+    std::span<const size_t> slots, MedoidDistanceCache* cache) {
+  PROCLUS_RETURN_IF_ERROR(Bind(medoids, std::move(variant_rows)));
+  if (cache == nullptr) return Status::OK();
+  if (slots.size() != medoids_->rows())
+    return Status::InvalidArgument("one slot id per medoid row required");
+  for (size_t i = 0; i < slots.size(); ++i)
+    for (size_t j = i + 1; j < slots.size(); ++j)
+      if (slots[i] == slots[j])
+        return Status::InvalidArgument("duplicate slot in cached bind");
+  cache_ = cache;
+  slots_.assign(slots.begin(), slots.end());
+  return Status::OK();
+}
+
 Status LocalityStatsConsumer::Prepare(const ScanGeometry& geometry) {
   if (medoids_ == nullptr) return Status::InvalidArgument("Bind not called");
   if (medoids_->cols() != geometry.dims)
     return Status::InvalidArgument("medoid dimensionality mismatch");
   dims_ = geometry.dims;
+  const size_t u = medoids_->rows();
   partials_.resize(variant_rows_.size());
   for (std::vector<BlockSums>& blocks : partials_)
     blocks.resize(geometry.num_blocks);
+  PrepareKernelScratch(scratch_, geometry.num_blocks);
+  cols_.resize(geometry.num_blocks);
   stats_.resize(variant_rows_.size());
+
+  fresh_rows_.clear();
+  fresh_entries_.clear();
+  if (cache_ != nullptr) {
+    // One clock tick per scan attempt. Entries touched during this
+    // attempt carry the current tick and are protected from eviction;
+    // validity is only committed by Merge, so an attempt that fails and
+    // retries simply reclaims its entries and refills them.
+    ++cache_->clock;
+    // Reserve before taking any pointers: push_back must never relocate
+    // entries mid-Prepare, and the eviction cap must always leave an
+    // unprotected entry to reuse.
+    const size_t capacity = std::max<size_t>(16, 2 * u + 4);
+    cache_->entries.reserve(
+        std::max(capacity, cache_->entries.size() + u));
+    col_base_.assign(u, nullptr);
+    for (size_t m = 0; m < u; ++m) {
+      const size_t slot = slots_[m];
+      MedoidDistanceCache::Entry* entry = nullptr;
+      for (MedoidDistanceCache::Entry& e : cache_->entries)
+        if (e.slot == slot) {
+          entry = &e;
+          break;
+        }
+      const bool hit = entry != nullptr && entry->valid &&
+                       entry->dist.size() == geometry.rows;
+      if (hit) {
+        ++cache_->hits;
+      } else {
+        ++cache_->misses;
+        if (entry == nullptr) {
+          if (cache_->entries.size() < capacity) {
+            entry = &cache_->entries.emplace_back();
+          } else {
+            // Evict the least-recently-used entry not touched this scan.
+            for (MedoidDistanceCache::Entry& e : cache_->entries)
+              if (e.last_used != cache_->clock &&
+                  (entry == nullptr || e.last_used < entry->last_used))
+                entry = &e;
+            // invariant: capacity >= 2u + 4 and at most u entries carry
+            // the current tick, so an evictable entry always exists.
+            PROCLUS_CHECK(entry != nullptr);
+          }
+        }
+        entry->slot = slot;
+        entry->valid = false;
+        entry->dist.resize(geometry.rows);
+        fresh_rows_.push_back(m);
+        fresh_entries_.push_back(
+            static_cast<size_t>(entry - cache_->entries.data()));
+      }
+      entry->last_used = cache_->clock;
+      col_base_[m] = entry->dist.data();
+    }
+    ResetMatrix(&fresh_medoids_, fresh_rows_.size(), geometry.dims);
+    for (size_t f = 0; f < fresh_rows_.size(); ++f) {
+      auto src = medoids_->row(fresh_rows_[f]);
+      for (size_t j = 0; j < geometry.dims; ++j) fresh_medoids_(f, j) = src[j];
+    }
+  }
+
   uint64_t pair_evals = 0;
   for (const std::vector<size_t>& map : variant_rows_)
     pair_evals += static_cast<uint64_t>(map.size()) * (map.size() - 1) / 2;
+  const uint64_t scored = cache_ != nullptr ? fresh_rows_.size() : u;
   distance_evals_ =
-      static_cast<uint64_t>(geometry.rows) * medoids_->rows() + pair_evals;
+      static_cast<uint64_t>(geometry.rows) * scored + pair_evals;
   return Status::OK();
 }
 
-void LocalityStatsConsumer::ConsumeBlock(size_t block_index, size_t,
+void LocalityStatsConsumer::ConsumeBlock(size_t block_index, size_t first_row,
                                          std::span<const double> data,
                                          size_t rows) {
   const size_t d = dims_;
@@ -116,17 +205,51 @@ void LocalityStatsConsumer::ConsumeBlock(size_t block_index, size_t,
     partial.count.assign(variant_rows_[v].size(), 0);
   }
   // Distances to the union of all variants' medoids are computed once per
-  // point and shared.
-  std::vector<double> dist(u);
+  // point and shared: one many-reference kernel scores all u medoids
+  // against each gathered sub-tile. Dividing the Manhattan sum by d
+  // afterwards is exactly FullSegmental's operation order, so dist stays
+  // bit-identical to the per-point scalar loop.
+  //
+  // With a cache bound, only medoids whose column missed in Prepare are
+  // scored: the kernel scatters each fresh column straight into its cache
+  // entry at this block's row range (distinct blocks write disjoint
+  // ranges, so concurrent fills are safe), and hit columns are reused
+  // verbatim — bit-identical by construction.
+  KernelScratch& scratch = scratch_[block_index];
+  std::vector<const double*>& cols = cols_[block_index];
+  cols.resize(u);
+  const double denom = static_cast<double>(d);
+  if (cache_ == nullptr) {
+    scratch.dist.resize(u * rows);
+    double* dist = scratch.dist.data();
+    ManhattanManyBatch(data, rows, d, *medoids_, scratch, dist);
+    for (size_t m = 0; m < u; ++m) {
+      double* row = dist + m * rows;
+      for (size_t r = 0; r < rows; ++r) row[r] /= denom;
+      cols[m] = row;
+    }
+  } else {
+    const size_t fresh = fresh_rows_.size();
+    if (fresh > 0) {
+      scratch.outs.resize(fresh);
+      for (size_t f = 0; f < fresh; ++f)
+        scratch.outs[f] = col_base_[fresh_rows_[f]] + first_row;
+      ManhattanManyBatch(data, rows, d, fresh_medoids_, scratch,
+                         std::span<double* const>(scratch.outs));
+      for (size_t f = 0; f < fresh; ++f) {
+        double* col = scratch.outs[f];
+        for (size_t r = 0; r < rows; ++r) col[r] /= denom;
+      }
+    }
+    for (size_t m = 0; m < u; ++m) cols[m] = col_base_[m] + first_row;
+  }
   for (size_t r = 0; r < rows; ++r) {
     std::span<const double> point = data.subspan(r * d, d);
-    for (size_t m = 0; m < u; ++m)
-      dist[m] = FullSegmental(point, medoids_->row(m));
     for (size_t v = 0; v < num_variants; ++v) {
       const std::vector<size_t>& map = variant_rows_[v];
       BlockSums& partial = partials_[v][block_index];
       for (size_t i = 0; i < map.size(); ++i) {
-        if (dist[map[i]] <= deltas_[v][i]) {
+        if (cols[map[i]][r] <= deltas_[v][i]) {
           auto medoid = medoids_->row(map[i]);
           double* sums = partial.sums.data() + i * d;
           for (size_t j = 0; j < d; ++j) {
@@ -138,6 +261,10 @@ void LocalityStatsConsumer::ConsumeBlock(size_t block_index, size_t,
       }
     }
   }
+}
+
+ScanConsumer::KernelStats LocalityStatsConsumer::kernel_stats() const {
+  return SumKernelStats(scratch_);
 }
 
 Status LocalityStatsConsumer::Merge() {
@@ -162,6 +289,12 @@ Status LocalityStatsConsumer::Merge() {
         X(i, j) /= static_cast<double>(count[i]);
     }
   }
+  // Cache columns become reusable only once the whole scan succeeded:
+  // Merge runs after every block, so each fresh column is fully written.
+  // A failed attempt never reaches this point, leaves valid == false, and
+  // the retry recomputes the column from scratch.
+  if (cache_ != nullptr)
+    for (size_t e : fresh_entries_) cache_->entries[e].valid = true;
   return Status::OK();
 }
 
@@ -190,6 +323,7 @@ Status AssignConsumer::Prepare(const ScanGeometry& geometry) {
   dims_ = geometry.dims;
   labels_.resize(geometry.rows);
   if (accumulate_) partials_.resize(geometry.num_blocks);
+  PrepareKernelScratch(scratch_, geometry.num_blocks);
   distance_evals_ =
       static_cast<uint64_t>(geometry.rows) * medoids_->rows();
   return Status::OK();
@@ -200,34 +334,24 @@ void AssignConsumer::ConsumeBlock(size_t block_index, size_t first_row,
                                   size_t rows) {
   const size_t d = dims_;
   const size_t k = medoids_->rows();
-  BlockSums* partial = nullptr;
-  if (accumulate_) {
-    partial = &partials_[block_index];
-    partial->sums.assign(k * d, 0.0);
-    partial->count.assign(k, 0);
-  }
+  SegmentalArgminBatch(data, rows, d, *medoids_, dim_lists_, segmental_,
+                       /*spheres=*/{}, scratch_[block_index],
+                       labels_.data() + first_row);
+  if (!accumulate_) return;
+  BlockSums* partial = &partials_[block_index];
+  partial->sums.assign(k * d, 0.0);
+  partial->count.assign(k, 0);
   for (size_t r = 0; r < rows; ++r) {
     std::span<const double> point = data.subspan(r * d, d);
-    double best = std::numeric_limits<double>::infinity();
-    int best_i = 0;
-    for (size_t i = 0; i < k; ++i) {
-      double dist = segmental_
-                        ? ManhattanSegmentalDistance(point, medoids_->row(i),
-                                                     dim_lists_[i])
-                        : RestrictedManhattanDistance(point, medoids_->row(i),
-                                                      dim_lists_[i]);
-      if (dist < best) {
-        best = dist;
-        best_i = static_cast<int>(i);
-      }
-    }
-    labels_[first_row + r] = best_i;
-    if (partial != nullptr) {
-      double* sums = partial->sums.data() + static_cast<size_t>(best_i) * d;
-      for (size_t j = 0; j < d; ++j) sums[j] += point[j];
-      ++partial->count[static_cast<size_t>(best_i)];
-    }
+    const size_t i = static_cast<size_t>(labels_[first_row + r]);
+    double* sums = partial->sums.data() + i * d;
+    for (size_t j = 0; j < d; ++j) sums[j] += point[j];
+    ++partial->count[i];
   }
+}
+
+ScanConsumer::KernelStats AssignConsumer::kernel_stats() const {
+  return SumKernelStats(scratch_);
 }
 
 Status AssignConsumer::Merge() {
@@ -283,6 +407,7 @@ Status RefineAssignConsumer::Prepare(const ScanGeometry& geometry) {
   dims_ = geometry.dims;
   labels_.resize(geometry.rows);
   if (accumulate_) partials_.resize(geometry.num_blocks);
+  PrepareKernelScratch(scratch_, geometry.num_blocks);
   distance_evals_ =
       static_cast<uint64_t>(geometry.rows) * medoids_->rows();
   return Status::OK();
@@ -299,31 +424,27 @@ void RefineAssignConsumer::ConsumeBlock(size_t block_index, size_t first_row,
     partial->sums.assign(k * d, 0.0);
     partial->count.assign(k, 0);
   }
+  KernelScratch& scratch = scratch_[block_index];
+  SegmentalArgminBatch(data, rows, d, *medoids_, dim_lists_, segmental_,
+                       *spheres_, scratch, labels_.data() + first_row);
   for (size_t r = 0; r < rows; ++r) {
-    std::span<const double> point = data.subspan(r * d, d);
-    double best = std::numeric_limits<double>::infinity();
-    int best_i = 0;
-    bool inside_any = false;
-    for (size_t i = 0; i < k; ++i) {
-      double dist = segmental_
-                        ? ManhattanSegmentalDistance(point, medoids_->row(i),
-                                                     dim_lists_[i])
-                        : RestrictedManhattanDistance(point, medoids_->row(i),
-                                                      dim_lists_[i]);
-      if (dist <= (*spheres_)[i]) inside_any = true;
-      if (dist < best) {
-        best = dist;
-        best_i = static_cast<int>(i);
-      }
+    const bool outlier = detect_outliers_ && scratch.inside[r] == 0;
+    if (outlier) {
+      labels_[first_row + r] = kOutlierLabel;
+      continue;
     }
-    const bool outlier = detect_outliers_ && !inside_any;
-    labels_[first_row + r] = outlier ? kOutlierLabel : best_i;
-    if (partial != nullptr && !outlier) {
-      double* sums = partial->sums.data() + static_cast<size_t>(best_i) * d;
+    if (partial != nullptr) {
+      std::span<const double> point = data.subspan(r * d, d);
+      const size_t i = static_cast<size_t>(labels_[first_row + r]);
+      double* sums = partial->sums.data() + i * d;
       for (size_t j = 0; j < d; ++j) sums[j] += point[j];
-      ++partial->count[static_cast<size_t>(best_i)];
+      ++partial->count[i];
     }
   }
+}
+
+ScanConsumer::KernelStats RefineAssignConsumer::kernel_stats() const {
+  return SumKernelStats(scratch_);
 }
 
 Status RefineAssignConsumer::Merge() {
@@ -366,6 +487,7 @@ Status ClusterStatsConsumer::Prepare(const ScanGeometry& geometry) {
     return Status::InvalidArgument("label count mismatch");
   dims_ = geometry.dims;
   partials_.resize(geometry.num_blocks);
+  PrepareKernelScratch(scratch_, geometry.num_blocks);
   return Status::OK();
 }
 
@@ -377,22 +499,13 @@ void ClusterStatsConsumer::ConsumeBlock(size_t block_index, size_t first_row,
   BlockSums& partial = partials_[block_index];
   partial.sums.assign(k * d, 0.0);
   partial.count.assign(k, 0);
-  for (size_t r = 0; r < rows; ++r) {
-    int label = (*labels_)[first_row + r];
-    if (label == kOutlierLabel) continue;
-    size_t i = static_cast<size_t>(label);
-    // invariant: labels come from AssignConsumer, which only emits
-    // kOutlierLabel or medoid indices in [0, k).
-    PROCLUS_CHECK(i < k);
-    std::span<const double> point = data.subspan(r * d, d);
-    auto medoid = medoids_->row(i);
-    double* sums = partial.sums.data() + i * d;
-    for (size_t j = 0; j < d; ++j) {
-      double diff = point[j] - medoid[j];
-      sums[j] += diff < 0 ? -diff : diff;
-    }
-    ++partial.count[i];
-  }
+  LabeledAbsDeviationBatch(data, rows, d, labels_->data() + first_row,
+                           *medoids_, scratch_[block_index],
+                           partial.sums.data(), partial.count.data());
+}
+
+ScanConsumer::KernelStats ClusterStatsConsumer::kernel_stats() const {
+  return SumKernelStats(scratch_);
 }
 
 Status ClusterStatsConsumer::Merge() {
@@ -494,6 +607,14 @@ Status DeviationConsumer::Bind(const std::vector<int>* labels,
   centroids_ = centroids;
   counts_ = cluster_sizes;
   dims_sets_ = dims;
+  // Materialize the per-cluster dimension lists once per Bind; the paper's
+  // objective only reads them in Merge, but re-extracting a bitset per
+  // cluster per scan is the exact allocation pattern tools/lint.py bans.
+  // Empty sets are tolerated here — Merge only requires non-empty lists
+  // for clusters that received points.
+  dim_lists_.resize(dims->size());
+  for (size_t i = 0; i < dims->size(); ++i)
+    dim_lists_[i] = (*dims)[i].ToVector();
   return Status::OK();
 }
 
@@ -503,6 +624,7 @@ Status DeviationConsumer::Prepare(const ScanGeometry& geometry) {
     return Status::InvalidArgument("label count mismatch");
   dims_ = geometry.dims;
   partials_.resize(geometry.num_blocks);
+  PrepareKernelScratch(scratch_, geometry.num_blocks);
   return Status::OK();
 }
 
@@ -513,17 +635,13 @@ void DeviationConsumer::ConsumeBlock(size_t block_index, size_t first_row,
   const size_t k = centroids_->rows();
   BlockSums& partial = partials_[block_index];
   partial.sums.assign(k * d, 0.0);
-  for (size_t r = 0; r < rows; ++r) {
-    int label = (*labels_)[first_row + r];
-    if (label == kOutlierLabel) continue;
-    size_t i = static_cast<size_t>(label);
-    std::span<const double> point = data.subspan(r * d, d);
-    double* sums = partial.sums.data() + i * d;
-    for (size_t j = 0; j < d; ++j) {
-      double diff = point[j] - (*centroids_)(i, j);
-      sums[j] += diff < 0 ? -diff : diff;
-    }
-  }
+  LabeledAbsDeviationBatch(data, rows, d, labels_->data() + first_row,
+                           *centroids_, scratch_[block_index],
+                           partial.sums.data(), /*count=*/nullptr);
+}
+
+ScanConsumer::KernelStats DeviationConsumer::kernel_stats() const {
+  return SumKernelStats(scratch_);
 }
 
 Status DeviationConsumer::Merge() {
@@ -542,7 +660,7 @@ Status DeviationConsumer::Merge() {
   for (size_t i = 0; i < k; ++i) {
     const size_t count = (*counts_)[i];
     if (count == 0) continue;
-    std::vector<uint32_t> dim_list = (*dims_sets_)[i].ToVector();
+    const std::vector<uint32_t>& dim_list = dim_lists_[i];
     // invariant: FindDimensions allocates >= 2 dimensions per medoid.
     PROCLUS_CHECK(!dim_list.empty());
     double w = 0.0;

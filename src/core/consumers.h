@@ -30,11 +30,13 @@
 #define PROCLUS_CORE_CONSUMERS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/dimension_set.h"
 #include "common/matrix.h"
 #include "data/engine.h"
+#include "distance/batch.h"
 
 namespace proclus {
 
@@ -43,6 +45,30 @@ namespace proclus {
 struct BlockSums {
   std::vector<double> sums;   // k x d
   std::vector<size_t> count;  // k
+};
+
+/// Cross-scan cache of per-point distance columns, keyed by candidate
+/// slot id. Hill-climbing replaces only the bad medoids between
+/// iterations, so most of a speculative set's medoids already had their
+/// full-space segmental distances to every point computed by an earlier
+/// locality scan; a cached column makes those medoids free in the next
+/// scan. Values are reused verbatim (never recomputed differently), so a
+/// cached run is bit-identical to an uncached one. Owned by the caller
+/// (the fused climb's scratch) and valid only while the candidate
+/// coordinates and the source it was filled from stay fixed.
+struct MedoidDistanceCache {
+  struct Entry {
+    size_t slot = 0;
+    /// Committed by a successful scan's Merge; entries claimed by a scan
+    /// that failed or was abandoned simply stay invalid and are refilled.
+    bool valid = false;
+    uint64_t last_used = 0;
+    std::vector<double> dist;  ///< One distance per source row.
+  };
+  std::vector<Entry> entries;  ///< Small; linear lookup by slot.
+  uint64_t clock = 0;          ///< Bumped per scan; drives LRU eviction.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
 };
 
 /// Locality statistics (iterative phase): X(i, j) = average |p_j - m_ij|
@@ -68,11 +94,21 @@ class LocalityStatsConsumer final : public ScanConsumer {
   /// Single-variant convenience: the variant is all rows of `medoids`.
   Status Bind(const Matrix* medoids);
 
+  /// Cached binding: `slots` names the candidate slot behind each medoid
+  /// row (distinct, same length as `medoids` rows) and `cache` persists
+  /// across scans. Distance columns for slots the cache already holds are
+  /// reused; freshly computed columns are committed back on Merge.
+  /// `slots` and `cache` must outlive the scan.
+  Status Bind(const Matrix* medoids,
+              std::vector<std::vector<size_t>> variant_rows,
+              std::span<const size_t> slots, MedoidDistanceCache* cache);
+
   Status Prepare(const ScanGeometry& geometry) override;
   void ConsumeBlock(size_t block_index, size_t first_row,
                     std::span<const double> data, size_t rows) override;
   Status Merge() override;
   uint64_t distance_evals() const override { return distance_evals_; }
+  KernelStats kernel_stats() const override;
 
   size_t num_variants() const { return variant_rows_.size(); }
   /// Statistics matrix (k_v x d) of variant `v`, valid after Merge.
@@ -84,7 +120,16 @@ class LocalityStatsConsumer final : public ScanConsumer {
   std::vector<std::vector<size_t>> variant_rows_;
   std::vector<std::vector<double>> deltas_;         // [variant][cluster]
   std::vector<std::vector<BlockSums>> partials_;    // [variant][block]
+  std::vector<KernelScratch> scratch_;              // [block]
+  std::vector<std::vector<const double*>> cols_;    // [block][union row]
   std::vector<Matrix> stats_;                       // [variant]
+  // Cached-binding state (empty/null for uncached binds).
+  MedoidDistanceCache* cache_ = nullptr;
+  std::vector<size_t> slots_;        // candidate slot per medoid row
+  std::vector<double*> col_base_;    // full-length column per medoid row
+  std::vector<size_t> fresh_rows_;   // medoid rows needing fresh columns
+  std::vector<size_t> fresh_entries_;  // cache entry index per fresh row
+  Matrix fresh_medoids_;             // fresh rows' coordinates, packed
   size_t dims_ = 0;
   uint64_t distance_evals_ = 0;
 };
@@ -104,6 +149,7 @@ class AssignConsumer final : public ScanConsumer {
                     std::span<const double> data, size_t rows) override;
   Status Merge() override;
   uint64_t distance_evals() const override { return distance_evals_; }
+  KernelStats kernel_stats() const override;
 
   /// Per-point labels in [0, k), valid after Merge. The reference stays
   /// stable across scans (the vector is a long-lived member), so it can
@@ -124,6 +170,7 @@ class AssignConsumer final : public ScanConsumer {
   bool accumulate_ = false;
   std::vector<int> labels_;
   std::vector<BlockSums> partials_;
+  std::vector<KernelScratch> scratch_;  // [block]
   Matrix centroids_;
   std::vector<size_t> counts_;
   size_t dims_ = 0;
@@ -146,6 +193,7 @@ class RefineAssignConsumer final : public ScanConsumer {
                     std::span<const double> data, size_t rows) override;
   Status Merge() override;
   uint64_t distance_evals() const override { return distance_evals_; }
+  KernelStats kernel_stats() const override;
 
   const std::vector<int>& labels() const { return labels_; }
   /// Moves the labels out (one-shot use; surrenders buffer reuse).
@@ -163,6 +211,7 @@ class RefineAssignConsumer final : public ScanConsumer {
   bool accumulate_ = false;
   std::vector<int> labels_;
   std::vector<BlockSums> partials_;
+  std::vector<KernelScratch> scratch_;  // [block]
   Matrix centroids_;
   std::vector<size_t> counts_;
   size_t dims_ = 0;
@@ -182,6 +231,7 @@ class ClusterStatsConsumer final : public ScanConsumer {
   void ConsumeBlock(size_t block_index, size_t first_row,
                     std::span<const double> data, size_t rows) override;
   Status Merge() override;
+  KernelStats kernel_stats() const override;
 
   const Matrix& stats() const { return stats_; }
   Matrix TakeStats() { return std::move(stats_); }
@@ -190,6 +240,7 @@ class ClusterStatsConsumer final : public ScanConsumer {
   const Matrix* medoids_ = nullptr;
   const std::vector<int>* labels_ = nullptr;
   std::vector<BlockSums> partials_;
+  std::vector<KernelScratch> scratch_;  // [block]
   Matrix stats_;
   size_t dims_ = 0;
 };
@@ -236,6 +287,7 @@ class DeviationConsumer final : public ScanConsumer {
   void ConsumeBlock(size_t block_index, size_t first_row,
                     std::span<const double> data, size_t rows) override;
   Status Merge() override;
+  KernelStats kernel_stats() const override;
 
   /// The objective value, valid after Merge.
   double objective() const { return objective_; }
@@ -245,7 +297,9 @@ class DeviationConsumer final : public ScanConsumer {
   const Matrix* centroids_ = nullptr;
   const std::vector<size_t>* counts_ = nullptr;
   const std::vector<DimensionSet>* dims_sets_ = nullptr;
+  std::vector<std::vector<uint32_t>> dim_lists_;  // cached per-cluster lists
   std::vector<BlockSums> partials_;  // count unused
+  std::vector<KernelScratch> scratch_;  // [block]
   Matrix deviation_;
   double objective_ = 0.0;
   size_t dims_ = 0;

@@ -73,8 +73,13 @@ Status ScanExecutor::Run(const PointSource& source,
     options_.stats->scans_issued += 1;
     options_.stats->rows_visited += geometry.rows;
     options_.stats->bytes_read += source.io().bytes_read - before.bytes_read;
-    for (ScanConsumer* consumer : consumers)
+    for (ScanConsumer* consumer : consumers) {
       options_.stats->distance_evals += consumer->distance_evals();
+      const ScanConsumer::KernelStats kernel = consumer->kernel_stats();
+      options_.stats->kernel_batches += kernel.batches;
+      options_.stats->kernel_rows += kernel.rows_scored;
+      options_.stats->tile_reuse_hits += kernel.tile_hits;
+    }
   }
   return Status::OK();
 }

@@ -89,6 +89,25 @@ class ScanConsumer {
   /// Point-to-point distance evaluations performed during the last scan
   /// (computed analytically so no cross-thread counting is needed).
   virtual uint64_t distance_evals() const { return 0; }
+
+  /// Batched-kernel counters for the last scan (see distance/batch.h),
+  /// summed over the consumer's per-block scratches. Consumers that use
+  /// no batch kernels keep the all-zero default.
+  struct KernelStats {
+    uint64_t batches = 0;
+    uint64_t rows_scored = 0;
+    uint64_t tile_hits = 0;
+
+    /// Adds the counters of one per-block KernelScratch (templated so
+    /// this layer needs no dependency on distance/batch.h).
+    template <typename Scratch>
+    void Accumulate(const Scratch& scratch) {
+      batches += scratch.batches;
+      rows_scored += scratch.rows_scored;
+      tile_hits += scratch.tile_hits;
+    }
+  };
+  virtual KernelStats kernel_stats() const { return {}; }
 };
 
 /// Execution options for a scan (shared by the pass wrappers as

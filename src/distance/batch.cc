@@ -1,0 +1,470 @@
+#include "distance/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace proclus {
+
+namespace {
+
+// Leading dimension of the gathered sub-tile. kKernelRowTile is a power
+// of two, so unpadded columns would sit exactly 8 KiB apart and every
+// column's write/read stream would map onto the same L1 cache sets; the
+// eight doubles of slack stagger consecutive columns across sets, which
+// measures ~6x faster gathers on the power-of-two block sizes the scan
+// engine uses.
+constexpr size_t kTileLd = kKernelRowTile + 8;
+
+// Gathers rows [r0, r0 + n) of the selected columns (all dims_total
+// columns when ids == nullptr) into the column-major sub-tile:
+// tile[j * kTileLd + r] = src[(r0 + r) * dims_total + ids[j]].
+void GatherSubTile(const double* src, size_t dims_total, const uint32_t* ids,
+                   size_t nd, size_t r0, size_t n, double* __restrict__ tile) {
+  const double* base = src + r0 * dims_total;
+  if (ids == nullptr) {
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = base + r * dims_total;
+      for (size_t j = 0; j < nd; ++j) tile[j * kTileLd + r] = row[j];
+    }
+  } else {
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = base + r * dims_total;
+      for (size_t j = 0; j < nd; ++j) tile[j * kTileLd + r] = row[ids[j]];
+    }
+  }
+}
+
+// The fold functors mirror the scalar kernels' inner statements exactly —
+// same expression shape, same operation order — so each accumulated term
+// is the identical double.
+
+// distance/segmental.h writes `diff < 0 ? -diff : diff`, which preserves
+// the sign of a -0.0 difference where std::fabs would not; mirror it so
+// the terms (not just the sums) are identical.
+struct SegmentalFold {
+  double operator()(double acc, double value, double ref) const {
+    double diff = value - ref;
+    return acc + (diff < 0 ? -diff : diff);
+  }
+};
+
+struct ManhattanFold {
+  double operator()(double acc, double value, double ref) const {
+    return acc + std::fabs(value - ref);
+  }
+};
+
+struct SquareFold {
+  double operator()(double acc, double value, double ref) const {
+    double diff = value - ref;
+    return acc + diff * diff;
+  }
+};
+
+struct ChebyshevFold {
+  double operator()(double acc, double value, double ref) const {
+    return std::max(acc, std::fabs(value - ref));
+  }
+};
+
+// Folds one reference over a gathered sub-tile: out[r] starts at 0 and
+// accumulates dimension-by-dimension in ascending order — the scalar
+// loop's order per point — while the r-loop bodies stay independent and
+// contiguous, so they vectorize.
+template <typename Fold>
+void AccumulateOne(const double* __restrict__ tile, size_t n, size_t nd,
+                   const double* ref, const uint32_t* ids,
+                   double* __restrict__ out, Fold fold) {
+  for (size_t r = 0; r < n; ++r) out[r] = 0.0;
+  for (size_t j = 0; j < nd; ++j) {
+    const double refv = ids == nullptr ? ref[j] : ref[ids[j]];
+    const double* __restrict__ col = tile + j * kTileLd;
+    for (size_t r = 0; r < n; ++r) out[r] = fold(out[r], col[r], refv);
+  }
+}
+
+// Folds two references over the sub-tile in one pass so each column load
+// feeds both accumulator streams — the accumulate loop is load/store
+// bound, so halving the column traffic is what pushes the batched path
+// past the (ILP-saturated) scalar loop. Per reference the fold order is
+// unchanged, so results match AccumulateOne bit-for-bit.
+template <typename Fold>
+void AccumulatePair(const double* __restrict__ tile, size_t n, size_t nd,
+                    const double* ref0, const double* ref1,
+                    const uint32_t* ids, double* __restrict__ out0,
+                    double* __restrict__ out1, Fold fold) {
+  for (size_t r = 0; r < n; ++r) {
+    out0[r] = 0.0;
+    out1[r] = 0.0;
+  }
+  for (size_t j = 0; j < nd; ++j) {
+    const double ref0v = ids == nullptr ? ref0[j] : ref0[ids[j]];
+    const double ref1v = ids == nullptr ? ref1[j] : ref1[ids[j]];
+    const double* __restrict__ col = tile + j * kTileLd;
+    for (size_t r = 0; r < n; ++r) {
+      const double value = col[r];
+      out0[r] = fold(out0[r], value, ref0v);
+      out1[r] = fold(out1[r], value, ref1v);
+    }
+  }
+}
+
+// Strict < with references visited in ascending index order reproduces
+// the scalar argmin loops' lower-index tie-breaking per point. Written
+// as selects rather than a branch: the comparison outcome is
+// data-dependent (close to random while the argmin is unsettled), so a
+// branch would mispredict constantly, and selects let the loop vectorize
+// into min + blend.
+void ArgminUpdate(const double* __restrict__ dist, size_t n, int index,
+                  double* __restrict__ best, int* __restrict__ labels) {
+  for (size_t r = 0; r < n; ++r) {
+    const bool better = dist[r] < best[r];
+    best[r] = better ? dist[r] : best[r];
+    labels[r] = better ? index : labels[r];
+  }
+}
+
+// The first two references initialize best/labels outright — the scalar
+// loop's first iterations always beat the infinity sentinel, so folding
+// them into plain stores drops the sentinel-fill pass and the first
+// compare pass without changing any outcome (strict < keeps the tie on
+// index0, like the scalar loop).
+void ArgminInitPair(const double* __restrict__ dist0,
+                    const double* __restrict__ dist1, size_t n, int index0,
+                    int index1, double* __restrict__ best,
+                    int* __restrict__ labels) {
+  for (size_t r = 0; r < n; ++r) {
+    const bool better = dist1[r] < dist0[r];
+    best[r] = better ? dist1[r] : dist0[r];
+    labels[r] = better ? index1 : index0;
+  }
+}
+
+void ArgminInitOne(const double* __restrict__ dist, size_t n, int index,
+                   double* __restrict__ best, int* __restrict__ labels) {
+  for (size_t r = 0; r < n; ++r) {
+    best[r] = dist[r];
+    labels[r] = index;
+  }
+}
+
+// Single-reference distance kernel skeleton: gather each sub-tile, fold
+// the reference over it.
+template <typename Fold>
+void OneRefKernel(std::span<const double> block, size_t rows,
+                  size_t dims_total, const double* ref, const uint32_t* ids,
+                  size_t nd, KernelScratch& scratch, double* out, Fold fold) {
+  scratch.tile.resize(nd * kTileLd);
+  double* tile = scratch.tile.data();
+  for (size_t r0 = 0; r0 < rows; r0 += kKernelRowTile) {
+    const size_t n = std::min(kKernelRowTile, rows - r0);
+    GatherSubTile(block.data(), dims_total, ids, nd, r0, n, tile);
+    AccumulateOne(tile, n, nd, ref, ids, out + r0, fold);
+  }
+}
+
+// Shared skeleton for the full-dimensional argmin kernels: gather each
+// sub-tile once, fold every reference over it in pairs, argmin-update in
+// ascending reference order. `root` takes the sqrt of each distance
+// before the comparison (the Euclidean dispatch compares rooted
+// distances).
+template <typename Fold>
+void FullDimArgmin(std::span<const double> block, size_t rows,
+                   size_t dims_total, const Matrix& refs, bool root,
+                   KernelScratch& scratch, int* labels, Fold fold) {
+  const size_t k = refs.rows();
+  scratch.tile.resize(dims_total * kTileLd);
+  scratch.dist.resize(2 * kKernelRowTile);
+  scratch.best.resize(rows);
+  if (k == 0) {
+    std::fill(scratch.best.begin(), scratch.best.end(),
+              std::numeric_limits<double>::infinity());
+    std::fill(labels, labels + rows, 0);
+    return;
+  }
+  double* tile = scratch.tile.data();
+  double* dist0 = scratch.dist.data();
+  double* dist1 = dist0 + kKernelRowTile;
+  for (size_t r0 = 0; r0 < rows; r0 += kKernelRowTile) {
+    const size_t n = std::min(kKernelRowTile, rows - r0);
+    GatherSubTile(block.data(), dims_total, nullptr, dims_total, r0, n, tile);
+    scratch.tile_hits += k - 1;
+    double* best = scratch.best.data() + r0;
+    int* tile_labels = labels + r0;
+    size_t m;
+    if (k == 1) {
+      AccumulateOne(tile, n, dims_total, refs.row(0).data(), nullptr, dist0,
+                    fold);
+      if (root)
+        for (size_t r = 0; r < n; ++r) dist0[r] = std::sqrt(dist0[r]);
+      ArgminInitOne(dist0, n, 0, best, tile_labels);
+      m = 1;
+    } else {
+      AccumulatePair(tile, n, dims_total, refs.row(0).data(),
+                     refs.row(1).data(), nullptr, dist0, dist1, fold);
+      if (root) {
+        for (size_t r = 0; r < n; ++r) dist0[r] = std::sqrt(dist0[r]);
+        for (size_t r = 0; r < n; ++r) dist1[r] = std::sqrt(dist1[r]);
+      }
+      ArgminInitPair(dist0, dist1, n, 0, 1, best, tile_labels);
+      m = 2;
+    }
+    for (; m + 1 < k; m += 2) {
+      AccumulatePair(tile, n, dims_total, refs.row(m).data(),
+                     refs.row(m + 1).data(), nullptr, dist0, dist1, fold);
+      if (root) {
+        for (size_t r = 0; r < n; ++r) dist0[r] = std::sqrt(dist0[r]);
+        for (size_t r = 0; r < n; ++r) dist1[r] = std::sqrt(dist1[r]);
+      }
+      ArgminUpdate(dist0, n, static_cast<int>(m), best, tile_labels);
+      ArgminUpdate(dist1, n, static_cast<int>(m + 1), best, tile_labels);
+    }
+    if (m < k) {
+      AccumulateOne(tile, n, dims_total, refs.row(m).data(), nullptr, dist0,
+                    fold);
+      if (root)
+        for (size_t r = 0; r < n; ++r) dist0[r] = std::sqrt(dist0[r]);
+      ArgminUpdate(dist0, n, static_cast<int>(m), best, tile_labels);
+    }
+  }
+}
+
+}  // namespace
+
+void SegmentalDistanceBatch(std::span<const double> block, size_t rows,
+                            size_t dims_total, std::span<const double> medoid,
+                            std::span<const uint32_t> dims, bool normalize,
+                            KernelScratch& scratch, double* out) {
+  PROCLUS_DCHECK(!dims.empty());
+  PROCLUS_DCHECK(block.size() == rows * dims_total);
+  ++scratch.batches;
+  scratch.rows_scored += rows;
+  OneRefKernel(block, rows, dims_total, medoid.data(), dims.data(),
+               dims.size(), scratch, out, SegmentalFold{});
+  if (normalize) {
+    const double denom = static_cast<double>(dims.size());
+    for (size_t r = 0; r < rows; ++r) out[r] /= denom;
+  }
+}
+
+void ManhattanBatch(std::span<const double> block, size_t rows,
+                    size_t dims_total, std::span<const double> point,
+                    KernelScratch& scratch, double* out) {
+  PROCLUS_DCHECK(point.size() == dims_total);
+  ++scratch.batches;
+  scratch.rows_scored += rows;
+  OneRefKernel(block, rows, dims_total, point.data(), nullptr, dims_total,
+               scratch, out, ManhattanFold{});
+}
+
+void ManhattanManyBatch(std::span<const double> block, size_t rows,
+                        size_t dims_total, const Matrix& points,
+                        KernelScratch& scratch,
+                        std::span<double* const> outs) {
+  PROCLUS_DCHECK(points.cols() == dims_total);
+  PROCLUS_DCHECK(outs.size() == points.rows());
+  const size_t u = points.rows();
+  ++scratch.batches;
+  scratch.rows_scored += rows * u;
+  scratch.tile.resize(dims_total * kTileLd);
+  double* tile = scratch.tile.data();
+  for (size_t r0 = 0; r0 < rows; r0 += kKernelRowTile) {
+    const size_t n = std::min(kKernelRowTile, rows - r0);
+    GatherSubTile(block.data(), dims_total, nullptr, dims_total, r0, n, tile);
+    if (u > 0) scratch.tile_hits += u - 1;
+    size_t m = 0;
+    for (; m + 1 < u; m += 2)
+      AccumulatePair(tile, n, dims_total, points.row(m).data(),
+                     points.row(m + 1).data(), nullptr, outs[m] + r0,
+                     outs[m + 1] + r0, ManhattanFold{});
+    if (m < u)
+      AccumulateOne(tile, n, dims_total, points.row(m).data(), nullptr,
+                    outs[m] + r0, ManhattanFold{});
+  }
+}
+
+void ManhattanManyBatch(std::span<const double> block, size_t rows,
+                        size_t dims_total, const Matrix& points,
+                        KernelScratch& scratch, double* out) {
+  const size_t u = points.rows();
+  scratch.outs.resize(u);
+  for (size_t m = 0; m < u; ++m) scratch.outs[m] = out + m * rows;
+  ManhattanManyBatch(block, rows, dims_total, points, scratch,
+                     std::span<double* const>(scratch.outs));
+}
+
+void SquaredEuclideanBatch(std::span<const double> block, size_t rows,
+                           size_t dims_total, std::span<const double> point,
+                           KernelScratch& scratch, double* out) {
+  PROCLUS_DCHECK(point.size() == dims_total);
+  ++scratch.batches;
+  scratch.rows_scored += rows;
+  OneRefKernel(block, rows, dims_total, point.data(), nullptr, dims_total,
+               scratch, out, SquareFold{});
+}
+
+void ChebyshevBatch(std::span<const double> block, size_t rows,
+                    size_t dims_total, std::span<const double> point,
+                    KernelScratch& scratch, double* out) {
+  PROCLUS_DCHECK(point.size() == dims_total);
+  ++scratch.batches;
+  scratch.rows_scored += rows;
+  OneRefKernel(block, rows, dims_total, point.data(), nullptr, dims_total,
+               scratch, out, ChebyshevFold{});
+}
+
+void SegmentalArgminBatch(std::span<const double> block, size_t rows,
+                          size_t dims_total, const Matrix& medoids,
+                          std::span<const std::vector<uint32_t>> dim_lists,
+                          bool normalize, std::span<const double> spheres,
+                          KernelScratch& scratch, int* labels) {
+  const size_t k = medoids.rows();
+  PROCLUS_DCHECK(dim_lists.size() == k);
+  PROCLUS_DCHECK(spheres.empty() || spheres.size() == k);
+  ++scratch.batches;
+  scratch.rows_scored += rows * k;
+  size_t nd_max = 0;
+  for (const std::vector<uint32_t>& dims : dim_lists)
+    nd_max = std::max(nd_max, dims.size());
+  scratch.tile.resize(nd_max * kTileLd);
+  scratch.dist.resize(kKernelRowTile);
+  scratch.best.assign(rows, std::numeric_limits<double>::infinity());
+  if (!spheres.empty()) scratch.inside.assign(rows, 0);
+  std::fill(labels, labels + rows, 0);
+  double* tile = scratch.tile.data();
+  double* dist = scratch.dist.data();
+  // Medoids are re-folded per sub-tile (each needs its own gathered
+  // dimension list), but the sub-tile's source rows stay cache-resident
+  // across all k gathers, so the block still streams from memory once.
+  for (size_t r0 = 0; r0 < rows; r0 += kKernelRowTile) {
+    const size_t n = std::min(kKernelRowTile, rows - r0);
+    double* best = scratch.best.data() + r0;
+    int* tile_labels = labels + r0;
+    for (size_t i = 0; i < k; ++i) {
+      const std::vector<uint32_t>& dims = dim_lists[i];
+      PROCLUS_DCHECK(!dims.empty());
+      GatherSubTile(block.data(), dims_total, dims.data(), dims.size(), r0, n,
+                    tile);
+      AccumulateOne(tile, n, dims.size(), medoids.row(i).data(), dims.data(),
+                    dist, SegmentalFold{});
+      if (normalize) {
+        const double denom = static_cast<double>(dims.size());
+        for (size_t r = 0; r < n; ++r) dist[r] /= denom;
+      }
+      if (!spheres.empty()) {
+        const double sphere = spheres[i];
+        uint8_t* __restrict__ inside = scratch.inside.data() + r0;
+        for (size_t r = 0; r < n; ++r)
+          inside[r] = static_cast<uint8_t>(inside[r] | (dist[r] <= sphere));
+      }
+      ArgminUpdate(dist, n, static_cast<int>(i), best, tile_labels);
+    }
+  }
+}
+
+void SquaredEuclideanArgminBatch(std::span<const double> block, size_t rows,
+                                 size_t dims_total,
+                                 std::span<const std::vector<double>> centers,
+                                 KernelScratch& scratch, int* labels) {
+  const size_t k = centers.size();
+  ++scratch.batches;
+  scratch.rows_scored += rows * k;
+  scratch.tile.resize(dims_total * kTileLd);
+  scratch.dist.resize(2 * kKernelRowTile);
+  scratch.best.resize(rows);
+  if (k == 0) {
+    std::fill(scratch.best.begin(), scratch.best.end(),
+              std::numeric_limits<double>::infinity());
+    std::fill(labels, labels + rows, 0);
+    return;
+  }
+  double* tile = scratch.tile.data();
+  double* dist0 = scratch.dist.data();
+  double* dist1 = dist0 + kKernelRowTile;
+  for (size_t r0 = 0; r0 < rows; r0 += kKernelRowTile) {
+    const size_t n = std::min(kKernelRowTile, rows - r0);
+    GatherSubTile(block.data(), dims_total, nullptr, dims_total, r0, n, tile);
+    scratch.tile_hits += k - 1;
+    double* best = scratch.best.data() + r0;
+    int* tile_labels = labels + r0;
+    size_t c;
+    if (k == 1) {
+      AccumulateOne(tile, n, dims_total, centers[0].data(), nullptr, dist0,
+                    SquareFold{});
+      ArgminInitOne(dist0, n, 0, best, tile_labels);
+      c = 1;
+    } else {
+      PROCLUS_DCHECK(centers[0].size() == dims_total);
+      AccumulatePair(tile, n, dims_total, centers[0].data(),
+                     centers[1].data(), nullptr, dist0, dist1, SquareFold{});
+      ArgminInitPair(dist0, dist1, n, 0, 1, best, tile_labels);
+      c = 2;
+    }
+    for (; c + 1 < k; c += 2) {
+      AccumulatePair(tile, n, dims_total, centers[c].data(),
+                     centers[c + 1].data(), nullptr, dist0, dist1,
+                     SquareFold{});
+      ArgminUpdate(dist0, n, static_cast<int>(c), best, tile_labels);
+      ArgminUpdate(dist1, n, static_cast<int>(c + 1), best, tile_labels);
+    }
+    if (c < k) {
+      AccumulateOne(tile, n, dims_total, centers[c].data(), nullptr, dist0,
+                    SquareFold{});
+      ArgminUpdate(dist0, n, static_cast<int>(c), best, tile_labels);
+    }
+  }
+}
+
+void MetricArgminBatch(std::span<const double> block, size_t rows,
+                       size_t dims_total, MetricKind metric,
+                       const Matrix& medoids, KernelScratch& scratch,
+                       int* labels) {
+  ++scratch.batches;
+  scratch.rows_scored += rows * medoids.rows();
+  switch (metric) {
+    case MetricKind::kManhattan:
+      FullDimArgmin(block, rows, dims_total, medoids, /*root=*/false, scratch,
+                    labels, ManhattanFold{});
+      break;
+    case MetricKind::kEuclidean:
+      // The scalar dispatch compares (and accumulates) the rooted
+      // distance, so root before comparing.
+      FullDimArgmin(block, rows, dims_total, medoids, /*root=*/true, scratch,
+                    labels, SquareFold{});
+      break;
+    case MetricKind::kChebyshev:
+      FullDimArgmin(block, rows, dims_total, medoids, /*root=*/false, scratch,
+                    labels, ChebyshevFold{});
+      break;
+  }
+}
+
+void LabeledAbsDeviationBatch(std::span<const double> block, size_t rows,
+                              size_t dims_total, const int* labels,
+                              const Matrix& refs, KernelScratch& scratch,
+                              double* sums, size_t* count) {
+  const size_t k = refs.rows();
+  ++scratch.batches;
+  scratch.rows_scored += rows;
+  for (size_t r = 0; r < rows; ++r) {
+    const int label = labels[r];
+    if (label < 0) continue;  // Outliers carry no deviation.
+    const size_t i = static_cast<size_t>(label);
+    // invariant: labels come from an assignment scan, which only emits
+    // negative outlier labels or reference indices in [0, k).
+    PROCLUS_CHECK(i < k);
+    const double* __restrict__ point = block.data() + r * dims_total;
+    const double* __restrict__ ref = refs.row(i).data();
+    double* __restrict__ acc = sums + i * dims_total;
+    for (size_t j = 0; j < dims_total; ++j) {
+      double diff = point[j] - ref[j];
+      acc[j] += diff < 0 ? -diff : diff;
+    }
+    if (count != nullptr) ++count[i];
+  }
+}
+
+}  // namespace proclus

@@ -1,0 +1,174 @@
+// Batched distance kernels: score reference points against a contiguous
+// block of rows at a time.
+//
+// The scalar kernels in distance/metric.h and distance/segmental.h reduce
+// one point at a time: `sum += |a[d] - b[d]|` is a loop-carried dependency
+// chain, so the compiler cannot vectorize it without reassociating the
+// additions — which would change results bit-for-bit. The batch kernels
+// follow the opposite design rule: *vectorize across points, not within a
+// point*. Rows are processed in sub-tiles of kKernelRowTile points: the
+// reference's `dims` columns are gathered from the row-major block into a
+// |dims| x kKernelRowTile column tile (padded leading dimension, so the
+// column streams never alias the same cache sets), then distances
+// accumulate dimension-by-dimension into per-point accumulators. Each
+// point's additions still happen in ascending-dimension order — exactly
+// the scalar loop's order — so every output is bit-identical to the
+// scalar reference (property-tested in tests/distance_batch_test.cc)
+// while the inner loop over points is contiguous, dependency-free, and
+// auto-vectorizable.
+//
+// Multi-reference kernels (the argmin variants and ManhattanManyBatch)
+// keep each gathered sub-tile resident in cache while every reference
+// folds over it, so a block's coordinates are read from memory once per
+// scan instead of once per reference; that reuse is what `tile_hits`
+// counts.
+//
+// Scratch discipline: kernels never allocate on the steady-state path.
+// Callers own a KernelScratch per (consumer, block) — ConsumeBlock runs
+// concurrently for distinct blocks, so scratch must be keyed exactly like
+// the block partials.
+
+#ifndef PROCLUS_DISTANCE_BATCH_H_
+#define PROCLUS_DISTANCE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "distance/metric.h"
+
+namespace proclus {
+
+/// Rows per gathered sub-tile. Small enough that a full-width tile
+/// (d x kKernelRowTile doubles) stays cache-resident while several
+/// references fold over it.
+inline constexpr size_t kKernelRowTile = 1024;
+
+/// Reusable buffers plus observability counters for the batch kernels.
+/// One instance per (consumer, block); not thread-safe.
+struct KernelScratch {
+  /// Kernel invocations (one public kernel call on one block).
+  uint64_t batches = 0;
+  /// (row, reference) pairs scored, summed over invocations.
+  uint64_t rows_scored = 0;
+  /// Sub-tile reuses: gathered tiles folded over by an additional
+  /// reference instead of being re-gathered.
+  uint64_t tile_hits = 0;
+
+  void ResetCounters() {
+    batches = 0;
+    rows_scored = 0;
+    tile_hits = 0;
+  }
+
+  // Buffers below are kernel-internal; callers may read `best`/`inside`
+  // after an argmin kernel as documented on the kernel.
+  std::vector<double> tile;    ///< |dims| x kKernelRowTile padded tile.
+  std::vector<double> dist;    ///< Per-row distances (argmin kernels).
+  std::vector<double> best;    ///< Per-row winning distance (argmin).
+  std::vector<uint8_t> inside; ///< Per-row sphere flags (refine argmin).
+  std::vector<double*> outs;   ///< Per-reference output pointers.
+};
+
+/// Sizes `scratches` to one KernelScratch per block and readies each for
+/// a new scan (counters zeroed — kernel_stats reports per-scan totals).
+/// Buffer capacity is kept, so steady-state scans never reallocate.
+inline void PrepareKernelScratch(std::vector<KernelScratch>& scratches,
+                                 size_t num_blocks) {
+  scratches.resize(num_blocks);
+  for (KernelScratch& scratch : scratches) scratch.ResetCounters();
+}
+
+/// out[r] = ManhattanSegmentalDistance(row r, medoid, dims) when
+/// `normalize`, RestrictedManhattanDistance otherwise; bit-identical to
+/// the scalar loops in distance/segmental.h. `block` holds rows x
+/// dims_total doubles row-major; `dims` must be non-empty with every
+/// index < dims_total == medoid.size().
+void SegmentalDistanceBatch(std::span<const double> block, size_t rows,
+                            size_t dims_total, std::span<const double> medoid,
+                            std::span<const uint32_t> dims, bool normalize,
+                            KernelScratch& scratch, double* out);
+
+/// out[r] = ManhattanDistance(row r, point) over all dims_total
+/// dimensions; bit-identical to the scalar kernel.
+void ManhattanBatch(std::span<const double> block, size_t rows,
+                    size_t dims_total, std::span<const double> point,
+                    KernelScratch& scratch, double* out);
+
+/// out[m * rows + r] = ManhattanDistance(row r, points.row(m)) for every
+/// reference row m; bit-identical to the scalar kernel. Each gathered
+/// sub-tile is shared by all references (the locality-statistics path:
+/// u medoids against the same block).
+void ManhattanManyBatch(std::span<const double> block, size_t rows,
+                        size_t dims_total, const Matrix& points,
+                        KernelScratch& scratch, double* out);
+
+/// Scatter-output variant: reference m's distances land at outs[m][0..rows)
+/// instead of a contiguous u x rows panel. Lets a caller stream per-medoid
+/// distance columns into independently-owned buffers (the locality
+/// distance cache) without a copy; same tiling, same bit-exact results.
+void ManhattanManyBatch(std::span<const double> block, size_t rows,
+                        size_t dims_total, const Matrix& points,
+                        KernelScratch& scratch,
+                        std::span<double* const> outs);
+
+/// out[r] = SquaredEuclideanDistance(row r, point); bit-identical.
+void SquaredEuclideanBatch(std::span<const double> block, size_t rows,
+                           size_t dims_total, std::span<const double> point,
+                           KernelScratch& scratch, double* out);
+
+/// out[r] = ChebyshevDistance(row r, point); bit-identical.
+void ChebyshevBatch(std::span<const double> block, size_t rows,
+                    size_t dims_total, std::span<const double> point,
+                    KernelScratch& scratch, double* out);
+
+/// Nearest medoid per row under the per-medoid segmental distance on
+/// `dim_lists[i]` (normalized or restricted, as in the assignment scan):
+/// labels[r] gets the argmin index, ties to the lower medoid index via
+/// the scalar loop's strict `<`. After the call scratch.best[r] holds the
+/// winning distance; when `spheres` is non-empty (one radius per medoid),
+/// scratch.inside[r] is 1 iff some medoid i has distance <= spheres[i]
+/// (the refinement outlier test). Bit-identical to the scalar
+/// assignment loops in core/consumers.cc for every batch split.
+void SegmentalArgminBatch(std::span<const double> block, size_t rows,
+                          size_t dims_total, const Matrix& medoids,
+                          std::span<const std::vector<uint32_t>> dim_lists,
+                          bool normalize, std::span<const double> spheres,
+                          KernelScratch& scratch, int* labels);
+
+/// Nearest center per row by squared Euclidean distance over all
+/// dimensions (the Lloyd assignment step): labels[r] gets the argmin,
+/// scratch.best[r] the winning squared distance. Each gathered sub-tile
+/// is shared by all centers.
+void SquaredEuclideanArgminBatch(std::span<const double> block, size_t rows,
+                                 size_t dims_total,
+                                 std::span<const std::vector<double>> centers,
+                                 KernelScratch& scratch, int* labels);
+
+/// Nearest medoid per row under a full-dimensional metric (the CLARANS
+/// assignment): labels[r] gets the argmin, scratch.best[r] the winning
+/// distance (Euclidean distances include the sqrt, matching the scalar
+/// Distance() dispatch bit-for-bit). Each gathered sub-tile is shared by
+/// all medoids.
+void MetricArgminBatch(std::span<const double> block, size_t rows,
+                       size_t dims_total, MetricKind metric,
+                       const Matrix& medoids, KernelScratch& scratch,
+                       int* labels);
+
+/// Accumulates per-label absolute deviations: for every row r with
+/// labels[r] == i >= 0 (negative labels — outliers — are skipped),
+/// sums[i * dims_total + j] += |row[j] - refs(i, j)| for all j, and
+/// count[i] is incremented when `count` is non-null. Rows are visited in
+/// ascending order, so each accumulator sees the same addition order as
+/// the scalar cluster-stats/deviation loops — bit-identical results.
+/// `sums` must hold refs.rows() x dims_total zeros-or-partials.
+void LabeledAbsDeviationBatch(std::span<const double> block, size_t rows,
+                              size_t dims_total, const int* labels,
+                              const Matrix& refs, KernelScratch& scratch,
+                              double* sums, size_t* count);
+
+}  // namespace proclus
+
+#endif  // PROCLUS_DISTANCE_BATCH_H_

@@ -36,8 +36,11 @@ inline double ManhattanSegmentalDistance(std::span<const double> a,
   return sum / static_cast<double>(dims.size());
 }
 
-/// Convenience overload taking a DimensionSet (materializes the index list;
-/// prefer the span overload inside loops).
+/// Convenience overload taking a DimensionSet directly (allocation-free
+/// bitset walk, bit-identical to the span overload). Still slower than a
+/// pre-materialized index list: hot loops must cache `dims.ToVector()`
+/// once and call the span overload — tools/lint.py bans this overload
+/// inside src/core and src/distance loops.
 double ManhattanSegmentalDistance(std::span<const double> a,
                                   std::span<const double> b,
                                   const DimensionSet& dims);

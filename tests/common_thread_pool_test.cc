@@ -1,0 +1,119 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace proclus {
+namespace {
+
+// Pool sizes crossed with task counts below, chosen to cover fewer tasks
+// than workers, equal counts, and heavy oversubscription. Run under TSan
+// via the parallel label.
+const size_t kPoolSizes[] = {1, 2, 7, 16};
+
+TEST(ThreadPoolTest, EveryTaskRunsExactlyOnce) {
+  for (size_t pool_size : kPoolSizes) {
+    ThreadPool pool(pool_size);
+    EXPECT_EQ(pool.num_threads(), pool_size);
+    for (size_t num_tasks : {size_t{0}, size_t{1}, size_t{2}, size_t{7},
+                             size_t{16}, size_t{100}}) {
+      std::vector<std::atomic<int>> executed(num_tasks);
+      pool.Run(num_tasks, [&](size_t i) { ++executed[i]; });
+      for (size_t i = 0; i < num_tasks; ++i)
+        EXPECT_EQ(executed[i].load(), 1)
+            << "pool=" << pool_size << " tasks=" << num_tasks << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RepeatedBatchesReuseWorkers) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int batch = 0; batch < 200; ++batch)
+    pool.Run(16, [&](size_t) { ++total; });
+  EXPECT_EQ(total.load(), 200u * 16u);
+}
+
+TEST(ThreadPoolTest, CallerMakesProgressWhenTasksExceedPool) {
+  // A 1-worker pool with many tasks: the calling thread must participate,
+  // so the batch completes even if the lone worker is slow to wake.
+  ThreadPool pool(1);
+  std::atomic<size_t> done{0};
+  pool.Run(64, [&](size_t) { ++done; });
+  EXPECT_EQ(done.load(), 64u);
+}
+
+TEST(ThreadPoolTest, ReentrantRunExecutesInline) {
+  ThreadPool pool(2);
+  std::atomic<size_t> outer{0};
+  std::atomic<size_t> inner{0};
+  pool.Run(4, [&](size_t) {
+    ++outer;
+    // A Run issued from inside a task must not deadlock on the pool; it
+    // degrades to inline sequential execution.
+    pool.Run(3, [&](size_t) { ++inner; });
+  });
+  EXPECT_EQ(outer.load(), 4u);
+  EXPECT_EQ(inner.load(), 4u * 3u);
+}
+
+TEST(ThreadPoolTest, ConcurrentRunsFromManyThreadsAllComplete) {
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 8;
+  constexpr size_t kTasks = 50;
+  std::vector<std::atomic<size_t>> done(kCallers);
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.Run(kTasks, [&, c](size_t) { ++done[c]; });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) EXPECT_EQ(done[c].load(), kTasks);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingletonAndUsable) {
+  ThreadPool& pool = ThreadPool::Global();
+  EXPECT_EQ(&pool, &ThreadPool::Global());
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<size_t> done{0};
+  pool.Run(32, [&](size_t) { ++done; });
+  EXPECT_EQ(done.load(), 32u);
+}
+
+TEST(ThreadPoolTest, ParallelBlocksBitIdenticalAcrossThreadCounts) {
+  // The scan engine's contract end to end: per-block partials merged in
+  // ascending block order must be bit-identical for every worker count,
+  // because the static block->worker mapping never moves a block's FP
+  // work between merge positions.
+  const size_t total = 50000;
+  std::vector<double> values(total);
+  for (size_t i = 0; i < total; ++i)
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  auto run = [&](size_t threads) {
+    const size_t block_size = 512;
+    std::vector<double> partials(BlockCount(total, block_size), 0.0);
+    ParallelBlocks(total, block_size, threads,
+                   [&](size_t block, size_t first, size_t count) {
+                     double sum = 0.0;
+                     for (size_t i = first; i < first + count; ++i)
+                       sum += values[i];
+                     partials[block] = sum;
+                   });
+    double result = 0.0;
+    for (double partial : partials) result += partial;
+    return result;
+  };
+  const double sequential = run(1);
+  for (size_t threads : kPoolSizes)
+    EXPECT_EQ(run(threads), sequential) << threads << " threads";
+}
+
+}  // namespace
+}  // namespace proclus

@@ -16,7 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
+#include <span>
 
 #include "core/consumers.h"
 #include "core/proclus.h"
@@ -243,6 +245,60 @@ TEST(ScanExecutorTest, FusedScanMatchesSeparateScans) {
   EXPECT_EQ(assign_a.labels(), assign_b.labels());
   EXPECT_EQ(assign_a.centroids(), assign_b.centroids());
   EXPECT_EQ(assign_a.cluster_sizes(), assign_b.cluster_sizes());
+}
+
+TEST(ScanExecutorTest, LocalityDistanceCacheMatchesUncached) {
+  ConsumerFixture fixture = MakeConsumerFixture();
+  MemorySource source(fixture.base.data.dataset);
+
+  // Candidate pool the slot ids index into, as in the fused hill climb.
+  std::vector<size_t> pool_rows(24);
+  for (size_t i = 0; i < pool_rows.size(); ++i) pool_rows[i] = i * 193;
+  Matrix pool = std::move(source.Fetch(pool_rows)).value();
+  const size_t d = pool.cols();
+
+  // A medoid-churn schedule like hill climbing's: repeats (full hits),
+  // single-slot turnover (partial hits), then a sweep past the cache
+  // capacity for u = 3 (max(16, 2*3+4) = 16 entries) so LRU eviction and
+  // re-computation of evicted columns are exercised too.
+  const std::vector<std::array<size_t, 3>> schedule = {
+      {0, 1, 2},    {0, 1, 2},    {1, 2, 3},    {3, 4, 5},
+      {6, 7, 8},    {9, 10, 11},  {12, 13, 14}, {15, 16, 17},
+      {18, 19, 20}, {21, 22, 23}, {0, 1, 2},    {21, 22, 23}};
+
+  MedoidDistanceCache cache;
+  RunStats cached_stats;
+  RunStats plain_stats;
+  ScanExecutor cached_exec(ScanOptions{4, 512, &cached_stats});
+  ScanExecutor plain_exec(ScanOptions{4, 512, &plain_stats});
+  LocalityStatsConsumer cached;
+  LocalityStatsConsumer plain;
+
+  for (const std::array<size_t, 3>& slots : schedule) {
+    Matrix medoids(slots.size(), d);
+    for (size_t i = 0; i < slots.size(); ++i)
+      for (size_t j = 0; j < d; ++j) medoids(i, j) = pool(slots[i], j);
+    std::vector<std::vector<size_t>> variant{{0, 1, 2}};
+    ASSERT_TRUE(cached
+                    .Bind(&medoids, variant,
+                          std::span<const size_t>(slots), &cache)
+                    .ok());
+    ASSERT_TRUE(plain.Bind(&medoids, variant).ok());
+    ASSERT_TRUE(cached_exec.Run(source, {&cached}).ok());
+    ASSERT_TRUE(plain_exec.Run(source, {&plain}).ok());
+    // Reused columns are cached values read back verbatim, so the cached
+    // consumer's statistics are bit-identical, not merely close.
+    EXPECT_EQ(cached.stats(), plain.stats());
+  }
+
+  EXPECT_GT(cache.hits, 0u);
+  EXPECT_GT(cache.misses, 0u);
+  // Every hit skipped one n-row distance column.
+  EXPECT_EQ(plain_stats.distance_evals - cached_stats.distance_evals,
+            cache.hits * 5000u);
+  // The eviction sweep pushed past capacity, so the final {0,1,2} scan
+  // recomputed columns that were cached earlier.
+  EXPECT_LE(cache.entries.size(), 16u);
 }
 
 TEST(ScanExecutorTest, ValidatesOptionsAndConsumerList) {

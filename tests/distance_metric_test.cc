@@ -70,6 +70,47 @@ INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
                                            MetricKind::kEuclidean,
                                            MetricKind::kChebyshev));
 
+TEST(MetricTest, LpIntegerPowerPathMatchesPow) {
+  // Small integral p routes through the multiply-chain fast path; it must
+  // agree with the straightforward pow formulation to rounding error.
+  Rng rng(104);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(6), y(6);
+    for (size_t j = 0; j < 6; ++j) {
+      x[j] = rng.Uniform(-10, 10);
+      y[j] = rng.Uniform(-10, 10);
+    }
+    for (double p : {3.0, 4.0, 7.0, 16.0}) {
+      double sum = 0.0;
+      for (size_t j = 0; j < 6; ++j)
+        sum += std::pow(std::fabs(x[j] - y[j]), p);
+      const double expected = std::pow(sum, 1.0 / p);
+      EXPECT_NEAR(LpDistance(x, y, p), expected, 1e-9 * (1.0 + expected))
+          << "p=" << p;
+    }
+    // Just past the integer-power cutoff (and fractional p) both take the
+    // pow path; spot-check continuity between the two implementations.
+    EXPECT_NEAR(LpDistance(x, y, 16.0), LpDistance(x, y, 16.0 + 1e-12),
+                1e-6);
+  }
+}
+
+TEST(MetricTest, LpSpecializationsAreBitIdentical) {
+  // p = 1 and p = 2 must dispatch to the exact scalar kernels, not a
+  // near-equal pow formulation: the scan pipeline compares their outputs
+  // bit-for-bit.
+  Rng rng(105);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(9), y(9);
+    for (size_t j = 0; j < 9; ++j) {
+      x[j] = rng.Uniform(-100, 100);
+      y[j] = rng.Uniform(-100, 100);
+    }
+    EXPECT_EQ(LpDistance(x, y, 1.0), ManhattanDistance(x, y));
+    EXPECT_EQ(LpDistance(x, y, 2.0), EuclideanDistance(x, y));
+  }
+}
+
 TEST(MetricTest, LpOrderingProperty) {
   // For p < q, Lp >= Lq pointwise.
   Rng rng(103);

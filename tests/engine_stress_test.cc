@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "core/consumers.h"
 #include "core/proclus.h"
 #include "gen/synthetic.h"
@@ -114,6 +116,48 @@ TEST(EngineStressTest, MultiVariantLocalityBitIdenticalAcrossThreadCounts) {
     ASSERT_TRUE(consumer.Bind(&union_coords, variants).ok());
     ASSERT_TRUE(executor.Run(source, {&consumer}).ok());
     ASSERT_EQ(consumer.num_variants(), 2u);
+    for (size_t v = 0; v < 2; ++v)
+      EXPECT_EQ(consumer.stats(v), base.stats(v))
+          << threads << " threads, variant " << v;
+  }
+}
+
+TEST(EngineStressTest, CachedLocalityBitIdenticalAcrossThreadCounts) {
+  Fixture fixture = MakeFixture();
+  MemorySource source(fixture.data.dataset);
+
+  // Cached bind: fresh columns are filled by concurrent blocks at
+  // disjoint row ranges of shared cache entries. Two scans per executor
+  // so the second reuses every column the first one committed.
+  std::vector<std::vector<size_t>> variants = {{0, 1, 2, 3}, {0, 4, 2, 3}};
+  MemorySource fetch_source(fixture.data.dataset);
+  std::vector<size_t> union_indices{11, 5000, 11000, 17000, 2000};
+  Matrix union_coords =
+      std::move(fetch_source.Fetch(union_indices)).value();
+  const std::vector<size_t> slots{3, 9, 21, 40, 57};
+
+  MedoidDistanceCache base_cache;
+  ScanExecutor sequential(ScanOptions{1, 512, nullptr});
+  LocalityStatsConsumer base;
+  for (int scan = 0; scan < 2; ++scan) {
+    ASSERT_TRUE(base.Bind(&union_coords, variants,
+                          std::span<const size_t>(slots), &base_cache)
+                    .ok());
+    ASSERT_TRUE(sequential.Run(source, {&base}).ok());
+  }
+  ASSERT_GT(base_cache.hits, 0u);
+
+  for (size_t threads : kThreadCounts) {
+    MedoidDistanceCache cache;
+    ScanExecutor executor(ScanOptions{threads, 512, nullptr});
+    LocalityStatsConsumer consumer;
+    for (int scan = 0; scan < 2; ++scan) {
+      ASSERT_TRUE(consumer.Bind(&union_coords, variants,
+                                std::span<const size_t>(slots), &cache)
+                      .ok());
+      ASSERT_TRUE(executor.Run(source, {&consumer}).ok());
+    }
+    EXPECT_EQ(cache.hits, base_cache.hits) << threads << " threads";
     for (size_t v = 0; v < 2; ++v)
       EXPECT_EQ(consumer.stats(v), base.stats(v))
           << threads << " threads, variant " << v;

@@ -42,6 +42,15 @@ Enforces invariants that no generic tool knows about:
                       or the PointSource layer, which report short reads and
                       corruption as detailed Statuses (path, byte offset,
                       expected/actual sizes) instead of silently truncating.
+  segmental-dimension-set
+                      Calling the DimensionSet overload of
+                      ManhattanSegmentalDistance inside a for/while loop in
+                      src/core or src/distance. That overload walks the
+                      bitset per call; hot loops must hoist the index list
+                      (dims.ToVector()) out of the loop once and call the
+                      span overload, which is allocation-free and
+                      bit-identical. Applies to arguments declared with a
+                      DimensionSet type in the same file.
   unordered-iteration A range-for over a std::unordered_map/set (declared in
                       the same file, directly or through a local alias)
                       whose body feeds an ordered sink — output streams,
@@ -148,6 +157,20 @@ VALUE_CALL_RE = re.compile(
 # A local declared with an explicit Result<...> type (auto locals cannot be
 # typed without a real parser, so they are only covered via value() calls).
 RESULT_DECL_RE = re.compile(r"\bResult\s*<[^;{}()=]*>\s+([A-Za-z_]\w*)")
+
+# --- segmental-dimension-set ------------------------------------------------
+
+# Hot-path directories where per-call bitset walks are a real regression:
+# the PROCLUS passes and the distance kernels themselves.
+SEGMENTAL_RULE_DIRS = (os.path.join("src", "core"),
+                       os.path.join("src", "distance"))
+
+# An identifier declared (or received as a parameter) with a DimensionSet
+# type: `DimensionSet dims`, `const DimensionSet& dims`, `DimensionSet*`.
+DIMENSION_SET_DECL_RE = re.compile(
+    r"\bDimensionSet\b\s*(?:const\b\s*)?[&*]?\s*([A-Za-z_]\w*)")
+
+SEGMENTAL_CALL_RE = re.compile(r"\bManhattanSegmentalDistance\s*\(")
 
 # --- unordered-iteration ----------------------------------------------------
 
@@ -414,6 +437,99 @@ def check_result_unchecked(rel_path, original_lines, code, findings):
                     report(start + use.start(), "dereference", name)
 
 
+def match_paren(code, open_paren):
+    """Offset of the ')' matching code[open_paren] == '(', or -1."""
+    depth, i, n = 0, open_paren, len(code)
+    while i < n:
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return -1
+
+
+def loop_bodies(code):
+    """Yields (body_start, body_end) offsets for every for/while loop body.
+
+    Nested loops yield their own (smaller) spans too; a caller matching
+    per call site should de-duplicate by call offset.
+    """
+    n = len(code)
+    for m in re.finditer(r"\b(?:for|while)\s*\(", code):
+        close = match_paren(code, m.end() - 1)
+        if close == -1:
+            continue
+        j = close + 1
+        while j < n and code[j] in " \t\n":
+            j += 1
+        if j < n and code[j] == "{":
+            depth, k = 0, j
+            while k < n:
+                if code[k] == "{":
+                    depth += 1
+                elif code[k] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            yield j, min(k + 1, n)
+        else:
+            k = code.find(";", j)
+            yield j, (k + 1 if k != -1 else n)
+
+
+def top_level_args(arg_text):
+    """Splits a stripped argument-list string on top-level commas."""
+    args, depth, start = [], 0, 0
+    for i, ch in enumerate(arg_text):
+        if ch in "([{<":
+            depth += 1
+        elif ch in ")]}>":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            args.append(arg_text[start:i].strip())
+            start = i + 1
+    args.append(arg_text[start:].strip())
+    return args
+
+
+def check_segmental_dimension_set(rel_path, original_lines, code, findings):
+    if not rel_path.startswith(tuple(d + os.sep for d in SEGMENTAL_RULE_DIRS)):
+        return
+    names = {m.group(1) for m in DIMENSION_SET_DECL_RE.finditer(code)}
+    if not names:
+        return
+    flagged = set()
+    for body_start, body_end in loop_bodies(code):
+        body = code[body_start:body_end]
+        for m in SEGMENTAL_CALL_RE.finditer(body):
+            offset = body_start + m.start()
+            if offset in flagged:
+                continue
+            close = match_paren(code, body_start + m.end() - 1)
+            if close == -1:
+                continue
+            args = top_level_args(code[body_start + m.end():close])
+            last = args[-1].lstrip("*&").strip() if args else ""
+            # `dims` and `dims.ToVector()` both walk/materialize the bitset
+            # on every iteration.
+            if last in names or any(last == name + ".ToVector()"
+                                    for name in names):
+                flagged.add(offset)
+                ln = line_of(code, offset)
+                if allowed(original_lines, ln, "segmental-dimension-set"):
+                    continue
+                findings.append(Finding(
+                    rel_path, ln, "segmental-dimension-set",
+                    "ManhattanSegmentalDistance(DimensionSet) inside a loop "
+                    "walks the bitset per call; hoist the index list "
+                    "(dims.ToVector()) out of the loop and pass it to the "
+                    "span overload (bit-identical, allocation-free)"))
+
+
 def unordered_container_names(code):
     """Names of variables declared in this file with an unordered type."""
     names = set()
@@ -572,6 +688,7 @@ def lint_file(root, rel_path, findings):
     check_raw_ifstream(rel_path, original_lines, code, findings)
     check_status_fn_checks(rel_path, original_lines, code, findings)
     check_result_unchecked(rel_path, original_lines, code, findings)
+    check_segmental_dimension_set(rel_path, original_lines, code, findings)
     check_unordered_iteration(rel_path, original_lines, code, findings)
     check_include_guard(rel_path, original_lines, code, findings)
 
@@ -808,6 +925,86 @@ SELF_TEST_FIXTURES = [
      "bool Exists(const char* path) {\n"
      "  // Existence probe only; no payload bytes are consumed.\n"
      "  return std::ifstream(path).good();  // lint:allow(raw-ifstream)\n"
+     "}\n"
+     "}\n",
+     []),
+    # segmental-dimension-set: the DimensionSet overload in a hot loop.
+    ("src/core/hot_segmental.cc",
+     "#include \"distance/segmental.h\"\n"
+     "namespace proclus {\n"
+     "double Sum(const Matrix& data, std::span<const double> medoid,\n"
+     "           const DimensionSet& dims) {\n"
+     "  double total = 0.0;\n"
+     "  for (size_t r = 0; r < data.rows(); ++r) {\n"
+     "    total += ManhattanSegmentalDistance(data.row(r), medoid, dims);\n"
+     "  }\n"
+     "  return total;\n"
+     "}\n"
+     "}\n",
+     ["segmental-dimension-set"]),
+    # Per-iteration ToVector() is the same bug in disguise.
+    ("src/distance/tovector_loop.cc",
+     "#include \"distance/segmental.h\"\n"
+     "namespace proclus {\n"
+     "double Sum(const Matrix& data, std::span<const double> medoid,\n"
+     "           const DimensionSet& dims) {\n"
+     "  double total = 0.0;\n"
+     "  for (size_t r = 0; r < data.rows(); ++r)\n"
+     "    total += ManhattanSegmentalDistance(data.row(r), medoid,\n"
+     "                                        dims.ToVector());\n"
+     "  return total;\n"
+     "}\n"
+     "}\n",
+     ["segmental-dimension-set"]),
+    # The fix: hoist the index list once and use the span overload.
+    ("src/core/hoisted_segmental.cc",
+     "#include \"distance/segmental.h\"\n"
+     "namespace proclus {\n"
+     "double Sum(const Matrix& data, std::span<const double> medoid,\n"
+     "           const DimensionSet& dims) {\n"
+     "  const std::vector<uint32_t> ids = dims.ToVector();\n"
+     "  double total = 0.0;\n"
+     "  for (size_t r = 0; r < data.rows(); ++r)\n"
+     "    total += ManhattanSegmentalDistance(data.row(r), medoid, ids);\n"
+     "  return total;\n"
+     "}\n"
+     "}\n",
+     []),
+    # A one-off call outside any loop is fine.
+    ("src/core/oneshot_segmental.cc",
+     "#include \"distance/segmental.h\"\n"
+     "namespace proclus {\n"
+     "double One(std::span<const double> a, std::span<const double> b,\n"
+     "           const DimensionSet& dims) {\n"
+     "  return ManhattanSegmentalDistance(a, b, dims);\n"
+     "}\n"
+     "}\n",
+     []),
+    # Outside src/core and src/distance the rule does not apply.
+    ("src/eval/loose_segmental.cc",
+     "#include \"distance/segmental.h\"\n"
+     "namespace proclus {\n"
+     "double Sum(const Matrix& data, std::span<const double> medoid,\n"
+     "           const DimensionSet& dims) {\n"
+     "  double total = 0.0;\n"
+     "  for (size_t r = 0; r < data.rows(); ++r)\n"
+     "    total += ManhattanSegmentalDistance(data.row(r), medoid, dims);\n"
+     "  return total;\n"
+     "}\n"
+     "}\n",
+     []),
+    # Explicit suppression with justification.
+    ("src/core/segmental_allowed.cc",
+     "#include \"distance/segmental.h\"\n"
+     "namespace proclus {\n"
+     "double Sum(const Matrix& data, std::span<const double> medoid,\n"
+     "           const DimensionSet& dims) {\n"
+     "  double total = 0.0;\n"
+     "  // Cold path: runs once per restart over k rows, not per point.\n"
+     "  for (size_t r = 0; r < data.rows(); ++r)\n"
+     "    total += ManhattanSegmentalDistance(  // lint:allow(segmental-dimension-set)\n"
+     "        data.row(r), medoid, dims);\n"
+     "  return total;\n"
      "}\n"
      "}\n",
      []),

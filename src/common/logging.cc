@@ -7,6 +7,9 @@
 namespace proclus {
 
 namespace {
+// order: relaxed — the level is an isolated filter knob: a racing
+// SetLogLevel only decides whether a concurrent message is emitted, never
+// what it contains, so no ordering with other memory is needed.
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
@@ -29,15 +32,17 @@ const char* Basename(const char* path) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return g_level.load(); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
-  if (level < g_level.load()) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
                line, message.c_str());
 }

@@ -17,7 +17,11 @@ void ParallelBlocks(size_t total, size_t block_size, size_t num_threads,
   // The static round-robin mapping is a function of the logical worker
   // index, never of the executing thread, so results (and the TSan-
   // checked access pattern) are identical whether workers run on pool
-  // threads, the caller, or all sequentially.
+  // threads, the caller, or all sequentially. No shared mutable state
+  // lives at this layer: each block's partial is owned by the consumer
+  // state keyed on its block index (the ownership map in DESIGN.md §10),
+  // and the pool's own batch state is lock-annotated in
+  // common/thread_pool.h, checked at compile time under the tsa preset.
   auto run_blocks = [&](size_t worker) {
     for (size_t block = worker; block < blocks; block += num_threads) {
       size_t first = block * block_size;

@@ -1,0 +1,175 @@
+// Annotated synchronization primitives: the only place in the library
+// where raw std::mutex / std::condition_variable may appear (enforced by
+// tools/lint.py rule `raw-sync`).
+//
+// Every wrapper carries Clang thread-safety capability attributes, so a
+// Clang build with -Wthread-safety -Wthread-safety-beta (the `tsa` CMake
+// preset) proves the locking discipline at compile time: a read of a
+// PROCLUS_GUARDED_BY(mu_) member outside mu_, an Unlock without a Lock,
+// or a lock-order inversion against PROCLUS_ACQUIRED_BEFORE is a build
+// error, not a latent race for TSan to catch at runtime. On non-Clang
+// compilers the attributes expand to nothing and the wrappers cost
+// exactly one inlined call into the std primitive; tools/lint.py keeps
+// non-Clang trees honest (rules `raw-sync`, `atomic-order`, `atomic-rmw`,
+// `sync-annotation`).
+//
+// The annotation vocabulary (see DESIGN.md §10 for the repo's ownership
+// map and lock hierarchy):
+//  * PROCLUS_GUARDED_BY(mu)       data member readable/writable only with
+//                                 mu held
+//  * PROCLUS_REQUIRES(mu)         function callable only with mu held
+//  * PROCLUS_ACQUIRE / RELEASE    function acquires/releases mu
+//  * PROCLUS_EXCLUDES(mu)         function callable only with mu NOT held
+//                                 (documents non-reentrancy)
+//  * PROCLUS_ACQUIRED_BEFORE(mu)  lock-order edge, checked under
+//                                 -Wthread-safety-beta
+//  * PROCLUS_ASSERT_CAPABILITY    runtime claim that mu is held (for code
+//                                 the analysis cannot follow)
+
+#ifndef PROCLUS_COMMON_SYNC_H_
+#define PROCLUS_COMMON_SYNC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+// ---- Clang thread-safety attribute macros ---------------------------------
+// Compiled away everywhere except Clang (GCC parses but ignores some of
+// these spellings and warns on others, so they are gated hard).
+#if defined(__clang__)
+#define PROCLUS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PROCLUS_THREAD_ANNOTATION(x)
+#endif
+
+#define PROCLUS_CAPABILITY(x) PROCLUS_THREAD_ANNOTATION(capability(x))
+#define PROCLUS_SCOPED_CAPABILITY PROCLUS_THREAD_ANNOTATION(scoped_lockable)
+#define PROCLUS_GUARDED_BY(x) PROCLUS_THREAD_ANNOTATION(guarded_by(x))
+#define PROCLUS_PT_GUARDED_BY(x) PROCLUS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define PROCLUS_REQUIRES(...) \
+  PROCLUS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PROCLUS_ACQUIRE(...) \
+  PROCLUS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PROCLUS_RELEASE(...) \
+  PROCLUS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PROCLUS_TRY_ACQUIRE(...) \
+  PROCLUS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define PROCLUS_EXCLUDES(...) \
+  PROCLUS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PROCLUS_ACQUIRED_BEFORE(...) \
+  PROCLUS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PROCLUS_ACQUIRED_AFTER(...) \
+  PROCLUS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define PROCLUS_ASSERT_CAPABILITY(x) \
+  PROCLUS_THREAD_ANNOTATION(assert_capability(x))
+#define PROCLUS_RETURN_CAPABILITY(x) \
+  PROCLUS_THREAD_ANNOTATION(lock_returned(x))
+#define PROCLUS_NO_THREAD_SAFETY_ANALYSIS \
+  PROCLUS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace proclus {
+
+/// Standard mutex carrying the Clang `capability` attribute so members can
+/// be declared PROCLUS_GUARDED_BY it. Prefer MutexLock for scoped holds;
+/// Lock/Unlock exist for the hand-over-hand shapes (worker loops) that a
+/// scope cannot express.
+class PROCLUS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PROCLUS_ACQUIRE() { mu_.lock(); }
+  void Unlock() PROCLUS_RELEASE() { mu_.unlock(); }
+  bool TryLock() PROCLUS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock of a Mutex (RAII; the analysis tracks the capability for
+/// the lifetime of the object).
+class PROCLUS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PROCLUS_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() PROCLUS_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait requires the mutex held
+/// (checked), and re-holds it on return. Predicates are deliberately not
+/// taken as callables: the analysis cannot see a capability through a
+/// lambda body, so callers write the `while (!cond) cv.Wait(mu);` loop
+/// directly where the guarded members are visibly protected.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and re-acquires
+  /// `mu` before returning. Spurious wakeups are possible; always wait in
+  /// a condition loop.
+  void Wait(Mutex& mu) PROCLUS_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // guard's ownership claim so the caller's hold continues seamlessly.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Monotonic event counter safe for concurrent mutation without a lock.
+/// All operations use relaxed ordering: each counter is an independent
+/// statistic — increments never publish other data, and readers need each
+/// field to be individually consistent, not a cross-field snapshot (see
+/// DESIGN.md §10 "counters" row). Use a Mutex-guarded plain integer
+/// instead when a counter must be consistent with neighboring state.
+///
+/// Identity semantics (matches PointSource's counter contract): counters
+/// are bound to their owning object, never transferred. Copy/move
+/// CONSTRUCTION starts the new counter at zero; copy/move ASSIGNMENT
+/// leaves the target's tally untouched. This is what lets owners default
+/// their copy/move operations instead of special-casing every counter.
+class GuardedCounter {
+ public:
+  GuardedCounter() = default;
+  GuardedCounter(const GuardedCounter&) noexcept {}
+  GuardedCounter(GuardedCounter&&) noexcept {}
+  GuardedCounter& operator=(const GuardedCounter&) noexcept { return *this; }
+  GuardedCounter& operator=(GuardedCounter&&) noexcept { return *this; }
+
+  /// Adds `n` to the tally.
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Adds `n` and returns the PREVIOUS value (atomic ticket draw).
+  uint64_t FetchAdd(uint64_t n) {
+    return value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Replaces the tally with `n` and returns the previous value.
+  uint64_t Exchange(uint64_t n) {
+    return value_.exchange(n, std::memory_order_relaxed);
+  }
+  /// Current tally.
+  uint64_t Load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  // order: relaxed — independent statistic; see class comment.
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_SYNC_H_

@@ -25,10 +25,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
@@ -57,32 +57,31 @@ void ThreadPool::Run(size_t num_tasks, FunctionRef<void(size_t)> task) {
   }
 
   tls_inside_run = true;
-  std::unique_lock<std::mutex> run_lock(run_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    task_ = &task;
-    num_tasks_ = num_tasks;
-    remaining_ = num_tasks;
-    next_task_.store(0, std::memory_order_relaxed);
-    ++generation_;
+    MutexLock run_lock(run_mu_);
+    {
+      MutexLock lock(mu_);
+      task_ = &task;
+      num_tasks_ = num_tasks;
+      remaining_ = num_tasks;
+      next_task_.store(0, std::memory_order_relaxed);
+      ++generation_;
+    }
+    work_cv_.NotifyAll();
+
+    // The caller races the workers for task indices rather than blocking:
+    // this guarantees progress even when the pool is saturated by another
+    // caller's batch.
+    const size_t done = DrainTasks(task, num_tasks);
+
+    MutexLock lock(mu_);
+    remaining_ -= done;
+    // Waiting for active_workers_ == 0 (not just remaining_ == 0) ensures
+    // no worker still holds a pointer into this batch when Run returns and
+    // the next batch overwrites the shared state.
+    while (remaining_ != 0 || active_workers_ != 0) done_cv_.Wait(mu_);
+    task_ = nullptr;
   }
-  work_cv_.notify_all();
-
-  // The caller races the workers for task indices rather than blocking:
-  // this guarantees progress even when the pool is saturated by another
-  // caller's batch.
-  const size_t done = DrainTasks(task, num_tasks);
-
-  std::unique_lock<std::mutex> lock(mu_);
-  remaining_ -= done;
-  // Waiting for active_workers_ == 0 (not just remaining_ == 0) ensures
-  // no worker still holds a pointer into this batch when Run returns and
-  // the next batch overwrites the shared state.
-  done_cv_.wait(lock,
-                [this] { return remaining_ == 0 && active_workers_ == 0; });
-  task_ = nullptr;
-  lock.unlock();
-  run_lock.unlock();
   tls_inside_run = false;
 }
 
@@ -90,24 +89,29 @@ void ThreadPool::WorkerLoop() {
   tls_inside_run = true;  // Tasks issuing nested Runs execute them inline.
   uint64_t seen_generation = 0;
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    work_cv_.wait(lock, [this, seen_generation] {
-      return stop_ || generation_ != seen_generation;
-    });
-    if (stop_) return;
+    mu_.Lock();
+    while (!stop_ && generation_ == seen_generation) work_cv_.Wait(mu_);
+    if (stop_) {
+      mu_.Unlock();
+      return;
+    }
     seen_generation = generation_;
-    if (task_ == nullptr) continue;  // Woke after the batch completed.
+    if (task_ == nullptr) {  // Woke after the batch completed.
+      mu_.Unlock();
+      continue;
+    }
     ++active_workers_;
     const FunctionRef<void(size_t)>* task = task_;
     const size_t num_tasks = num_tasks_;
-    lock.unlock();
+    mu_.Unlock();
 
     const size_t done = DrainTasks(*task, num_tasks);
 
-    lock.lock();
+    mu_.Lock();
     remaining_ -= done;
     --active_workers_;
-    if (remaining_ == 0 && active_workers_ == 0) done_cv_.notify_all();
+    if (remaining_ == 0 && active_workers_ == 0) done_cv_.NotifyAll();
+    mu_.Unlock();
   }
 }
 

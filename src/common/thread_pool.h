@@ -11,19 +11,23 @@
 // (common/parallel.h), so which OS thread happens to execute a given
 // worker index can never influence results. Run(n, task) promises only
 // that task(0) ... task(n-1) each execute exactly once before it returns.
+//
+// Locking discipline (compile-checked under the `tsa` preset; see
+// DESIGN.md §10): all batch state is PROCLUS_GUARDED_BY(mu_); run_mu_
+// serializes top-level Run calls and is always acquired before mu_
+// (PROCLUS_ACQUIRED_BEFORE). The single lock-free member is next_task_,
+// a relaxed ticket counter whose draws carry no payload.
 
 #ifndef PROCLUS_COMMON_THREAD_POOL_H_
 #define PROCLUS_COMMON_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/function_ref.h"
+#include "common/sync.h"
 
 namespace proclus {
 
@@ -55,28 +59,36 @@ class ThreadPool {
   ///
   /// Concurrent Run calls from different threads are serialized; a
   /// reentrant Run (issued from inside a task) degrades to inline
-  /// sequential execution on the calling thread.
-  void Run(size_t num_tasks, FunctionRef<void(size_t)> task);
+  /// sequential execution on the calling thread — which is why holding
+  /// either pool lock across the call is excluded below.
+  void Run(size_t num_tasks, FunctionRef<void(size_t)> task)
+      PROCLUS_EXCLUDES(run_mu_, mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PROCLUS_EXCLUDES(mu_);
   // Claims and executes tasks until the batch is drained; returns the
-  // number of tasks this thread executed.
-  size_t DrainTasks(const FunctionRef<void(size_t)>& task, size_t num_tasks);
+  // number of tasks this thread executed. Lock-free: must be called
+  // WITHOUT mu_ held (tasks run arbitrarily long).
+  size_t DrainTasks(const FunctionRef<void(size_t)>& task, size_t num_tasks)
+      PROCLUS_EXCLUDES(mu_);
 
   // Serializes top-level Run calls so batch state is single-writer.
-  std::mutex run_mu_;
+  // Lock hierarchy: run_mu_ -> mu_, enforced under -Wthread-safety-beta.
+  Mutex run_mu_ PROCLUS_ACQUIRED_BEFORE(mu_);
 
-  // Batch state, guarded by mu_ (except next_task_, claimed atomically).
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const FunctionRef<void(size_t)>* task_ = nullptr;
-  size_t num_tasks_ = 0;
-  size_t remaining_ = 0;
-  size_t active_workers_ = 0;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  // Guards all batch state below.
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const FunctionRef<void(size_t)>* task_ PROCLUS_GUARDED_BY(mu_) = nullptr;
+  size_t num_tasks_ PROCLUS_GUARDED_BY(mu_) = 0;
+  size_t remaining_ PROCLUS_GUARDED_BY(mu_) = 0;
+  size_t active_workers_ PROCLUS_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ PROCLUS_GUARDED_BY(mu_) = 0;
+  bool stop_ PROCLUS_GUARDED_BY(mu_) = false;
+  // order: relaxed — pure task-index ticket: a draw carries no payload,
+  // and the batch it indexes into is published by the mu_-protected
+  // generation_ handshake before any worker draws from it.
   std::atomic<size_t> next_task_{0};
 
   std::vector<std::thread> threads_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.h"
 #include "distance/batch.h"
 #include "gen/ground_truth.h"
 
@@ -116,6 +117,7 @@ Status LocalityStatsConsumer::Prepare(const ScanGeometry& geometry) {
   if (medoids_->cols() != geometry.dims)
     return Status::InvalidArgument("medoid dimensionality mismatch");
   dims_ = geometry.dims;
+  rows_ = geometry.rows;
   const size_t u = medoids_->rows();
   partials_.resize(variant_rows_.size());
   for (std::vector<BlockSums>& blocks : partials_)
@@ -229,6 +231,9 @@ void LocalityStatsConsumer::ConsumeBlock(size_t block_index, size_t first_row,
       cols[m] = row;
     }
   } else {
+    // Ownership contract (consumers.h): this block may write only the
+    // row range it owns inside each fresh cache column.
+    PROCLUS_DCHECK(first_row + rows <= rows_);
     const size_t fresh = fresh_rows_.size();
     if (fresh > 0) {
       scratch.outs.resize(fresh);

@@ -56,6 +56,19 @@ struct BlockSums {
 /// cached run is bit-identical to an uncached one. Owned by the caller
 /// (the fused climb's scratch) and valid only while the candidate
 /// coordinates and the source it was filled from stay fixed.
+///
+/// Scatter-fill/commit protocol (lock-free by ownership partitioning;
+/// DESIGN.md §10): the structure itself — entries, clock, hits, misses,
+/// and each entry's slot/valid/last_used — is touched ONLY by the thread
+/// driving the scan, inside Prepare (slot lookup, eviction, column
+/// (re)allocation) and Merge (validity commit), which the executor runs
+/// strictly before and after the parallel region. During the region,
+/// workers write only the *contents* of fresh entries' dist columns, each
+/// block scattering into its own disjoint row range [first_row,
+/// first_row + rows); hit columns are read-only. Validity commits on
+/// Merge and nowhere else, so a scan attempt that fails or is abandoned
+/// leaves its claimed entries invalid and the retry refills them —
+/// fault-retry and resume keep bit-identical results.
 struct MedoidDistanceCache {
   struct Entry {
     size_t slot = 0;
@@ -131,6 +144,7 @@ class LocalityStatsConsumer final : public ScanConsumer {
   std::vector<size_t> fresh_entries_;  // cache entry index per fresh row
   Matrix fresh_medoids_;             // fresh rows' coordinates, packed
   size_t dims_ = 0;
+  size_t rows_ = 0;  // source rows (= cached column length) this scan
   uint64_t distance_evals_ = 0;
 };
 

@@ -52,6 +52,11 @@ Status ScanExecutor::Run(const PointSource& source,
       SleepBackoff(options_.retry, attempt);
     }
   } else {
+    // Parallel region: workers share nothing but the read-only source
+    // view and per-block consumer state at distinct block indices (the
+    // ownership contract in engine.h / DESIGN.md §10). Everything the
+    // executor itself mutates — stats, the RecordScan below, Merge —
+    // happens on this thread outside the region.
     const size_t d = memory->dims();
     const std::vector<double>& data = memory->matrix().data();
     ParallelBlocks(geometry.rows, options_.block_rows, options_.num_threads,

@@ -24,6 +24,19 @@
 //    list order within the same visit; consumers never observe each
 //    other's partials, so a fused run is bit-identical to running the
 //    same consumers over separate scans.
+//
+// Concurrency & ownership (the full ownership map is DESIGN.md §10): the
+// executor itself holds no locks. Its safety argument is pure ownership
+// partitioning — during the parallel region each worker touches only
+// per-block consumer state keyed by its block index (or disjoint per-row
+// ranges), Prepare/Merge/Reset and every RunStats/IoCounters write happen
+// on the calling thread strictly before or after that region, and the
+// retry path (Reset + re-Prepare + re-issue) runs entirely on the calling
+// thread between attempts. The only cross-thread cells are the
+// PointSource IoCounters (relaxed GuardedCounters, see
+// data/point_source.h). The locking that does exist lives one layer down
+// in the ThreadPool, whose discipline is compile-checked via the
+// annotations in common/sync.h under the `tsa` preset.
 
 #ifndef PROCLUS_DATA_ENGINE_H_
 #define PROCLUS_DATA_ENGINE_H_

@@ -46,7 +46,7 @@ FaultInjectingPointSource::Decision FaultInjectingPointSource::Admit(
     uint64_t op) const {
   Decision d = Decide(op);
   if (d.delayed && plan_.delay.count() > 0) {
-    delays_.fetch_add(1, std::memory_order_relaxed);
+    counters_.delays.Add(1);
     std::this_thread::sleep_for(plan_.delay);
   }
   if (d.kind != FaultKind::kNone &&
@@ -61,16 +61,16 @@ FaultInjectingPointSource::Decision FaultInjectingPointSource::Admit(
 
 void FaultInjectingPointSource::NoteClean() const {
   const uint64_t run = consecutive_.exchange(0, std::memory_order_relaxed);
-  if (run > 0) absorbed_.fetch_add(run, std::memory_order_relaxed);
+  if (run > 0) counters_.absorbed.Add(run);
 }
 
 Status FaultInjectingPointSource::Scan(size_t block_rows,
                                        const BlockVisitor& visit) const {
   if (block_rows == 0)
     return Status::InvalidArgument("block_rows must be > 0");
-  const uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t op = counters_.ops.FetchAdd(1);
   if (plan_.kill_after_ops > 0 && op >= plan_.kill_after_ops) {
-    scan_faults_.fetch_add(1, std::memory_order_relaxed);
+    counters_.scan_faults.Add(1);
     return Status::IOError("injected permanent failure (kill) at operation " +
                            std::to_string(op));
   }
@@ -117,20 +117,20 @@ Status FaultInjectingPointSource::Scan(size_t block_rows,
   if (!inner_status.ok()) return inner_status;
 
   consecutive_.fetch_add(1, std::memory_order_relaxed);
-  scan_faults_.fetch_add(1, std::memory_order_relaxed);
+  counters_.scan_faults.Add(1);
   const uint64_t fail_offset =
       static_cast<uint64_t>(fail_block) * block_rows * cols *
       sizeof(double);
   switch (d.kind) {
     case FaultKind::kCorrupt:
-      corruptions_.fetch_add(1, std::memory_order_relaxed);
+      counters_.corruptions.Add(1);
       return Status::DataLoss(
           "injected checksum mismatch in scan block " +
           std::to_string(fail_block) + " (payload byte offset " +
           std::to_string(fail_offset) + ", operation " +
           std::to_string(op) + ")");
     case FaultKind::kShortRead:
-      short_reads_.fetch_add(1, std::memory_order_relaxed);
+      counters_.short_reads.Add(1);
       return Status::IOError(
           "injected short read in scan block " +
           std::to_string(fail_block) + " (payload byte offset " +
@@ -148,18 +148,18 @@ Status FaultInjectingPointSource::Scan(size_t block_rows,
 
 Result<Matrix> FaultInjectingPointSource::Fetch(
     std::span<const size_t> indices) const {
-  const uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t op = counters_.ops.FetchAdd(1);
   if (plan_.kill_after_ops > 0 && op >= plan_.kill_after_ops) {
-    fetch_faults_.fetch_add(1, std::memory_order_relaxed);
+    counters_.fetch_faults.Add(1);
     return Status::IOError("injected permanent failure (kill) at operation " +
                            std::to_string(op));
   }
   const Decision d = Admit(op);
   if (d.kind != FaultKind::kNone) {
     consecutive_.fetch_add(1, std::memory_order_relaxed);
-    fetch_faults_.fetch_add(1, std::memory_order_relaxed);
+    counters_.fetch_faults.Add(1);
     if (d.kind == FaultKind::kCorrupt) {
-      corruptions_.fetch_add(1, std::memory_order_relaxed);
+      counters_.corruptions.Add(1);
       return Status::DataLoss("injected checksum mismatch fetching " +
                               std::to_string(indices.size()) +
                               " points (operation " + std::to_string(op) +

@@ -36,6 +36,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/sync.h"
 #include "data/point_source.h"
 
 namespace proclus {
@@ -100,21 +101,7 @@ class FaultInjectingPointSource final : public PointSource {
   const FaultPlan& plan() const { return plan_; }
 
   /// Cumulative injection counters.
-  FaultCounters fault_counters() const {
-    FaultCounters out;
-    out.operations = ops_.load(std::memory_order_relaxed);
-    out.injected_scan_faults =
-        scan_faults_.load(std::memory_order_relaxed);
-    out.injected_fetch_faults =
-        fetch_faults_.load(std::memory_order_relaxed);
-    out.injected_corruptions =
-        corruptions_.load(std::memory_order_relaxed);
-    out.injected_short_reads =
-        short_reads_.load(std::memory_order_relaxed);
-    out.delays = delays_.load(std::memory_order_relaxed);
-    out.absorbed = absorbed_.load(std::memory_order_relaxed);
-    return out;
-  }
+  FaultCounters fault_counters() const { return counters_.Snapshot(); }
 
  private:
   enum class FaultKind { kNone, kFail, kCorrupt, kShortRead };
@@ -135,13 +122,40 @@ class FaultInjectingPointSource final : public PointSource {
   const PointSource* inner_;
   FaultPlan plan_;
 
-  mutable std::atomic<uint64_t> ops_{0};
-  mutable std::atomic<uint64_t> scan_faults_{0};
-  mutable std::atomic<uint64_t> fetch_faults_{0};
-  mutable std::atomic<uint64_t> corruptions_{0};
-  mutable std::atomic<uint64_t> short_reads_{0};
-  mutable std::atomic<uint64_t> delays_{0};
-  mutable std::atomic<uint64_t> absorbed_{0};
+  // Relaxed-atomic cells behind the FaultCounters snapshot: independent
+  // statistics bumped from concurrent Scan/Fetch calls, read through the
+  // single Snapshot() accessor. Ordering discipline lives inside
+  // GuardedCounter (relaxed). `ops` doubles as the operation-index ticket
+  // (FetchAdd draw per Scan/Fetch call).
+  struct FaultCounterCells {
+    GuardedCounter ops;
+    GuardedCounter scan_faults;
+    GuardedCounter fetch_faults;
+    GuardedCounter corruptions;
+    GuardedCounter short_reads;
+    GuardedCounter delays;
+    GuardedCounter absorbed;
+
+    FaultCounters Snapshot() const {
+      FaultCounters out;
+      out.operations = ops.Load();
+      out.injected_scan_faults = scan_faults.Load();
+      out.injected_fetch_faults = fetch_faults.Load();
+      out.injected_corruptions = corruptions.Load();
+      out.injected_short_reads = short_reads.Load();
+      out.delays = delays.Load();
+      out.absorbed = absorbed.Load();
+      return out;
+    }
+  };
+
+  mutable FaultCounterCells counters_;
+  // order: relaxed — length of the current injected-fault run. Admit/
+  // NoteClean race benignly under concurrent callers: the cap only needs
+  // an eventually-consistent run length to bound consecutive faults, and
+  // with the deterministic single-caller schedules used by tests the
+  // value is exact. Not part of the FaultCounters snapshot (schedule
+  // state, not a statistic).
   mutable std::atomic<uint64_t> consecutive_{0};
 };
 

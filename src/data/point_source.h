@@ -19,7 +19,6 @@
 #ifndef PROCLUS_DATA_POINT_SOURCE_H_
 #define PROCLUS_DATA_POINT_SOURCE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -30,6 +29,7 @@
 #include "common/matrix.h"
 #include "common/retry.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "data/dataset.h"
 
 namespace proclus {
@@ -54,12 +54,12 @@ using BlockVisitor =
 /// Abstract scan/fetch access to N points in d dimensions.
 class PointSource {
  public:
+  // Counters are bound to the source's identity, not its data: copy- and
+  // move-constructed sources start counting from zero and assignment
+  // leaves the target's tallies untouched. GuardedCounter implements
+  // exactly those semantics, so the special member functions need no
+  // special-casing here.
   PointSource() = default;
-  // Counters are bound to the source's identity, not its data: copies and
-  // moved-to sources start counting from zero.
-  PointSource(const PointSource&) noexcept {}
-  PointSource& operator=(const PointSource&) noexcept { return *this; }
-
   virtual ~PointSource() = default;
 
   /// Number of points N.
@@ -84,29 +84,22 @@ class PointSource {
   virtual const Dataset* InMemory() const { return nullptr; }
 
   /// Cumulative access counters. Thread-compatible with concurrent
-  /// Scan/Fetch calls (relaxed atomics; each field is individually
-  /// consistent).
-  IoCounters io() const {
-    IoCounters out;
-    out.scans = scans_.load(std::memory_order_relaxed);
-    out.rows_scanned = rows_scanned_.load(std::memory_order_relaxed);
-    out.bytes_read = bytes_read_.load(std::memory_order_relaxed);
-    out.rows_fetched = rows_fetched_.load(std::memory_order_relaxed);
-    return out;
-  }
+  /// Scan/Fetch calls (relaxed GuardedCounters; each field is
+  /// individually consistent, not a cross-field snapshot).
+  IoCounters io() const { return io_.Snapshot(); }
 
  protected:
   /// Implementations call this once per completed Scan.
   void RecordScan(uint64_t rows, uint64_t bytes) const {
-    scans_.fetch_add(1, std::memory_order_relaxed);
-    rows_scanned_.fetch_add(rows, std::memory_order_relaxed);
-    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    io_.scans.Add(1);
+    io_.rows_scanned.Add(rows);
+    io_.bytes_read.Add(bytes);
   }
 
   /// Implementations call this once per completed Fetch.
   void RecordFetch(uint64_t rows, uint64_t bytes) const {
-    rows_fetched_.fetch_add(rows, std::memory_order_relaxed);
-    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    io_.rows_fetched.Add(rows);
+    io_.bytes_read.Add(bytes);
   }
 
  private:
@@ -115,10 +108,27 @@ class PointSource {
   // the counters stay truthful for every path.
   friend class ScanExecutor;
 
-  mutable std::atomic<uint64_t> scans_{0};
-  mutable std::atomic<uint64_t> rows_scanned_{0};
-  mutable std::atomic<uint64_t> bytes_read_{0};
-  mutable std::atomic<uint64_t> rows_fetched_{0};
+  // Relaxed-atomic cells behind the IoCounters snapshot. Concurrent
+  // Scan/Fetch calls bump them without coordination; Snapshot() is the
+  // single read path. Ordering discipline lives inside GuardedCounter
+  // (relaxed — independent statistics, no payload publication).
+  struct IoCounterCells {
+    GuardedCounter scans;
+    GuardedCounter rows_scanned;
+    GuardedCounter bytes_read;
+    GuardedCounter rows_fetched;
+
+    IoCounters Snapshot() const {
+      IoCounters out;
+      out.scans = scans.Load();
+      out.rows_scanned = rows_scanned.Load();
+      out.bytes_read = bytes_read.Load();
+      out.rows_fetched = rows_fetched.Load();
+      return out;
+    }
+  };
+
+  mutable IoCounterCells io_;
 };
 
 /// PointSource view over an in-memory Dataset (not owned).

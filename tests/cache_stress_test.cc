@@ -1,0 +1,158 @@
+// TSan-targeted stress tests for MedoidDistanceCache's concurrent
+// scatter-fill (core/consumers.h): during a cached locality scan every
+// worker writes the *contents* of fresh cache columns at its block's row
+// range while the entry metadata (slot/valid/last_used, hits/misses) is
+// touched only by the driving thread in Prepare/Merge. These tests push
+// the pathological geometries at that protocol — one-row blocks maximize
+// the number of concurrent writers per column, a ragged last block
+// exercises the final partial range — and hold the cache to the engine's
+// determinism contract: bit-identical statistics for every worker count,
+// cached or not, with the second scan served from the committed columns.
+//
+// Lives in the `parallel`-labeled binary so the tsan CTest preset runs it.
+
+#include "core/consumers.h"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "data/engine.h"
+#include "gen/synthetic.h"
+
+namespace proclus {
+namespace {
+
+constexpr size_t kWorkerCounts[] = {1, 2, 7, 16};
+
+struct CacheFixture {
+  SyntheticData data;
+  Matrix union_coords;
+  std::vector<std::vector<size_t>> variants;
+  std::vector<size_t> slots;
+};
+
+// Small on purpose: block_rows = 1 turns every row into its own block, so
+// a TSan run over 1153 rows already schedules 1153 concurrent scatter
+// writes per fresh column without taking minutes.
+CacheFixture MakeCacheFixture() {
+  GeneratorParams gen;
+  gen.num_points = 1153;  // prime: ragged for every block size tested
+  gen.space_dims = 8;
+  gen.num_clusters = 3;
+  gen.cluster_dim_counts = {3, 3, 4};
+  gen.seed = 29;
+  auto data = GenerateSynthetic(gen);
+  EXPECT_TRUE(data.ok());
+  CacheFixture fixture;
+  fixture.data = std::move(data).value();
+  MemorySource source(fixture.data.dataset);
+  std::vector<size_t> union_indices{7, 311, 600, 901, 1100};
+  fixture.union_coords = std::move(source.Fetch(union_indices)).value();
+  fixture.variants = {{0, 1, 2}, {0, 3, 4}};
+  fixture.slots = {2, 5, 8, 13, 19};
+  return fixture;
+}
+
+// Runs `scans` cached locality scans with the given worker count and
+// block size, returning the consumer (for stats) with `cache` filled.
+void RunCachedScans(const CacheFixture& fixture, size_t workers,
+                    size_t block_rows, int scans,
+                    MedoidDistanceCache* cache,
+                    LocalityStatsConsumer* consumer) {
+  MemorySource source(fixture.data.dataset);
+  ScanExecutor executor(ScanOptions{workers, block_rows, nullptr});
+  for (int scan = 0; scan < scans; ++scan) {
+    ASSERT_TRUE(consumer
+                    ->Bind(&fixture.union_coords, fixture.variants,
+                           std::span<const size_t>(fixture.slots), cache)
+                    .ok());
+    ASSERT_TRUE(executor.Run(source, {consumer}).ok());
+  }
+}
+
+TEST(CacheStressTest, OneRowBlocksBitIdenticalAcrossWorkerCounts) {
+  CacheFixture fixture = MakeCacheFixture();
+
+  // Uncached sequential reference.
+  MemorySource source(fixture.data.dataset);
+  ScanExecutor sequential(ScanOptions{1, 1, nullptr});
+  LocalityStatsConsumer uncached;
+  ASSERT_TRUE(uncached.Bind(&fixture.union_coords, fixture.variants).ok());
+  ASSERT_TRUE(sequential.Run(source, {&uncached}).ok());
+
+  for (size_t workers : kWorkerCounts) {
+    MedoidDistanceCache cache;
+    LocalityStatsConsumer consumer;
+    RunCachedScans(fixture, workers, /*block_rows=*/1, /*scans=*/2, &cache,
+                   &consumer);
+    // Scan 1 misses every slot; scan 2 is served entirely from the
+    // columns scan 1 committed on Merge.
+    EXPECT_EQ(cache.misses, fixture.slots.size()) << workers << " workers";
+    EXPECT_EQ(cache.hits, fixture.slots.size()) << workers << " workers";
+    for (size_t v = 0; v < fixture.variants.size(); ++v)
+      EXPECT_EQ(consumer.stats(v), uncached.stats(v))
+          << workers << " workers, variant " << v;
+  }
+}
+
+TEST(CacheStressTest, RaggedLastBlockBitIdenticalAcrossWorkerCounts) {
+  CacheFixture fixture = MakeCacheFixture();
+  // 1153 = 12 * 96 + 1: twelve full blocks plus a one-row tail, so the
+  // final scatter range is as small as a ragged block can be.
+  constexpr size_t kBlockRows = 96;
+  static_assert(1153 % kBlockRows != 0);
+
+  MemorySource source(fixture.data.dataset);
+  ScanExecutor sequential(ScanOptions{1, kBlockRows, nullptr});
+  LocalityStatsConsumer uncached;
+  ASSERT_TRUE(uncached.Bind(&fixture.union_coords, fixture.variants).ok());
+  ASSERT_TRUE(sequential.Run(source, {&uncached}).ok());
+
+  for (size_t workers : kWorkerCounts) {
+    MedoidDistanceCache cache;
+    LocalityStatsConsumer consumer;
+    RunCachedScans(fixture, workers, kBlockRows, /*scans=*/2, &cache,
+                   &consumer);
+    EXPECT_GT(cache.hits, 0u) << workers << " workers";
+    for (size_t v = 0; v < fixture.variants.size(); ++v)
+      EXPECT_EQ(consumer.stats(v), uncached.stats(v))
+          << workers << " workers, variant " << v;
+  }
+}
+
+TEST(CacheStressTest, BlockSizesAgreeOnCachedColumns) {
+  CacheFixture fixture = MakeCacheFixture();
+
+  // The committed columns themselves (not just the statistics reduced
+  // from them) must be independent of scatter geometry: fill one cache
+  // with one-row blocks at 16 workers and another sequentially with one
+  // big block, then compare every distance column element-wise.
+  MedoidDistanceCache scattered;
+  LocalityStatsConsumer scattered_consumer;
+  RunCachedScans(fixture, /*workers=*/16, /*block_rows=*/1, /*scans=*/1,
+                 &scattered, &scattered_consumer);
+
+  MedoidDistanceCache whole;
+  LocalityStatsConsumer whole_consumer;
+  RunCachedScans(fixture, /*workers=*/1, /*block_rows=*/4096, /*scans=*/1,
+                 &whole, &whole_consumer);
+
+  ASSERT_EQ(scattered.entries.size(), whole.entries.size());
+  for (size_t slot : fixture.slots) {
+    const std::vector<double>* scattered_col = nullptr;
+    const std::vector<double>* whole_col = nullptr;
+    for (const MedoidDistanceCache::Entry& entry : scattered.entries)
+      if (entry.slot == slot && entry.valid) scattered_col = &entry.dist;
+    for (const MedoidDistanceCache::Entry& entry : whole.entries)
+      if (entry.slot == slot && entry.valid) whole_col = &entry.dist;
+    ASSERT_NE(scattered_col, nullptr) << "slot " << slot;
+    ASSERT_NE(whole_col, nullptr) << "slot " << slot;
+    EXPECT_EQ(*scattered_col, *whole_col) << "slot " << slot;
+  }
+}
+
+}  // namespace
+}  // namespace proclus

@@ -1,0 +1,53 @@
+// Positive control for the tsa compile-fail tests: a correctly locked
+// translation unit exercising every sync.h primitive (Mutex, MutexLock,
+// manual Lock/Unlock with REQUIRES, CondVar::Wait, GuardedCounter) that
+// MUST compile cleanly under -Wthread-safety -Wthread-safety-beta -Werror.
+//
+// Its job is to keep the two WILL_FAIL tests honest: if a toolchain or
+// flag change made *everything* fail to compile, the negative tests would
+// still "pass" — this one failing reveals the breakage.
+
+#include "common/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int v) {
+    proclus::MutexLock lock(mu_);
+    pending_ = v;
+    has_pending_ = true;
+    cv_.NotifyOne();
+    pushes_.Add(1);
+  }
+
+  int BlockingPop() {
+    mu_.Lock();
+    while (!has_pending_) cv_.Wait(mu_);
+    const int v = TakeLocked();
+    mu_.Unlock();
+    return v;
+  }
+
+  unsigned long long pushes() const { return pushes_.Load(); }
+
+ private:
+  int TakeLocked() PROCLUS_REQUIRES(mu_) {
+    has_pending_ = false;
+    return pending_;
+  }
+
+  proclus::Mutex mu_;
+  proclus::CondVar cv_;
+  int pending_ PROCLUS_GUARDED_BY(mu_) = 0;
+  bool has_pending_ PROCLUS_GUARDED_BY(mu_) = false;
+  proclus::GuardedCounter pushes_;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.Push(3);
+  return queue.BlockingPop() == 3 && queue.pushes() == 1 ? 0 : 1;
+}

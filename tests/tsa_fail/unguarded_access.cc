@@ -1,0 +1,35 @@
+// Negative compile test for the tsa preset: reading a GUARDED_BY member
+// without holding its mutex must be rejected by -Wthread-safety (the ctest
+// entry compiles this with -Werror and expects FAILURE via WILL_FAIL).
+//
+// If this file ever starts compiling cleanly, the analysis is silently off
+// — most likely the annotations in common/sync.h stopped expanding or the
+// warning flags fell out of the preset — which is exactly the regression
+// this test exists to catch.
+
+#include "common/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long amount) {
+    proclus::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  // BUG (intentional): reads balance_ with no lock held.
+  long UncheckedBalance() const { return balance_; }
+
+ private:
+  mutable proclus::Mutex mu_;
+  long balance_ PROCLUS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(7);
+  return account.UncheckedBalance() == 7 ? 0 : 1;
+}

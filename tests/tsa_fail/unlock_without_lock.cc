@@ -1,0 +1,26 @@
+// Negative compile test for the tsa preset: releasing a capability that
+// was never acquired must be rejected by -Wthread-safety (the ctest entry
+// compiles this with -Werror and expects FAILURE via WILL_FAIL).
+//
+// Guards the ACQUIRE/RELEASE annotations on proclus::Mutex itself: if
+// Unlock() loses its PROCLUS_RELEASE() attribute (or the analysis is off),
+// this imbalanced sequence compiles and the test flips to unexpected-pass.
+
+#include "common/sync.h"
+
+namespace {
+
+proclus::Mutex g_mu;
+int g_value PROCLUS_GUARDED_BY(g_mu) = 0;
+
+// BUG (intentional): unlocks g_mu without ever locking it (and reads the
+// guarded value on the way — two distinct diagnostics from one body).
+int TakeValue() {
+  const int value = g_value;  // also an unguarded read
+  g_mu.Unlock();
+  return value;
+}
+
+}  // namespace
+
+int main() { return TakeValue(); }

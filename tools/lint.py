@@ -58,6 +58,34 @@ Enforces invariants that no generic tool knows about:
                       iteration order is implementation-defined, so such
                       loops silently break bit-for-bit reproducibility.
                       Sort the keys first, or iterate an ordered mirror.
+  raw-sync            Raw std::mutex / std::lock_guard / std::unique_lock /
+                      std::condition_variable (& friends) are forbidden in
+                      src/, bench/, and examples/ outside common/sync.h:
+                      shared state must synchronize through the annotated
+                      proclus::Mutex / MutexLock / CondVar wrappers so the
+                      Clang thread-safety analysis (the `tsa` preset) can
+                      see every acquire/release. GCC builds compile the
+                      annotations away, so this rule is what keeps
+                      non-Clang trees on the annotated primitives.
+  atomic-order        Every std::atomic declaration in src/ must name its
+                      memory-order discipline in a trailing `// order:`
+                      comment (same line or the comment block directly
+                      above). An undocumented atomic is an unreviewable
+                      one: the next editor cannot tell relaxed-by-design
+                      from seq-cst-by-accident. Prefer GuardedCounter
+                      (common/sync.h) for plain statistics counters.
+  atomic-rmw          Bare read-modify-write operators (++, --, +=, -=) on
+                      a variable declared std::atomic in the same src/
+                      file. The operator spelling is sequentially
+                      consistent, almost never intended in hot paths, and
+                      hides the ordering decision atomic-order exists to
+                      surface; write fetch_add(n, <order>) explicitly.
+  sync-annotation     Every proclus::Mutex declared in src/ must appear in
+                      at least one thread-safety annotation in the same
+                      file (PROCLUS_GUARDED_BY / REQUIRES / ACQUIRE /
+                      RELEASE / EXCLUDES / ACQUIRED_BEFORE / ...): a mutex
+                      that guards nothing the analysis can check is
+                      documentation debt, not a contract.
 
 Any line may opt out of one rule with a trailing `// lint:allow(<rule>)`
 comment; use sparingly and justify in a neighboring comment.
@@ -171,6 +199,42 @@ DIMENSION_SET_DECL_RE = re.compile(
     r"\bDimensionSet\b\s*(?:const\b\s*)?[&*]?\s*([A-Za-z_]\w*)")
 
 SEGMENTAL_CALL_RE = re.compile(r"\bManhattanSegmentalDistance\s*\(")
+
+# --- raw-sync ---------------------------------------------------------------
+
+# Library, bench, and example code must use the annotated primitives from
+# common/sync.h; tests and tools may drive the raw std API directly (the
+# sync wrappers' own tests have to).
+RAW_SYNC_DIRS = ("src", "bench", "examples")
+RAW_SYNC_ALLOWLIST = (os.path.join("src", "common", "sync.h"),)
+
+RAW_SYNC_RE = re.compile(
+    r"std\s*::\s*(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable|condition_variable_any)\b")
+
+# --- atomic-order / atomic-rmw ----------------------------------------------
+
+# A std::atomic<...> declaration followed by the declared name. Matches
+# members, globals, and locals; the terminator set keeps it off casts and
+# template parameters.
+ATOMIC_DECL_RE = re.compile(
+    r"std\s*::\s*atomic\s*<[^;{}()]*>\s+([A-Za-z_]\w*)\s*[{;=(]")
+
+# Bare seq-cst RMW spellings on an atomic-declared name (filled per file).
+ATOMIC_RMW_OPS = r"(?:\+\+|--|\+=|-=|\|=|&=|\^=)"
+
+# --- sync-annotation --------------------------------------------------------
+
+# A proclus::Mutex member/variable declaration: `Mutex name ...;`. `Mutex&`
+# parameters and MutexLock locals deliberately do not match.
+MUTEX_DECL_RE = re.compile(r"\bMutex\s+([A-Za-z_]\w*)")
+
+# Argument lists of every thread-safety annotation in the file.
+TSA_ANNOTATION_RE = re.compile(
+    r"PROCLUS_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE"
+    r"|TRY_ACQUIRE|EXCLUDES|ACQUIRED_BEFORE|ACQUIRED_AFTER"
+    r"|ASSERT_CAPABILITY|RETURN_CAPABILITY)\s*\(([^)]*)\)")
 
 # --- unordered-iteration ----------------------------------------------------
 
@@ -530,6 +594,105 @@ def check_segmental_dimension_set(rel_path, original_lines, code, findings):
                     "span overload (bit-identical, allocation-free)"))
 
 
+def comment_context_has(original_lines, line_no, needle):
+    """True if `needle` is on line `line_no` or in the contiguous //-comment
+    block directly above it (both searched in the ORIGINAL text, since
+    comments are stripped from `code`)."""
+    if line_no <= len(original_lines) and needle in original_lines[line_no - 1]:
+        return True
+    prev = line_no - 2
+    while prev >= 0 and original_lines[prev].lstrip().startswith("//"):
+        if needle in original_lines[prev]:
+            return True
+        prev -= 1
+    return False
+
+
+def check_raw_sync(rel_path, original_lines, code, findings):
+    top = rel_path.split(os.sep, 1)[0]
+    if top not in RAW_SYNC_DIRS or rel_path in RAW_SYNC_ALLOWLIST:
+        return
+    for m in RAW_SYNC_RE.finditer(code):
+        ln = line_of(code, m.start())
+        if allowed(original_lines, ln, "raw-sync"):
+            continue
+        findings.append(Finding(
+            rel_path, ln, "raw-sync",
+            f"raw std::{m.group(1)} is invisible to the Clang thread-safety "
+            "analysis; use the annotated Mutex/MutexLock/CondVar from "
+            "common/sync.h (tsa preset checks the locking discipline at "
+            "compile time)"))
+
+
+def check_atomic_order(rel_path, original_lines, code, findings):
+    if not rel_path.startswith("src" + os.sep):
+        return
+    for m in ATOMIC_DECL_RE.finditer(code):
+        ln = line_of(code, m.start())
+        if allowed(original_lines, ln, "atomic-order"):
+            continue
+        if comment_context_has(original_lines, ln, "order:"):
+            continue
+        findings.append(Finding(
+            rel_path, ln, "atomic-order",
+            f"std::atomic '{m.group(1)}' does not document its memory-order "
+            "discipline; add a `// order: <relaxed|acquire/release|seq_cst> "
+            "— <why>` comment on or above the declaration (or use "
+            "GuardedCounter from common/sync.h for plain statistics)"))
+
+
+def check_atomic_rmw(rel_path, original_lines, code, findings):
+    if not rel_path.startswith("src" + os.sep):
+        return
+    names = {m.group(1) for m in ATOMIC_DECL_RE.finditer(code)}
+    if not names:
+        return
+    alternation = "|".join(re.escape(n) for n in sorted(names))
+    rmw = re.compile(
+        r"(?:\b(" + alternation + r")\s*" + ATOMIC_RMW_OPS +
+        r"|(?:\+\+|--)\s*\b(" + alternation + r")\b)")
+    for m in rmw.finditer(code):
+        name = m.group(1) or m.group(2)
+        ln = line_of(code, m.start())
+        if allowed(original_lines, ln, "atomic-rmw"):
+            continue
+        findings.append(Finding(
+            rel_path, ln, "atomic-rmw",
+            f"bare RMW operator on std::atomic '{name}' is sequentially "
+            "consistent; spell the ordering explicitly — "
+            "fetch_add(n, std::memory_order_...) — or demote the variable "
+            "to a GuardedCounter"))
+
+
+def check_sync_annotation(rel_path, original_lines, code, findings):
+    if not rel_path.startswith("src" + os.sep):
+        return
+    if rel_path in RAW_SYNC_ALLOWLIST:
+        return  # sync.h defines Mutex itself.
+    annotated = set()
+    for m in TSA_ANNOTATION_RE.finditer(code):
+        annotated.update(re.findall(r"[A-Za-z_]\w*", m.group(1)))
+    for m in MUTEX_DECL_RE.finditer(code):
+        name = m.group(1)
+        if name in annotated:
+            continue
+        # A declaration that itself carries an annotation (e.g. an
+        # ACQUIRED_BEFORE ordering edge) documents the mutex too.
+        decl_tail = code[m.end():code.find("\n", m.end())
+                         if "\n" in code[m.end():] else len(code)]
+        if re.match(r"\s*PROCLUS_[A-Z_]+\s*\(", decl_tail):
+            continue
+        ln = line_of(code, m.start())
+        if allowed(original_lines, ln, "sync-annotation"):
+            continue
+        findings.append(Finding(
+            rel_path, ln, "sync-annotation",
+            f"Mutex '{name}' appears in no thread-safety annotation in this "
+            "file; declare what it protects (PROCLUS_GUARDED_BY/REQUIRES/"
+            "ACQUIRE/EXCLUDES/...) so the tsa preset can check the "
+            "discipline, or justify with lint:allow(sync-annotation)"))
+
+
 def unordered_container_names(code):
     """Names of variables declared in this file with an unordered type."""
     names = set()
@@ -690,6 +853,10 @@ def lint_file(root, rel_path, findings):
     check_result_unchecked(rel_path, original_lines, code, findings)
     check_segmental_dimension_set(rel_path, original_lines, code, findings)
     check_unordered_iteration(rel_path, original_lines, code, findings)
+    check_raw_sync(rel_path, original_lines, code, findings)
+    check_atomic_order(rel_path, original_lines, code, findings)
+    check_atomic_rmw(rel_path, original_lines, code, findings)
+    check_sync_annotation(rel_path, original_lines, code, findings)
     check_include_guard(rel_path, original_lines, code, findings)
 
 
@@ -1053,6 +1220,118 @@ SELF_TEST_FIXTURES = [
      "  // Caller sorts `out`; emission order here is irrelevant.\n"
      "  for (int v : seen) out->push_back(v);  // lint:allow(unordered-iteration)\n"
      "}\n"
+     "}\n",
+     []),
+    # raw-sync: raw std primitives outside common/sync.h.
+    ("src/core/raw_locking.cc",
+     "#include <mutex>\n"
+     "namespace proclus {\n"
+     "std::mutex g_mu;\n"
+     "void Touch() { std::lock_guard<std::mutex> lock(g_mu); }\n"
+     "}\n",
+     ["raw-sync", "raw-sync", "raw-sync"]),
+    # The annotated wrappers' own implementation is allowlisted.
+    ("src/common/sync.h",
+     "#ifndef PROCLUS_COMMON_SYNC_H_\n"
+     "#define PROCLUS_COMMON_SYNC_H_\n"
+     "#include <mutex>\n"
+     "namespace proclus {\n"
+     "class Mutex { std::mutex mu_; };\n"
+     "}\n"
+     "#endif  // PROCLUS_COMMON_SYNC_H_\n",
+     []),
+    # Tests may drive the raw std API.
+    ("tests/raw_sync_test.cc",
+     "#include <mutex>\n"
+     "std::mutex test_mu;\n",
+     []),
+    # Explicit suppression with justification.
+    ("src/core/raw_sync_allowed.cc",
+     "#include <mutex>\n"
+     "namespace proclus {\n"
+     "// Interop with an external callback API that hands us a std lock.\n"
+     "void Use(std::unique_lock<std::mutex>& lock);  // lint:allow(raw-sync)\n"
+     "}\n",
+     []),
+    # atomic-order: an undocumented atomic declaration.
+    ("src/core/atomic_nodoc.cc",
+     "#include <atomic>\n"
+     "namespace proclus {\n"
+     "std::atomic<int> g_hits{0};\n"
+     "}\n",
+     ["atomic-order"]),
+    # A trailing `// order:` comment satisfies the rule.
+    ("src/core/atomic_doc_trailing.cc",
+     "#include <atomic>\n"
+     "namespace proclus {\n"
+     "std::atomic<int> g_hits{0};  // order: relaxed — isolated statistic.\n"
+     "}\n",
+     []),
+    # So does the contiguous comment block directly above.
+    ("src/core/atomic_doc_above.cc",
+     "#include <atomic>\n"
+     "namespace proclus {\n"
+     "// order: relaxed — pure ticket counter; draws carry no payload and\n"
+     "// the batch is published by the guarded generation handshake.\n"
+     "std::atomic<unsigned> g_ticket{0};\n"
+     "}\n",
+     []),
+    # atomic-rmw: bare ++ on a (documented) atomic is still seq-cst.
+    ("src/core/atomic_bare_rmw.cc",
+     "#include <atomic>\n"
+     "namespace proclus {\n"
+     "std::atomic<int> g_hits{0};  // order: relaxed — isolated statistic.\n"
+     "void Bump() { g_hits++; }\n"
+     "void Drop() { g_hits -= 2; }\n"
+     "}\n",
+     ["atomic-rmw", "atomic-rmw"]),
+    # Explicit fetch_add with a named order is the fix.
+    ("src/core/atomic_explicit_rmw.cc",
+     "#include <atomic>\n"
+     "namespace proclus {\n"
+     "std::atomic<int> g_hits{0};  // order: relaxed — isolated statistic.\n"
+     "void Bump() { g_hits.fetch_add(1, std::memory_order_relaxed); }\n"
+     "}\n",
+     []),
+    # sync-annotation: a Mutex no annotation ever references.
+    ("src/core/mutex_unannotated.cc",
+     "#include \"common/sync.h\"\n"
+     "namespace proclus {\n"
+     "class Pool {\n"
+     "  Mutex mu_;\n"
+     "  int jobs_ = 0;\n"
+     "};\n"
+     "}\n",
+     ["sync-annotation"]),
+    # Referenced by a GUARDED_BY (or any other annotation) — contract held.
+    ("src/core/mutex_guarded.cc",
+     "#include \"common/sync.h\"\n"
+     "namespace proclus {\n"
+     "class Pool {\n"
+     "  Mutex mu_;\n"
+     "  int jobs_ PROCLUS_GUARDED_BY(mu_) = 0;\n"
+     "};\n"
+     "}\n",
+     []),
+    # An acquired_before edge on the declaration itself also counts.
+    ("src/core/mutex_ordered.cc",
+     "#include \"common/sync.h\"\n"
+     "namespace proclus {\n"
+     "class Pool {\n"
+     "  Mutex outer_ PROCLUS_ACQUIRED_BEFORE(inner_);\n"
+     "  Mutex inner_;\n"
+     "  int jobs_ PROCLUS_GUARDED_BY(inner_) = 0;\n"
+     "};\n"
+     "}\n",
+     []),
+    # Explicit suppression with justification.
+    ("src/core/mutex_allowed.cc",
+     "#include \"common/sync.h\"\n"
+     "namespace proclus {\n"
+     "class Pool {\n"
+     "  // Guards an opaque third-party handle the analysis cannot type.\n"
+     "  Mutex mu_;  // lint:allow(sync-annotation)\n"
+     "};\n"
      "}\n",
      []),
 ]

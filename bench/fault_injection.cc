@@ -14,6 +14,8 @@
 // a successful kill+resume) and exits nonzero on any violation; wired
 // into ctest under the bench_smoke label.
 
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -78,7 +80,8 @@ int main(int argc, char** argv) {
   params.max_iterations = 30;
   params.max_no_improve = 30;
 
-  const std::string disk_path = "/tmp/proclus_fault_injection.bin";
+  const std::string disk_path = "/tmp/proclus_fault_injection_" +
+                                std::to_string(::getpid()) + ".bin";
   Status written = WriteBinaryFile(data->dataset, disk_path);
   if (!written.ok()) {
     std::fprintf(stderr, "snapshot write failed: %s\n",
@@ -161,7 +164,8 @@ int main(int argc, char** argv) {
   }
 
   // --- Crash leg: kill mid-climb, resume from the checkpoint. ---
-  const std::string ck_path = "/tmp/proclus_fault_injection.pckp";
+  const std::string ck_path = "/tmp/proclus_fault_injection_" +
+                              std::to_string(::getpid()) + ".pckp";
   std::remove(ck_path.c_str());
   ProclusParams ck_params = params;
   ck_params.checkpoint.path = ck_path;

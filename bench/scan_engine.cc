@@ -15,6 +15,8 @@
 // and exits nonzero on any violation — wired into ctest as the
 // bench_smoke label so the budget cannot silently regress.
 
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -118,7 +120,8 @@ int main(int argc, char** argv) {
   params.max_iterations = 30;
   params.max_no_improve = 30;
 
-  const std::string disk_path = "/tmp/proclus_scan_engine.bin";
+  const std::string disk_path = "/tmp/proclus_scan_engine_" +
+                                std::to_string(::getpid()) + ".bin";
   Status written = WriteBinaryFile(data->dataset, disk_path);
   if (!written.ok()) {
     std::fprintf(stderr, "snapshot write failed: %s\n",

@@ -61,6 +61,11 @@ class MinDist2Consumer final : public ScanConsumer {
   }
 
   Status Merge() override { return Status::OK(); }
+  // Explicit no-op: dist2_ holds a running minimum across scans BY
+  // DESIGN (k-means++ tightens it center by center), and each scan's
+  // writes are row-keyed min-updates that a re-issued scan reproduces
+  // (engine.h Reset contract).
+  void Reset() override {}
   uint64_t distance_evals() const override { return distance_evals_; }
   KernelStats kernel_stats() const override {
     KernelStats totals;
@@ -143,6 +148,11 @@ class LloydConsumer final : public ScanConsumer {
     return totals;
   }
 
+  // Explicit no-op: ConsumeBlock assigns (never accumulates) its
+  // block's partial and its label rows, so Prepare + a full re-scan
+  // leave no trace of a failed attempt (engine.h Reset contract).
+  void Reset() override {}
+
   const std::vector<int>& labels() const { return labels_; }
   std::vector<int> TakeLabels() { return std::move(labels_); }
   double inertia() const { return inertia_; }
@@ -220,6 +230,9 @@ class FarthestPointConsumer final : public ScanConsumer {
   }
 
   uint64_t distance_evals() const override { return distance_evals_; }
+  // Explicit no-op: Prepare() re-initializes the per-block best_ slots
+  // that Merge() reduces (engine.h Reset contract).
+  void Reset() override {}
 
   size_t farthest() const { return farthest_; }
 
@@ -257,6 +270,8 @@ Result<std::vector<std::vector<double>>> PlusPlusInitOnSource(
     double total = 0.0;
     for (size_t i = 0; i < n; ++i) total += dist2[i];
     size_t chosen = 0;
+    // draws: invariant — each arm consumes exactly one draw per new
+    // center, so the stream position after the branch is path-independent.
     if (total > 0.0) {
       double target = rng.UniformDouble() * total;
       double acc = 0.0;
@@ -294,6 +309,8 @@ Result<KMeansResult> RunKMeansOnSource(const PointSource& source,
   Timer timer;
 
   std::vector<std::vector<double>> centroids;
+  // draws: invariant — the branch is selected by run config (params),
+  // not by data, and each config owns its own golden stream.
   if (params.plus_plus_init) {
     auto centers = PlusPlusInitOnSource(source, k, rng, executor);
     PROCLUS_RETURN_IF_ERROR(centers.status());

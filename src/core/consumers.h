@@ -18,13 +18,15 @@
 // partials in ascending block order, so its outputs are bit-identical to
 // the pre-refactor passes for identical inputs.
 //
-// Rollback (ScanConsumer::Reset): all consumers here keep the default
-// no-op deliberately. Each ConsumeBlock fully overwrites its block's
+// Rollback (ScanConsumer::Reset): all consumers here override Reset with
+// an explicit no-op. Each ConsumeBlock fully overwrites its block's
 // partial (sums/labels are assigned, never accumulated across scans) and
 // a successful scan delivers every block exactly once, so re-running
 // Prepare + a full scan after a failed attempt leaves no trace of the
 // discarded blocks. Any future consumer that accumulates into state NOT
-// keyed by block or row must override Reset to discard it.
+// keyed by block or row must make its Reset discard that state; the
+// analyzer's consumer-lifecycle rule holds every subclass to an explicit
+// override either way.
 
 #ifndef PROCLUS_CORE_CONSUMERS_H_
 #define PROCLUS_CORE_CONSUMERS_H_
@@ -120,6 +122,9 @@ class LocalityStatsConsumer final : public ScanConsumer {
   void ConsumeBlock(size_t block_index, size_t first_row,
                     std::span<const double> data, size_t rows) override;
   Status Merge() override;
+  // Explicit no-op: Prepare() overwrites every partial Merge() reads
+  // (see the rollback note at the top of this header).
+  void Reset() override {}
   uint64_t distance_evals() const override { return distance_evals_; }
   KernelStats kernel_stats() const override;
 
@@ -162,6 +167,9 @@ class AssignConsumer final : public ScanConsumer {
   void ConsumeBlock(size_t block_index, size_t first_row,
                     std::span<const double> data, size_t rows) override;
   Status Merge() override;
+  // Explicit no-op: Prepare() overwrites every partial Merge() reads
+  // (see the rollback note at the top of this header).
+  void Reset() override {}
   uint64_t distance_evals() const override { return distance_evals_; }
   KernelStats kernel_stats() const override;
 
@@ -206,6 +214,9 @@ class RefineAssignConsumer final : public ScanConsumer {
   void ConsumeBlock(size_t block_index, size_t first_row,
                     std::span<const double> data, size_t rows) override;
   Status Merge() override;
+  // Explicit no-op: Prepare() overwrites every partial Merge() reads
+  // (see the rollback note at the top of this header).
+  void Reset() override {}
   uint64_t distance_evals() const override { return distance_evals_; }
   KernelStats kernel_stats() const override;
 
@@ -245,6 +256,9 @@ class ClusterStatsConsumer final : public ScanConsumer {
   void ConsumeBlock(size_t block_index, size_t first_row,
                     std::span<const double> data, size_t rows) override;
   Status Merge() override;
+  // Explicit no-op: Prepare() overwrites every partial Merge() reads
+  // (see the rollback note at the top of this header).
+  void Reset() override {}
   KernelStats kernel_stats() const override;
 
   const Matrix& stats() const { return stats_; }
@@ -270,6 +284,9 @@ class CentroidConsumer final : public ScanConsumer {
   void ConsumeBlock(size_t block_index, size_t first_row,
                     std::span<const double> data, size_t rows) override;
   Status Merge() override;
+  // Explicit no-op: Prepare() overwrites every partial Merge() reads
+  // (see the rollback note at the top of this header).
+  void Reset() override {}
 
   const Matrix& centroids() const { return centroids_; }
   const std::vector<size_t>& cluster_sizes() const { return counts_; }
@@ -301,6 +318,9 @@ class DeviationConsumer final : public ScanConsumer {
   void ConsumeBlock(size_t block_index, size_t first_row,
                     std::span<const double> data, size_t rows) override;
   Status Merge() override;
+  // Explicit no-op: Prepare() overwrites every partial Merge() reads
+  // (see the rollback note at the top of this header).
+  void Reset() override {}
   KernelStats kernel_stats() const override;
 
   /// The objective value, valid after Merge.

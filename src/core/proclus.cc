@@ -588,6 +588,10 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
   // resumed run reuses the checkpointed candidate pool — the restored
   // RNG state already reflects the draws this phase made.
   std::vector<size_t> candidates;  // Global point indices.
+  // draws: invariant — the init path is selected by run config, and a
+  // resumed run restores the RNG state whose position already includes
+  // this phase's draws (see the note above), so stream position is
+  // path-consistent.
   if (resuming) {
     candidates.assign(resume_ck.candidates.begin(),
                       resume_ck.candidates.end());
@@ -709,6 +713,10 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
        ++restart) {
     current_restart = restart;
     ClimbState st;
+    // draws: invariant — the seeded restart skips the draw precisely
+    // because the checkpointed RNG state already consumed it before the
+    // snapshot; fresh restarts draw it here. Stream position matches in
+    // both cases.
     if (have_seed && restart == first_restart) {
       st = std::move(seeded);
     } else {

@@ -75,6 +75,9 @@ std::vector<DimensionSet> DrawClusterDims(const GeneratorParams& params,
     const size_t want = counts[i];
     DimensionSet set(d);
     std::vector<uint32_t> chosen;
+    // draws: invariant — the generator is sequential seeded driver code:
+    // its draw sequence is a pure function of params, so a data-dependent
+    // count cannot desynchronize anything (no scans, no speculation).
     if (i > 0) {
       size_t inherit =
           std::min(prev.size(), static_cast<size_t>(want / 2));
@@ -180,6 +183,9 @@ Result<SyntheticData> GenerateSynthetic(const GeneratorParams& params) {
       double cos_t, sin_t;
     };
     std::vector<Givens> rotations;
+    // draws: invariant — sequential seeded generator; the branch and the
+    // pair count are pure functions of params, so the draw sequence is
+    // reproducible by construction.
     if (max_angle > 0.0) {
       std::vector<uint32_t> noise_dims;
       for (uint32_t j = 0; j < d; ++j)
@@ -199,6 +205,8 @@ Result<SyntheticData> GenerateSynthetic(const GeneratorParams& params) {
     for (size_t p = 0; p < sizes[i]; ++p, ++row) {
       auto out = points.row(row);
       for (size_t j = 0; j < d; ++j) {
+        // draws: invariant — each arm consumes exactly one draw per
+        // coordinate, so the stream position is path-independent.
         if (is_cluster_dim[j]) {
           out[j] = rng.Normal(anchors[i][j], sigma[i][j]);
         } else {

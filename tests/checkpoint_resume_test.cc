@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_temp.h"
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -176,13 +178,13 @@ TEST(CheckpointFormatTest, TrailingBytesAreRejected) {
 
 TEST(CheckpointFileTest, MissingFileIsNotFound) {
   auto loaded =
-      LoadCheckpointFile(::testing::TempDir() + "/does_not_exist.pckp");
+      LoadCheckpointFile(TestTempPath("does_not_exist.pckp"));
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
 TEST(CheckpointFileTest, SaveIsAtomicAndReplacesPrior) {
-  const std::string path = ::testing::TempDir() + "/atomic.pckp";
+  const std::string path = TestTempPath("atomic.pckp");
   std::remove(path.c_str());
   ProclusCheckpoint first = SampleCheckpoint();
   ASSERT_TRUE(SaveCheckpointFile(first, path).ok());
@@ -220,7 +222,7 @@ Fixture MakeFixture(const std::string& name) {
   EXPECT_TRUE(data.ok());
   Fixture fixture;
   fixture.data = std::move(data).value();
-  fixture.disk_path = ::testing::TempDir() + "/" + name + "_fixture.bin";
+  fixture.disk_path = TestTempPath(name + "_fixture.bin");
   EXPECT_TRUE(
       WriteBinaryFile(fixture.data.dataset, fixture.disk_path).ok());
   return fixture;
@@ -266,7 +268,7 @@ void RunUntilKilled(const PointSource& source, ProclusParams params,
 TEST(CheckpointResumeTest, ValidateRejectsZeroSavePeriod) {
   Fixture fixture = MakeFixture("zero_period");
   ProclusParams params = BaseParams();
-  params.checkpoint.path = ::testing::TempDir() + "/zero_period.pckp";
+  params.checkpoint.path = TestTempPath("zero_period.pckp");
   params.checkpoint.every_iterations = 0;
   auto result = RunProclus(fixture.data.dataset, params);
   ASSERT_FALSE(result.ok());
@@ -275,7 +277,7 @@ TEST(CheckpointResumeTest, ValidateRejectsZeroSavePeriod) {
 
 TEST(CheckpointResumeTest, MismatchedConfigurationIsRejected) {
   Fixture fixture = MakeFixture("mismatch_cfg");
-  const std::string ck_path = ::testing::TempDir() + "/mismatch.pckp";
+  const std::string ck_path = TestTempPath("mismatch.pckp");
   std::remove(ck_path.c_str());
   MemorySource memory(fixture.data.dataset);
   RunUntilKilled(memory, BaseParams(), ck_path, 25);
@@ -293,7 +295,7 @@ TEST(CheckpointResumeTest, MismatchedConfigurationIsRejected) {
 
 TEST(CheckpointResumeTest, CorruptCheckpointFileIsAnError) {
   Fixture fixture = MakeFixture("corrupt_ck");
-  const std::string ck_path = ::testing::TempDir() + "/corrupt.pckp";
+  const std::string ck_path = TestTempPath("corrupt.pckp");
   std::remove(ck_path.c_str());
   MemorySource memory(fixture.data.dataset);
   RunUntilKilled(memory, BaseParams(), ck_path, 25);
@@ -324,7 +326,7 @@ TEST(CheckpointResumeTest, MissingCheckpointStartsFresh) {
   auto baseline = RunProclusOnSource(memory, BaseParams());
   ASSERT_TRUE(baseline.ok());
 
-  const std::string ck_path = ::testing::TempDir() + "/fresh.pckp";
+  const std::string ck_path = TestTempPath("fresh.pckp");
   std::remove(ck_path.c_str());
   ProclusParams params = BaseParams();
   params.checkpoint.path = ck_path;
@@ -351,9 +353,9 @@ TEST(CheckpointResumeTest, ResumedRunMatchesUninterrupted) {
       auto baseline = RunProclusOnSource(*sources[s], params);
       ASSERT_TRUE(baseline.ok());
 
-      const std::string ck_path = ::testing::TempDir() + "/resume_" +
-                                  std::to_string(s) +
-                                  (fuse ? "_fused" : "_classic") + ".pckp";
+      const std::string ck_path = TestTempPath(
+          "resume_" + std::to_string(s) +
+          (fuse ? "_fused" : "_classic") + ".pckp");
       std::remove(ck_path.c_str());
       RunUntilKilled(*sources[s], params, ck_path, 31);
 
@@ -377,7 +379,7 @@ TEST(CheckpointResumeTest, ResumeIsThreadAndEngineAgnostic) {
   ASSERT_TRUE(baseline.ok());
 
   // Interrupt a single-threaded fused run.
-  const std::string ck_path = ::testing::TempDir() + "/agnostic.pckp";
+  const std::string ck_path = TestTempPath("agnostic.pckp");
   std::remove(ck_path.c_str());
   RunUntilKilled(memory, params, ck_path, 31);
   std::string ck_bytes;
@@ -422,7 +424,7 @@ TEST(CheckpointResumeTest, ResumeIsThreadAndEngineAgnostic) {
 TEST(CheckpointResumeTest, StaleCheckpointAfterCompletionIsHarmless) {
   Fixture fixture = MakeFixture("stale_ck");
   MemorySource memory(fixture.data.dataset);
-  const std::string ck_path = ::testing::TempDir() + "/stale.pckp";
+  const std::string ck_path = TestTempPath("stale.pckp");
   std::remove(ck_path.c_str());
 
   ProclusParams params = BaseParams();

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_temp.h"
+
 #ifndef PROCLUS_CLI_PATH
 #define PROCLUS_CLI_PATH ""
 #endif
@@ -20,12 +22,11 @@ std::string Quoted(const std::string& s) { return "'" + s + "'"; }
 int RunCli(const std::string& args, std::string* output = nullptr) {
   std::string command = std::string(PROCLUS_CLI_PATH) + " " + args;
   if (output) {
-    command += " > " + Quoted(::testing::TempDir() + "/cli_out.txt") +
-               " 2>&1";
+    command += " > " + Quoted(TestTempPath("cli_out.txt")) + " 2>&1";
   }
   int code = std::system(command.c_str());
   if (output) {
-    std::ifstream in(::testing::TempDir() + "/cli_out.txt");
+    std::ifstream in(TestTempPath("cli_out.txt"));
     output->assign((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   }
@@ -37,7 +38,7 @@ class CliTest : public ::testing::Test {
   void SetUp() override {
     if (std::string(PROCLUS_CLI_PATH).empty())
       GTEST_SKIP() << "CLI path not configured";
-    dir_ = ::testing::TempDir();
+    dir_ = TestTempDir();
   }
   std::string dir_;
 };

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_temp.h"
+
 #include "clique/clique.h"
 #include "data/binary_io.h"
 #include "gen/synthetic.h"
@@ -24,7 +26,7 @@ SourceFixture MakeFixture(uint64_t seed = 7) {
   gen.seed = seed;
   SourceFixture fixture;
   fixture.data = std::move(GenerateSynthetic(gen)).value();
-  fixture.disk_path = ::testing::TempDir() + "/clique_source.bin";
+  fixture.disk_path = TestTempPath("clique_source.bin");
   EXPECT_TRUE(
       WriteBinaryFile(fixture.data.dataset, fixture.disk_path).ok());
   return fixture;

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_temp.h"
+
 #include "core/model_io.h"
 #include "core/proclus.h"
 #include "eval/metrics.h"
@@ -143,7 +145,7 @@ TEST(ModelIoTest, LoadedModelClassifiesIdentically) {
 
 TEST(ModelIoTest, FileRoundTrip) {
   FittedFixture fixture = Fit(17);
-  std::string path = ::testing::TempDir() + "/model_io_test.model";
+  std::string path = TestTempPath("model_io_test.model");
   ASSERT_TRUE(SaveModelFile(fixture.model, path).ok());
   auto loaded = LoadModelFile(path);
   ASSERT_TRUE(loaded.ok());

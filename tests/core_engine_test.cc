@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_temp.h"
+
 #include <array>
 #include <cstring>
 #include <span>
@@ -83,7 +85,7 @@ Fixture MakeFixture() {
   EXPECT_TRUE(data.ok());
   Fixture fixture;
   fixture.data = std::move(data).value();
-  fixture.disk_path = ::testing::TempDir() + "/engine_fixture.bin";
+  fixture.disk_path = TestTempPath("engine_fixture.bin");
   EXPECT_TRUE(
       WriteBinaryFile(fixture.data.dataset, fixture.disk_path).ok());
   return fixture;

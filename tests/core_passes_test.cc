@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_temp.h"
+
 #include "core/proclus.h"
 #include "data/binary_io.h"
 #include "gen/synthetic.h"
@@ -32,7 +34,7 @@ Fixture MakeFixture(uint64_t seed = 3) {
 
   Fixture fixture;
   fixture.data = std::move(data).value();
-  fixture.disk_path = ::testing::TempDir() + "/passes_fixture.bin";
+  fixture.disk_path = TestTempPath("passes_fixture.bin");
   EXPECT_TRUE(
       WriteBinaryFile(fixture.data.dataset, fixture.disk_path).ok());
 

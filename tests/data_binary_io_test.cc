@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_temp.h"
+
 namespace proclus {
 namespace {
 
@@ -67,7 +69,7 @@ TEST(BinaryIoTest, TruncatedHeaderRejected) {
 
 TEST(BinaryIoTest, FileRoundTrip) {
   Dataset ds(Matrix(2, 2, {1, 2, 3, 4}));
-  std::string path = ::testing::TempDir() + "/proclus_binary_io_test.bin";
+  std::string path = TestTempPath("proclus_binary_io_test.bin");
   ASSERT_TRUE(WriteBinaryFile(ds, path).ok());
   auto back = ReadBinaryFile(path);
   ASSERT_TRUE(back.ok());

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_temp.h"
+
 #include "common/rng.h"
 #include "data/binary_io.h"
 
@@ -29,7 +31,7 @@ Dataset RandomDataset(size_t n, size_t d, uint64_t seed = 5) {
 }
 
 std::string WriteTempSnapshot(const Dataset& dataset, const char* name) {
-  std::string path = ::testing::TempDir() + "/" + name;
+  std::string path = TestTempPath(name);
   EXPECT_TRUE(WriteBinaryFile(dataset, path).ok());
   return path;
 }
@@ -101,7 +103,7 @@ TEST(DiskSourceTest, OpenValidatesFile) {
   EXPECT_EQ(DiskSource::Open("/nonexistent.bin").status().code(),
             StatusCode::kIOError);
   // Not a snapshot.
-  std::string junk = ::testing::TempDir() + "/junk.bin";
+  std::string junk = TestTempPath("junk.bin");
   {
     std::ofstream out(junk, std::ios::binary);
     out << "this is not a snapshot at all, definitely";
@@ -347,7 +349,7 @@ TEST(DiskSourceTest, FetchVerifiesOnlyTheContainingBlock) {
 TEST(DiskSourceTest, V1SnapshotsReadableButUnverified) {
   // Hand-written version-1 snapshot: 24-byte header, payload, no table.
   Dataset ds = RandomDataset(50, 3);
-  std::string path = ::testing::TempDir() + "/v1_source.bin";
+  std::string path = TestTempPath("v1_source.bin");
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     const char magic[4] = {'P', 'C', 'L', 'S'};

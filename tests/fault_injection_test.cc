@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_temp.h"
+
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -295,7 +297,7 @@ TEST(FaultProclusTest, SurvivesInjectedFaultsBitIdentically) {
   gen.seed = 11;
   auto data = GenerateSynthetic(gen);
   ASSERT_TRUE(data.ok());
-  const std::string path = ::testing::TempDir() + "/fault_proclus.bin";
+  const std::string path = TestTempPath("fault_proclus.bin");
   ASSERT_TRUE(WriteBinaryFile(data->dataset, path).ok());
   auto disk = DiskSource::Open(path);
   ASSERT_TRUE(disk.ok());

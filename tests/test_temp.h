@@ -1,0 +1,49 @@
+// Per-test unique temp paths.
+//
+// gtest_discover_tests registers every TEST as its own ctest entry, so
+// under `ctest -j8` many test PROCESSES share ::testing::TempDir().
+// Fixed filenames like TempDir() + "/fixture.bin" collide: two tests
+// write/read the same file concurrently and flake. Every disk test must
+// build its paths through TestTempPath(), which nests them in a
+// directory unique to (suite, test, pid).
+
+#ifndef PROCLUS_TESTS_TEST_TEMP_H_
+#define PROCLUS_TESTS_TEST_TEMP_H_
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace proclus {
+
+/// A directory unique to the running test (and process), created on
+/// first use. Outside a test body it degrades to a pid-unique directory.
+inline std::string TestTempDir() {
+  std::string leaf = "proclus_";
+  const auto* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    leaf += std::string(info->test_suite_name()) + "_" + info->name() + "_";
+  }
+  leaf += std::to_string(static_cast<long>(::getpid()));
+  // Parameterized/typed test names can contain '/'.
+  for (char& c : leaf) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  std::string dir = ::testing::TempDir() + "/" + leaf;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// TestTempDir() + "/" + basename — the drop-in replacement for
+/// ::testing::TempDir() + "/" + basename.
+inline std::string TestTempPath(const std::string& basename) {
+  return TestTempDir() + "/" + basename;
+}
+
+}  // namespace proclus
+
+#endif  // PROCLUS_TESTS_TEST_TEMP_H_

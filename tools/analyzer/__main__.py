@@ -1,0 +1,10 @@
+"""`python3 tools/analyzer` runs the driver."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import analyze
+
+sys.exit(analyze.main())

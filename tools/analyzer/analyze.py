@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Driver for the AST-level analyzer. See __init__.py for the rule list.
+
+Usage:
+    python3 tools/analyzer/analyze.py [--root DIR] [--frontend auto|clang|fallback]
+                                      [--rule NAME ...] [--json FILE]
+                                      [--self-test] [paths...]
+
+Exit codes: 0 clean, 1 findings, 2 usage/toolchain error.
+
+Frontends: `clang` lowers a real libclang AST (CI installs
+`libclang==18.*`, pinned to the clang-tidy preset); `fallback` is a
+pure-Python structural parser for the repo's Google-style subset. `auto`
+(default) prefers clang and degrades to fallback with a notice —
+mirroring how the tidy/tsa presets degrade without their toolchains.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import microparse
+import rules as rules_mod
+from rules import ALL_RULES, RULE_NAMES, check_file
+
+SOURCE_DIRS = ("src", "bench", "fuzz")
+EXTS = (".h", ".cc")
+
+
+def iter_source_files(root):
+    for top in SOURCE_DIRS:
+        top_path = os.path.join(root, top)
+        if not os.path.isdir(top_path):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_path):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(EXTS):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def pick_frontend(requested):
+    """Returns (parse_file(rel_path, text) -> FileIR, frontend_name)."""
+    if requested in ("auto", "clang"):
+        import clang_frontend
+        if clang_frontend.available():
+            return clang_frontend.parse_file, "clang"
+        if requested == "clang":
+            sys.stderr.write(
+                "analyzer: --frontend clang requested but "
+                + clang_frontend.missing_reason() + "\n")
+            sys.exit(2)
+        sys.stderr.write(
+            "analyzer: note: " + clang_frontend.missing_reason()
+            + "\nanalyzer: note: degrading to the fallback frontend "
+            "(structure-accurate for this repo's subset; CI runs the "
+            "clang frontend)\n")
+    return microparse.parse_file, "fallback"
+
+
+def resolve_rules(names):
+    if not names:
+        return list(ALL_RULES)
+    by_name = {r.name: r for r in ALL_RULES}
+    picked = []
+    for name in names:
+        if name not in by_name:
+            sys.stderr.write(
+                f"analyzer: unknown rule '{name}' (known: "
+                f"{', '.join(RULE_NAMES)})\n")
+            sys.exit(2)
+        picked.append(by_name[name])
+    return picked
+
+
+def run(root, paths, frontend, rule_names, json_path):
+    parse, frontend_name = pick_frontend(frontend)
+    active = resolve_rules(rule_names)
+    rel_paths = paths or list(iter_source_files(root))
+    findings = []
+    for rel_path in rel_paths:
+        abs_path = os.path.join(root, rel_path)
+        try:
+            with open(abs_path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as exc:
+            sys.stderr.write(f"analyzer: cannot read {rel_path}: {exc}\n")
+            return 2
+        fir = parse(rel_path.replace("\\", "/").replace("/", os.sep), text)
+        findings.extend(check_file(fir, active))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for finding in findings:
+        print(finding)
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as f:
+            json.dump({"frontend": frontend_name,
+                       "files": len(rel_paths),
+                       "findings": [fi.to_json() for fi in findings]},
+                      f, indent=2)
+            f.write("\n")
+    n = len(findings)
+    print(f"analyzer: {n} finding{'s' if n != 1 else ''} across "
+          f"{len(rel_paths)} files (frontend: {frontend_name})",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="analyze.py",
+        description="AST-level determinism & architecture analyzer")
+    parser.add_argument("--root", default=".",
+                        help="repo root (default: cwd)")
+    parser.add_argument("--frontend", default="auto",
+                        choices=("auto", "clang", "fallback"))
+    parser.add_argument("--rule", action="append", default=[],
+                        metavar="NAME",
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--json", default="", metavar="FILE",
+                        help="also write findings as JSON")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture self-test and exit")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files (relative to --root); "
+                             "default: all of src/ bench/ fuzz/")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        import self_test
+        return self_test.main(args.root, args.frontend)
+    return run(args.root, args.paths, args.frontend, args.rule, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

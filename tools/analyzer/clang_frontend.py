@@ -1,0 +1,187 @@
+"""libclang frontend: lowers a real Clang AST into the shared IR.
+
+This is the frontend CI runs (`pip install libclang==18.*`, pinned to the
+same major as the clang-tidy preset). It is import-guarded: `available()`
+reports whether the bindings can actually parse, and `missing_reason()`
+explains what to install — the analyzer driver uses these to degrade to
+the microparse frontend locally with a notice, mirroring how the tidy/tsa
+presets degrade when their toolchains are absent.
+
+The lowering keeps only what the rules consume — class definitions with
+spelled base names, function/method definitions, and the statement tree —
+with every node carrying offsets into the file's comment-stripped text so
+rule code is frontend-agnostic.
+"""
+
+from ir import ClassIR, FileIR, FunctionIR, Node, extract_includes, \
+    strip_comments_and_strings
+
+_IMPORT_ERROR = None
+try:
+    from clang import cindex as _cindex
+except ImportError as exc:  # pragma: no cover - exercised only sans clang
+    _cindex = None
+    _IMPORT_ERROR = str(exc)
+
+_INDEX = None
+
+
+def available():
+    """True if the clang bindings import AND can locate libclang."""
+    global _INDEX, _IMPORT_ERROR
+    if _cindex is None:
+        return False
+    if _INDEX is not None:
+        return True
+    try:
+        _INDEX = _cindex.Index.create()
+        return True
+    except Exception as exc:  # LibclangError: no libclang.so found
+        _IMPORT_ERROR = str(exc)
+        return False
+
+
+def missing_reason():
+    return (
+        "libclang Python bindings unavailable"
+        + (f" ({_IMPORT_ERROR})" if _IMPORT_ERROR else "")
+        + ". Install with `pip install libclang==18.*` (pinned to the "
+        "clang-tidy-18 preset), or run with `--frontend fallback`.")
+
+
+_ARGS = ["-std=c++17", "-x", "c++", "-I", "."]
+
+
+def parse_file(rel_path, text, repo_root="."):
+    assert available(), missing_reason()
+    ck = _cindex.CursorKind
+    tu = _INDEX.parse(
+        rel_path,
+        args=_ARGS + ["-I", repo_root],
+        unsaved_files=[(rel_path, text)],
+        options=_cindex.TranslationUnit.PARSE_INCOMPLETE
+        | _cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0)
+
+    code = strip_comments_and_strings(text)
+    fir = FileIR(rel_path, text, code)
+    fir.frontend = "clang"
+    fir.includes = extract_includes(text)
+
+    def off(loc):
+        return loc.offset
+
+    def in_main_file(cursor):
+        f = cursor.location.file
+        return f is not None and f.name == rel_path
+
+    def lower_stmt(cursor):
+        start, end = off(cursor.extent.start), off(cursor.extent.end)
+        kids = list(cursor.get_children())
+        if cursor.kind == ck.IF_STMT:
+            node = Node("if", start, end)
+            if kids:
+                node.cond_start = off(kids[0].extent.start)
+                node.cond_end = off(kids[0].extent.end)
+            if len(kids) > 1:
+                node.then_ = lower_body(kids[1])
+            if len(kids) > 2:
+                node.else_ = lower_body(kids[2])
+            return node
+        if cursor.kind in (ck.FOR_STMT, ck.WHILE_STMT, ck.DO_STMT,
+                           ck.CXX_FOR_RANGE_STMT):
+            node = Node("loop", start, end)
+            node.loop_kind = {
+                ck.FOR_STMT: "for",
+                ck.WHILE_STMT: "while",
+                ck.DO_STMT: "do",
+                ck.CXX_FOR_RANGE_STMT: "range-for",
+            }[cursor.kind]
+            body = None
+            for kid in kids:
+                if kid.kind == ck.COMPOUND_STMT:
+                    body = kid
+            body = body if body is not None else (kids[-1] if kids else None)
+            if body is not None:
+                # Header = everything between the keyword and the body.
+                node.cond_start = code.find("(", start) + 1
+                node.cond_end = max(node.cond_start,
+                                    off(body.extent.start) - 1)
+                node.body = lower_body(body)
+            return node
+        if cursor.kind == ck.SWITCH_STMT:
+            node = Node("switch", start, end)
+            if kids:
+                node.cond_start = off(kids[0].extent.start)
+                node.cond_end = off(kids[0].extent.end)
+            if len(kids) > 1:
+                node.body = lower_body(kids[1])
+            return node
+        if cursor.kind == ck.RETURN_STMT:
+            return Node("return", start, end)
+        if cursor.kind == ck.COMPOUND_STMT:
+            node = Node("compound", start, end)
+            node.body = [lower_stmt(k) for k in kids]
+            return node
+        return Node("expr", start, end)
+
+    def lower_body(cursor):
+        if cursor.kind == ck.COMPOUND_STMT:
+            return [lower_stmt(k) for k in cursor.get_children()]
+        return [lower_stmt(cursor)]
+
+    def lower_function(cursor, class_name):
+        body = None
+        params_end = None
+        for kid in cursor.get_children():
+            if kid.kind == ck.COMPOUND_STMT:
+                body = kid
+            elif kid.kind == ck.PARM_DECL:
+                params_end = off(kid.extent.end)
+        if body is None:
+            return None
+        start = off(cursor.extent.start)
+        open_paren = code.find("(", start)
+        params_close = code.find(")", params_end if params_end else
+                                 open_paren)
+        fn = FunctionIR(cursor.spelling, class_name, open_paren,
+                        params_close + 1, off(body.extent.start),
+                        off(body.extent.end))
+        fn.body = lower_body(body)[0].body if \
+            lower_body(body) and lower_body(body)[0].kind == "compound" \
+            else lower_body(body)
+        # lower_body on a COMPOUND_STMT already returns the child list.
+        fn.body = [lower_stmt(k) for k in body.get_children()]
+        return fn
+
+    def visit(cursor, class_stack):
+        for kid in cursor.get_children():
+            if not in_main_file(kid):
+                continue
+            if kid.kind in (ck.CLASS_DECL, ck.STRUCT_DECL) and \
+                    kid.is_definition():
+                bases = []
+                for base in kid.get_children():
+                    if base.kind == ck.CXX_BASE_SPECIFIER:
+                        name = base.type.spelling
+                        name = name.split("<")[0].split("::")[-1].strip()
+                        bases.append(name)
+                cls = ClassIR(kid.spelling, bases,
+                              off(kid.extent.start), off(kid.extent.end))
+                fir.classes.append(cls)
+                visit(kid, class_stack + [cls])
+            elif kid.kind in (ck.CXX_METHOD, ck.FUNCTION_DECL,
+                              ck.CONSTRUCTOR, ck.DESTRUCTOR,
+                              ck.FUNCTION_TEMPLATE):
+                owner = class_stack[-1] if class_stack else None
+                fn = lower_function(kid, owner.name if owner else "")
+                if fn is not None:
+                    fir.functions.append(fn)
+                    if owner is not None:
+                        owner.methods.append(fn)
+            elif kid.kind in (ck.NAMESPACE, ck.UNEXPOSED_DECL,
+                              ck.LINKAGE_SPEC):
+                visit(kid, class_stack)
+
+    visit(tu.cursor, [])
+    fir.functions.sort(key=lambda f: f.params_start)
+    return fir

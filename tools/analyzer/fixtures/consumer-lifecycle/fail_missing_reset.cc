@@ -1,0 +1,20 @@
+// fixture-path: src/core/fixture_consumer_noreset.cc
+// No Reset() anywhere in the class: the executor's fault-retry path has
+// no rollback hook, so a failed attempt's partials leak into the retry.
+#include "src/data/engine.h"
+
+class LeakyConsumer : public ScanConsumer {  // expect: consumer-lifecycle
+ public:
+  void Prepare(std::size_t blocks, std::size_t dims) override {
+    partial_.assign(blocks, 0.0);
+  }
+  void ConsumeBlock(std::size_t block_index, std::size_t first_row,
+                    std::span<const double> data,
+                    std::size_t rows) override {
+    partial_[block_index] = static_cast<double>(rows);
+  }
+  void Merge() override {}
+
+ private:
+  std::vector<double> partial_;
+};

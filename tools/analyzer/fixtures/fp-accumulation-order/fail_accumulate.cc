@@ -1,0 +1,14 @@
+// fixture-path: src/core/fixture_fp_accumulate.cc
+// std::accumulate fixes left-fold order today but hides it from review,
+// and std::reduce explicitly may reassociate — neither belongs outside
+// the kernel layer.
+#include <numeric>
+#include <vector>
+
+double SumAccumulate(const std::vector<double>& x) {
+  return std::accumulate(x.begin(), x.end(), 0.0);  // expect: fp-accumulation-order
+}
+
+double SumReduce(const std::vector<double>& x) {
+  return std::reduce(x.begin(), x.end(), 0.0);  // expect: fp-accumulation-order
+}

@@ -1,0 +1,18 @@
+// fixture-path: src/distance/fixture_fp_descending.cc
+// A floating-point accumulator built back-to-front: bit-different from
+// the ascending golden order whenever the terms differ in magnitude.
+double SumDescending(const double* x, int n) {
+  double acc = 0.0;
+  for (int i = n - 1; i >= 0; --i) {
+    acc += x[i];  // expect: fp-accumulation-order
+  }
+  return acc;
+}
+
+double SumWhileDown(const double* x, int n) {
+  double total = 0.0;
+  while (n-- > 0) {
+    total += x[n];  // expect: fp-accumulation-order
+  }
+  return total;
+}

@@ -1,0 +1,19 @@
+// fixture-path: src/core/fixture_fp_ascending.cc
+// The blessed shape: an explicit ascending loop with a named
+// floating-point accumulator. Integer countdowns are also fine — only
+// floating-point accumulation order is pinned.
+double SumAscending(const double* x, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += x[i];
+  }
+  return acc;
+}
+
+int CountDownInts(int n) {
+  int total = 0;
+  for (int i = n - 1; i >= 0; --i) {
+    total += i;
+  }
+  return total;
+}

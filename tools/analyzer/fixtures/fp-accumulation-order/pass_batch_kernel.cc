@@ -1,0 +1,13 @@
+// fixture-path: src/distance/batch.cc
+// The blessed kernel layer is exempt: batch.{h,cc} owns the tiled
+// accumulation order and the property tests pin it against the scalar
+// reference, so reassociation-prone idioms are allowed here.
+#include <numeric>
+
+double TiledSum(const double* x, int n) {
+  double acc = 0.0;
+  for (int i = n - 1; i >= 0; --i) {
+    acc += x[i];
+  }
+  return acc;
+}

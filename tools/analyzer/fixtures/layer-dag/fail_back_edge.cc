@@ -1,0 +1,7 @@
+// fixture-path: src/data/fixture_dag_back.cc
+// Layer-1 data reaching up into layer-3 core and layer-2 distance: both
+// are back-edges that invert the DAG and make a cycle once core
+// includes data (which it legitimately does).
+#include "src/common/status.h"
+#include "src/core/proclus.h"  // expect: layer-dag
+#include "src/distance/metric.h"  // expect: layer-dag

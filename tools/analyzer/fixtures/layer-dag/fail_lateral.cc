@@ -1,0 +1,6 @@
+// fixture-path: src/clique/fixture_dag_lateral.cc
+// clique and core both sit on layer 3: a lateral include is a
+// cycle-in-waiting (nothing stops core from including clique back), so
+// shared pieces must route through layer <= 2.
+#include "src/common/rng.h"
+#include "src/core/proclus.h"  // expect: layer-dag

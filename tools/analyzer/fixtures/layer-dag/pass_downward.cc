@@ -1,0 +1,9 @@
+// fixture-path: src/core/fixture_dag_down.cc
+// A layer-3 file including its own directory and strictly lower layers:
+// exactly what the DAG permits. System includes are never edges.
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/proclus.h"
+#include "src/data/engine.h"
+#include "src/distance/metric.h"

@@ -1,0 +1,7 @@
+// fixture-path: src/eval/fixture_dag_top.cc
+// The top layer may include everything below it — including layer-3
+// directories like core and baselines — just not its layer-4 sibling.
+#include "src/baselines/kmeans.h"
+#include "src/common/rng.h"
+#include "src/core/proclus.h"
+#include "src/data/engine.h"

@@ -1,0 +1,22 @@
+// fixture-path: src/core/fixture_rng_branch.cc
+// A draw reached only when `wide` holds: the stream position after this
+// function depends on the data, which desynchronizes the speculative
+// dual-branch identity and checkpoint/resume.
+#include "src/common/rng.h"
+
+double PickSpread(Rng& rng, bool wide) {
+  double base = rng.UniformDouble();
+  if (wide) {
+    base += rng.Normal();  // expect: rng-draw-invariance
+  }
+  return base;
+}
+
+int PickBucket(Rng& rng, int mode) {
+  switch (mode) {
+    case 0:
+      return rng.UniformInt(0, 4);  // expect: rng-draw-invariance
+    default:
+      return 0;
+  }
+}

@@ -1,0 +1,11 @@
+// fixture-path: src/core/fixture_rng_ternary.cc
+// Expression-level conditionality: ternary arms and short-circuit RHS
+// operands execute data-dependently even though the statement itself is
+// unconditional.
+#include "src/common/rng.h"
+
+double Jitter(Rng& rng, bool fancy) {
+  double x = fancy ? rng.Normal() : 0.0;  // expect: rng-draw-invariance
+  bool keep = fancy && rng.Bernoulli(0.5);  // expect: rng-draw-invariance
+  return keep ? x : 0.0;
+}

@@ -1,0 +1,26 @@
+// fixture-path: src/core/fixture_rng_annotated.cc
+// Conditional draws annotated `// draws: invariant` with the argument
+// for why every path consumes the same count are accepted; the
+// annotation can sit on the branch header or on the draw line itself.
+#include "src/common/rng.h"
+
+double MaybeResample(Rng& rng, bool resample) {
+  double x = 0.0;
+  // draws: invariant — both arms consume exactly one draw each.
+  if (resample) {
+    x = rng.UniformDouble();
+  } else {
+    x = rng.Normal();
+  }
+  return x;
+}
+
+double InlineAnnotated(Rng& rng, bool heavy) {
+  double y = 0.0;
+  if (heavy) {
+    y = rng.Exponential();  // draws: invariant — dead branch in tests only.
+  } else {
+    y = rng.Poisson();  // draws: invariant — dead branch in tests only.
+  }
+  return y;
+}

@@ -1,0 +1,18 @@
+// fixture-path: src/core/fixture_rng_hoisted.cc
+// The draw happens unconditionally and only its USE is branched — the
+// stream position is identical on every path. Loop-body draws are also
+// fine: the rule checks draw-count invariance per path, and a loop's
+// trip count is the caller's contract.
+#include "src/common/rng.h"
+
+double PickSpread(Rng& rng, bool wide) {
+  const double spread = rng.Normal();
+  double base = 1.0;
+  if (wide) {
+    base += spread;
+  }
+  for (int i = 0; i < 4; ++i) {
+    base += rng.UniformDouble();
+  }
+  return base;
+}

@@ -1,0 +1,13 @@
+// fixture-path: src/core/fixture_sf_allow.cc
+// Suppression mechanics: an allow WITH a rationale silences the finding;
+// a bare allow is itself reported, because every suppression in this
+// tree must carry its justification.
+#include "src/common/status.h"
+
+void UseBoth(const std::string& path) {
+  Result<int> r = ParseHeader(path);
+  // analyzer:allow(status-flow): ParseHeader cannot fail on the embedded
+  // header this test writes two lines up; an abort here IS the test.
+  Consume(r.value());
+  Consume(*r);  // analyzer:allow(status-flow)  // expect: bare-allow
+}

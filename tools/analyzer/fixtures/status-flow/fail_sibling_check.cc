@@ -1,0 +1,25 @@
+// fixture-path: src/core/fixture_sf_sibling.cc
+// The case the retired regex rule got wrong: a textually earlier ok()
+// in a SIBLING branch does not dominate the else path, and a check
+// inside a loop body does not dominate statements after the loop (the
+// body may run zero times).
+#include "src/common/status.h"
+
+void Dispatch(bool flag, const std::string& path) {
+  Result<int> r = ParseHeader(path);
+  if (flag) {
+    ASSERT_TRUE(r.ok());
+    Consume(r.value());
+  } else {
+    Consume(r.value());  // expect: status-flow
+  }
+}
+
+int SumAll(const std::vector<std::string>& paths) {
+  Result<int> last = ParseHeader(paths[0]);
+  for (const auto& p : paths) {
+    last = ParseHeader(p);
+    PROCLUS_CHECK(last.ok());
+  }
+  return last.value();  // expect: status-flow
+}

@@ -1,0 +1,15 @@
+// fixture-path: src/core/fixture_sf_unchecked.cc
+// No ok() check on any path before the access: an error Status here
+// aborts the process inside value()/operator*.
+#include "src/common/status.h"
+
+Status LoadAndUse(const std::string& path) {
+  Result<Dataset> r = ReadBinary(path);
+  Use(r.value());  // expect: status-flow
+  return OkStatus();
+}
+
+int FirstValue(const std::string& path) {
+  Result<int> v = ParseHeader(path);
+  return *v;  // expect: status-flow
+}

@@ -1,0 +1,20 @@
+// fixture-path: src/core/fixture_sf_early.cc
+// The two canonical guards: an early-exit `if (!r.ok()) return ...;`
+// dominates everything after it, and PROCLUS_RETURN_IF_ERROR is the
+// macro form of the same shape.
+#include "src/common/status.h"
+
+Status LoadAndUse(const std::string& path) {
+  Result<Dataset> r = ReadBinary(path);
+  if (!r.ok()) return r.status();
+  Use(r.value());
+  Use(r->rows());
+  return OkStatus();
+}
+
+Status LoadAndUseMacro(const std::string& path) {
+  Result<Dataset> d = ReadBinary(path);
+  PROCLUS_RETURN_IF_ERROR(d.status());
+  Use(std::move(d).value());
+  return OkStatus();
+}

@@ -1,0 +1,24 @@
+// fixture-path: src/core/fixture_sf_branch.cc
+// Branch-scoped guards: uses inside `if (r.ok())` are dominated; the
+// same-expression `r.ok() && ...` prefix guards its own right-hand side;
+// PROCLUS_CHECK(r.ok()) dominates the statements after it.
+#include "src/common/status.h"
+
+int CountRows(const std::string& path) {
+  Result<Dataset> r = ReadBinary(path);
+  if (r.ok()) {
+    return static_cast<int>(r.value().rows());
+  }
+  return -1;
+}
+
+bool HasRows(const std::string& path) {
+  Result<Dataset> r = ReadBinary(path);
+  return r.ok() && r.value().rows() > 0;
+}
+
+int MustCountRows(const std::string& path) {
+  Result<Dataset> r = ReadBinary(path);
+  PROCLUS_CHECK(r.ok());
+  return static_cast<int>(r->rows());
+}

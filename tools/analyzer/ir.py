@@ -1,0 +1,236 @@
+"""Normalized AST IR shared by the libclang and fallback frontends.
+
+The IR keeps structure where the rules need structure (classes, bases,
+functions, control-flow statements) and text offsets where they do not
+(expressions). Every node carries [start, end) offsets into the file's
+comment-stripped text, which is built to be strictly length-preserving so
+offsets are valid in the original text too — line numbers and trailing
+`// analyzer:allow` comments resolve against the original lines.
+"""
+
+import re
+
+
+class Node:
+    """One statement. `kind` is one of:
+
+    'if'        cond span + then_/else_ child lists
+    'loop'      header span (everything inside the for/while parens; empty
+                for `do`) + body list; `loop_kind` in
+                {'for', 'range-for', 'while', 'do'}
+    'switch'    cond span + body list (cases are not split out; every
+                statement in the body is conditionally executed)
+    'return'    expression text span
+    'compound'  bare `{ ... }` block
+    'expr'      any other single statement (declarations included)
+    """
+
+    __slots__ = ("kind", "start", "end", "cond_start", "cond_end",
+                 "then_", "else_", "body", "loop_kind")
+
+    def __init__(self, kind, start, end):
+        self.kind = kind
+        self.start = start
+        self.end = end
+        self.cond_start = self.cond_end = -1
+        self.then_ = []
+        self.else_ = []
+        self.body = []
+        self.loop_kind = ""
+
+    def children(self):
+        yield from self.then_
+        yield from self.else_
+        yield from self.body
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class FunctionIR:
+    __slots__ = ("name", "class_name", "params_start", "params_end",
+                 "body_start", "body_end", "start", "body")
+
+    def __init__(self, name, class_name, params_start, params_end,
+                 body_start, body_end):
+        self.name = name
+        self.class_name = class_name  # "" for free functions
+        self.params_start = params_start  # span of (...) incl. parens
+        self.params_end = params_end
+        self.body_start = body_start  # span of { ... } incl. braces
+        self.body_end = body_end
+        self.start = params_start
+        self.body = []  # list of Node
+
+    def walk_statements(self):
+        for stmt in self.body:
+            yield from stmt.walk()
+
+
+class ClassIR:
+    __slots__ = ("name", "bases", "start", "end", "methods")
+
+    def __init__(self, name, bases, start, end):
+        self.name = name
+        self.bases = bases  # list of base-class name strings
+        self.start = start
+        self.end = end
+        self.methods = []  # list of FunctionIR
+
+
+class FileIR:
+    """Parsed view of one source file.
+
+    text      original file contents
+    code      comment/string-stripped contents, len(code) == len(text)
+    lines     original text split into lines
+    includes  [(line_number, include_path)] for quoted includes
+    classes   list of ClassIR (definitions only)
+    functions list of FunctionIR — free functions AND methods (methods are
+              also reachable via their ClassIR)
+    frontend  'clang' or 'fallback' (diagnostic only)
+    """
+
+    def __init__(self, rel_path, text, code):
+        self.rel_path = rel_path
+        self.text = text
+        self.code = code
+        self.lines = text.splitlines()
+        self.includes = []
+        self.classes = []
+        self.functions = []
+        self.frontend = ""
+
+    def line_of(self, offset):
+        return self.code.count("\n", 0, offset) + 1
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self):
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "message": self.message}
+
+
+def strip_comments_and_strings(text):
+    """Length-preserving strip: comments and string/char-literal contents
+    become spaces (newlines kept), so every offset in the result is valid
+    in the original text. Handles //, /* */, "...", '...', and raw strings.
+    """
+    out = []
+    i, n = 0, len(text)
+
+    def blank(span):
+        out.extend("\n" if ch == "\n" else " " for ch in span)
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            blank(text[i:j])
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            blank(text[i:j])
+            i = j
+        elif c == "R" and nxt == '"':
+            m = re.match(r'R"([^()\s\\]*)\(', text[i:])
+            if m:
+                close = ")" + m.group(1) + '"'
+                end = text.find(close, i + m.end())
+                end = n if end == -1 else end + len(close)
+                # R" ...blanked... " — same length as the original literal.
+                out.append("R")
+                out.append('"')
+                blank(text[i + 2:end - 1])
+                out.append('"' if end > i + 2 else "")
+                i = end
+            else:
+                out.append(c)
+                i += 1
+        elif c == '"' or c == "'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    blank(text[i:i + 2])
+                    i += 2
+                else:
+                    blank(text[i])
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    result = "".join(out)
+    assert len(result) == len(text), "strip must preserve offsets"
+    return result
+
+
+def match_paren(code, open_pos, open_ch="(", close_ch=")"):
+    """Offset of the close matching code[open_pos] == open_ch, or -1."""
+    depth, i, n = 0, open_pos, len(code)
+    while i < n:
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return -1
+
+
+ALLOW_RE = re.compile(
+    r"analyzer:allow\(([a-z-]+)\)(?::\s*(\S.*\S|\S))?")
+
+
+def comment_context(lines, line_no):
+    """The original-text line plus the contiguous //-comment block directly
+    above it (comments are stripped from `code`, so annotation lookups read
+    the original lines)."""
+    if line_no < 1 or line_no > len(lines):
+        return []
+    context = [lines[line_no - 1]]
+    prev = line_no - 2
+    while prev >= 0 and lines[prev].lstrip().startswith("//"):
+        context.append(lines[prev])
+        prev -= 1
+    return context
+
+
+def find_allows(lines, line_no):
+    """[(rule, rationale-or-None)] from the line and its comment block."""
+    allows = []
+    for line in comment_context(lines, line_no):
+        for m in ALLOW_RE.finditer(line):
+            allows.append((m.group(1), m.group(2)))
+    return allows
+
+
+def extract_includes(text):
+    """[(line_number, path)] for every quoted #include in the ORIGINAL
+    text (includes live outside comments in practice; string-stripping
+    would erase the path)."""
+    includes = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        m = re.match(r'\s*#\s*include\s+"([^"]+)"', line)
+        if m:
+            includes.append((i, m.group(1)))
+    return includes

@@ -1,0 +1,331 @@
+"""Fallback frontend: a pure-Python structural parser for the Google-style
+C++ subset this repo is written in.
+
+Produces the same normalized IR (ir.py) as the libclang frontend: class
+definitions with their base lists, function/method definitions, and a
+statement tree (if/loop/switch/return/compound/expr) whose leaves are text
+spans. It is NOT a general C++ parser — it leans on the repo's formatting
+conventions (clang-format, member_ suffixes, no exceptions/gotos) — but it
+is structure-accurate for the constructs the rules reason about, which is
+what the regex linter fundamentally cannot be.
+"""
+
+import re
+
+from ir import ClassIR, FileIR, FunctionIR, Node, extract_includes, \
+    match_paren, strip_comments_and_strings
+
+# A class/struct DEFINITION header: name, optional final, optional base
+# list, then the opening brace. Forward declarations do not match (no
+# brace), and `enum class` is excluded.
+CLASS_RE = re.compile(
+    r"\b(?<!enum )(class|struct)\s+(?:\[\[[^\]]*\]\]\s*)?([A-Za-z_]\w*)\s*"
+    r"(?:final\s*)?(?::\s*([^{;]*))?\{")
+
+# A function definition: optional specifiers, a return type (possibly
+# templated / qualified / ref), a possibly-qualified name, and an open
+# paren. Keyword-opened lines are excluded so `return Foo(x);` and
+# `if (Bar(y))` are not mistaken for definitions. Constructors match via
+# the qualified-name branch or inside class bodies.
+FN_RE = re.compile(
+    r"^[ \t]*(?!return\b|else\b|case\b|delete\b|new\b|if\b|for\b|while\b"
+    r"|switch\b|do\b|using\b|typedef\b|throw\b|goto\b|co_return\b)"
+    r"(?:template\s*<[^<>]*>\s*)?"
+    r"(?:static\s+|inline\s+|constexpr\s+|explicit\s+|virtual\s+|friend\s+)*"
+    r"[A-Za-z_][\w:]*(?:\s*<[^;{}()]*>)?(?:\s*[*&]+\s*|\s+)"
+    r"(?:[A-Za-z_]\w*\s*::\s*)*(?P<name>[A-Za-z_~]\w*)\s*\(",
+    re.MULTILINE)
+
+# Constructors/destructors inside a class body: `  Name(...)` with no
+# return type. Matched per class with the class name substituted in.
+CTOR_TEMPLATE = (r"^[ \t]*(?:explicit\s+|constexpr\s+|virtual\s+)*"
+                 r"(?P<name>~?{name})\s*\(")
+
+KEYWORD_RE = re.compile(
+    r"\b(if|for|while|do|switch|return)\b|[{{;]".replace("{{", "{"))
+
+
+def parse_file(rel_path, text):
+    code = strip_comments_and_strings(text)
+    fir = FileIR(rel_path, text, code)
+    fir.frontend = "fallback"
+    fir.includes = extract_includes(text)
+    fir.classes = _find_classes(code)
+    fir.functions = _find_functions(code, fir.classes)
+    for fn in fir.functions:
+        fn.body = parse_statements(code, fn.body_start + 1, fn.body_end)
+    # Attach methods to their enclosing (innermost) class.
+    for fn in fir.functions:
+        owner = None
+        for cls in fir.classes:
+            if cls.start < fn.params_start < cls.end:
+                if owner is None or cls.start > owner.start:
+                    owner = cls
+        if owner is not None:
+            fn.class_name = owner.name
+            owner.methods.append(fn)
+    return fir
+
+
+def _find_classes(code):
+    classes = []
+    for m in CLASS_RE.finditer(code):
+        open_brace = m.end() - 1
+        close = match_paren(code, open_brace, "{", "}")
+        if close == -1:
+            continue
+        bases = []
+        if m.group(3):
+            for part in m.group(3).split(","):
+                part = re.sub(r"\b(public|protected|private|virtual)\b", "",
+                              part).strip()
+                # Drop template arguments: Base<T> -> Base.
+                part = re.sub(r"<.*", "", part).strip()
+                part = part.split("::")[-1].strip()
+                if part:
+                    bases.append(part)
+        classes.append(ClassIR(m.group(2), bases, m.start(), close + 1))
+    return classes
+
+
+def _find_functions(code, classes):
+    functions = []
+    seen_bodies = set()
+
+    def try_define(match, name):
+        open_paren = code.find("(", match.start(), match.end() + 1)
+        if open_paren == -1:
+            return
+        close_paren = match_paren(code, open_paren)
+        if close_paren == -1:
+            return
+        # Walk specifiers/initializer lists to the body '{'; a ';' first
+        # means declaration only. Constructor member-initializer lists
+        # contain commas/parens/braces — skip balanced groups.
+        j = close_paren + 1
+        n = len(code)
+        while j < n and code[j] not in "{;":
+            if code[j] == "(":
+                j = match_paren(code, j)
+                if j == -1:
+                    return
+            j += 1
+        if j >= n or code[j] == ";":
+            return
+        # Reject control-flow false positives: `} else if (...) {` etc.
+        # never match FN_RE thanks to its keyword guard, but initializer
+        # lists in constructors can contain `{`-init of members before the
+        # body; match_paren above already skipped parens, and brace-init
+        # members (`: member_{x} {`) are rare enough here to accept.
+        body_close = match_paren(code, j, "{", "}")
+        if body_close == -1:
+            return
+        if j in seen_bodies:
+            return
+        seen_bodies.add(j)
+        functions.append(FunctionIR(name, "", open_paren, close_paren + 1,
+                                    j, body_close + 1))
+
+    for m in FN_RE.finditer(code):
+        try_define(m, m.group("name"))
+    for cls in classes:
+        pattern = re.compile(CTOR_TEMPLATE.format(name=re.escape(cls.name)),
+                             re.MULTILINE)
+        for m in pattern.finditer(code, cls.start, cls.end):
+            try_define(m, m.group("name"))
+    functions.sort(key=lambda f: f.params_start)
+    return functions
+
+
+def _skip_ws(code, i, end):
+    while i < end and code[i] in " \t\n":
+        i += 1
+    return i
+
+
+def _stmt_end(code, i, end):
+    """End offset (past ';') of a generic statement starting at i: the
+    first ';' at zero relative paren/brace/bracket depth (lambdas and
+    brace-inits keep their semicolons internal)."""
+    depth = 0
+    while i < end:
+        c = code[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth < 0:
+                return i  # malformed/end of enclosing block
+        elif c == ";" and depth == 0:
+            return i + 1
+        i += 1
+    return end
+
+
+def _parse_block_or_stmt(code, i, end):
+    """Parses either a braced block or a single statement; returns
+    (list_of_nodes, end_offset)."""
+    i = _skip_ws(code, i, end)
+    if i < end and code[i] == "{":
+        close = match_paren(code, i, "{", "}")
+        if close == -1:
+            return [], end
+        return parse_statements(code, i + 1, close), close + 1
+    nodes = parse_one(code, i, end)
+    if nodes is None:
+        return [], end
+    node, nxt = nodes
+    return [node], nxt
+
+
+def parse_one(code, i, end):
+    """Parses one statement at offset i; returns (Node, next_offset) or
+    None at end of input."""
+    i = _skip_ws(code, i, end)
+    if i >= end:
+        return None
+    # Preprocessor directive: to end of (continued) line.
+    if code[i] == "#":
+        j = i
+        while j < end:
+            k = code.find("\n", j, end)
+            if k == -1:
+                j = end
+                break
+            if code[k - 1] == "\\":
+                j = k + 1
+                continue
+            j = k + 1
+            break
+        return Node("expr", i, j), j
+    if code[i] == "{":
+        close = match_paren(code, i, "{", "}")
+        if close == -1:
+            return Node("expr", i, end), end
+        node = Node("compound", i, close + 1)
+        node.body = parse_statements(code, i + 1, close)
+        return node, close + 1
+    if code[i] == ";":
+        return Node("expr", i, i + 1), i + 1
+    m = re.match(r"(if|for|while|do|switch|return|case|default|break|"
+                 r"continue|else)\b", code[i:end])
+    kw = m.group(1) if m else None
+
+    if kw == "if":
+        open_paren = code.find("(", i, end)
+        if open_paren == -1:
+            j = _stmt_end(code, i, end)
+            return Node("expr", i, j), j
+        # `if constexpr (...)` also lands here; fine.
+        close = match_paren(code, open_paren)
+        if close == -1:
+            j = _stmt_end(code, i, end)
+            return Node("expr", i, j), j
+        node = Node("if", i, end)
+        node.cond_start, node.cond_end = open_paren + 1, close
+        node.then_, j = _parse_block_or_stmt(code, close + 1, end)
+        k = _skip_ws(code, j, end)
+        if re.match(r"else\b", code[k:end]):
+            node.else_, j = _parse_block_or_stmt(code, k + 4, end)
+        node.end = j
+        return node, j
+
+    if kw in ("for", "while"):
+        open_paren = code.find("(", i, end)
+        close = match_paren(code, open_paren) if open_paren != -1 else -1
+        if close == -1:
+            j = _stmt_end(code, i, end)
+            return Node("expr", i, j), j
+        node = Node("loop", i, end)
+        node.cond_start, node.cond_end = open_paren + 1, close
+        header = code[open_paren + 1:close]
+        if kw == "for":
+            node.loop_kind = ("range-for"
+                              if _top_level_colon(header) else "for")
+        else:
+            node.loop_kind = "while"
+        node.body, j = _parse_block_or_stmt(code, close + 1, end)
+        node.end = j
+        return node, j
+
+    if kw == "do":
+        node = Node("loop", i, end)
+        node.loop_kind = "do"
+        node.body, j = _parse_block_or_stmt(code, i + 2, end)
+        # Trailing `while (...);`
+        k = _skip_ws(code, j, end)
+        if re.match(r"while\b", code[k:end]):
+            open_paren = code.find("(", k, end)
+            close = match_paren(code, open_paren) if open_paren != -1 else -1
+            if close != -1:
+                node.cond_start, node.cond_end = open_paren + 1, close
+                j = close + 1
+                k = _skip_ws(code, j, end)
+                if k < end and code[k] == ";":
+                    j = k + 1
+        node.end = j
+        return node, j
+
+    if kw == "switch":
+        open_paren = code.find("(", i, end)
+        close = match_paren(code, open_paren) if open_paren != -1 else -1
+        if close == -1:
+            j = _stmt_end(code, i, end)
+            return Node("expr", i, j), j
+        node = Node("switch", i, end)
+        node.cond_start, node.cond_end = open_paren + 1, close
+        node.body, j = _parse_block_or_stmt(code, close + 1, end)
+        node.end = j
+        return node, j
+
+    if kw == "return":
+        j = _stmt_end(code, i, end)
+        return Node("return", i, j), j
+
+    if kw in ("case", "default"):
+        # Consume up to the ':' label separator (skipping '::'), then let
+        # the scanner continue with the labeled statement.
+        j = i
+        while j < end:
+            if code[j] == ":" and code[j - 1:j] != ":" and \
+                    code[j + 1:j + 2] != ":":
+                j += 1
+                break
+            if code[j] == ";":
+                break
+            j += 1
+        return Node("expr", i, j), j
+
+    # Generic statement (declaration, expression, break/continue, ...).
+    j = _stmt_end(code, i, end)
+    return Node("expr", i, j), j
+
+
+def parse_statements(code, start, end):
+    nodes = []
+    i = start
+    while True:
+        parsed = parse_one(code, i, end)
+        if parsed is None:
+            break
+        node, nxt = parsed
+        if nxt <= i:  # no progress safeguard
+            break
+        nodes.append(node)
+        i = nxt
+    return nodes
+
+
+def _top_level_colon(header):
+    """True if `header` (a for-parens interior) has a top-level ':' that is
+    not part of '::' — i.e. the loop is a range-for."""
+    depth = 0
+    for k, ch in enumerate(header):
+        if ch in "([{<":
+            depth += 1
+        elif ch in ")]}>":
+            depth -= 1
+        elif (ch == ":" and depth == 0 and
+              header[k - 1:k] != ":" and header[k + 1:k + 2] != ":"):
+            return True
+    return False

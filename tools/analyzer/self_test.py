@@ -1,0 +1,106 @@
+"""Fixture self-test: proves each rule fires where it must and stays
+quiet where it must not.
+
+Fixture layout (tools/analyzer/fixtures/<rule-name>/*.cc):
+
+    // fixture-path: src/core/example.cc   <- virtual path the rule sees
+    ... code ...
+    bad_line();  // expect: rule-name      <- a finding MUST land here
+
+Each fixture is checked against the rule named by its directory (plus
+bare-allow, which may be expected anywhere): the set of (line, rule)
+findings must equal the set of `// expect:` markers exactly — a missed
+expectation and a stray finding are both failures. `pass_*.cc` fixtures
+have no markers; `fail_*.cc` have at least one. The ctest entry
+`analyzer_self_test` runs this via `analyze.py --self-test`.
+"""
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from rules import ALL_RULES, check_file
+
+FIXTURES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "fixtures")
+PATH_RE = re.compile(r"//\s*fixture-path:\s*(\S+)")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+
+
+def run_fixture(parse, rule, path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    m = PATH_RE.search(text)
+    if not m:
+        return [f"{path}: missing `// fixture-path:` header"]
+    virtual_path = m.group(1).replace("/", os.sep)
+    expected = set()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        for em in EXPECT_RE.finditer(line):
+            expected.add((line_no, em.group(1)))
+    fir = parse(virtual_path, text)
+    got = {(f.line, f.rule)
+           for f in check_file(fir, [rule])
+           if f.rule in (rule.name, "bare-allow")}
+    errors = []
+    rel = os.path.relpath(path, FIXTURES_DIR)
+    for line, name in sorted(expected - got):
+        errors.append(f"{rel}:{line}: expected [{name}] but the rule "
+                      "stayed quiet")
+    for line, name in sorted(got - expected):
+        errors.append(f"{rel}:{line}: unexpected [{name}] finding")
+    basename = os.path.basename(path)
+    if basename.startswith("pass_") and expected:
+        errors.append(f"{rel}: pass_ fixture must not carry expect markers")
+    if basename.startswith("fail_") and not expected:
+        errors.append(f"{rel}: fail_ fixture must carry expect markers")
+    return errors
+
+
+def main(root=".", frontend="auto"):
+    del root  # fixtures are package-relative
+    import analyze
+    parse, frontend_name = analyze.pick_frontend(frontend)
+    by_name = {r.name: r for r in ALL_RULES}
+    failures = []
+    total = 0
+    for rule_dir in sorted(os.listdir(FIXTURES_DIR)):
+        dir_path = os.path.join(FIXTURES_DIR, rule_dir)
+        if not os.path.isdir(dir_path):
+            continue
+        rule = by_name.get(rule_dir)
+        if rule is None:
+            failures.append(f"{rule_dir}/: no rule with this name")
+            continue
+        names = sorted(n for n in os.listdir(dir_path) if n.endswith(".cc"))
+        passing = [n for n in names if n.startswith("pass_")]
+        failing = [n for n in names if n.startswith("fail_")]
+        if len(passing) < 2 or len(failing) < 2:
+            failures.append(
+                f"{rule_dir}/: needs >=2 pass_ and >=2 fail_ fixtures "
+                f"(found {len(passing)} pass, {len(failing)} fail)")
+        for name in names:
+            total += 1
+            failures.extend(run_fixture(parse, rule,
+                                        os.path.join(dir_path, name)))
+    covered = {d for d in os.listdir(FIXTURES_DIR)
+               if os.path.isdir(os.path.join(FIXTURES_DIR, d))}
+    for rule in ALL_RULES:
+        if rule.name not in covered:
+            failures.append(f"rule [{rule.name}] has no fixtures directory")
+    if failures:
+        for failure in failures:
+            print(f"analyzer self-test: {failure}", file=sys.stderr)
+        print(f"analyzer self-test: FAILED ({len(failures)} problems, "
+              f"{total} fixtures, frontend: {frontend_name})",
+              file=sys.stderr)
+        return 1
+    print(f"analyzer self-test: OK ({total} fixtures across "
+          f"{len(covered)} rules, frontend: {frontend_name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

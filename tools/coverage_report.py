@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Aggregates gcov coverage for src/ from a PROCLUS_COVERAGE build.
+
+Workflow (the `coverage` presets wire steps 1-3):
+
+    cmake --preset coverage && cmake --build build-coverage -j
+    ctest --test-dir build-coverage -L 'unit|parallel|fault'
+    python3 tools/coverage_report.py --build build-coverage
+
+The script walks the build tree for .gcda counter files, runs
+`gcov --json-format` on their companion .gcno graphs, and folds the
+per-translation-unit JSON into one line/branch table for files under
+src/ — no gcovr/lcov dependency, just gcov (ships with gcc) and the
+stdlib. Exit is non-zero when no counters are found (tests did not run)
+or, with --fail-under-line, when total line coverage drops below the
+given percentage.
+"""
+
+import argparse
+import collections
+import glob
+import gzip
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcov():
+    exe = os.environ.get("GCOV", "") or shutil.which("gcov")
+    if not exe:
+        sys.stderr.write(
+            "coverage_report: no `gcov` on PATH (it ships with gcc). "
+            "Set GCOV=/path/to/gcov or install gcc.\n")
+        sys.exit(2)
+    return exe
+
+
+def run_gcov(gcov, gcda_paths, out_dir):
+    """Runs gcov in JSON mode over a batch of .gcda files; returns the
+    parsed JSON documents (gcov writes one .gcov.json.gz per input)."""
+    subprocess.run(
+        [gcov, "--json-format", "--branch-probabilities"]
+        + [os.path.abspath(p) for p in gcda_paths],
+        cwd=out_dir, stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL, check=False)
+    docs = []
+    for path in glob.glob(os.path.join(out_dir, "*.gcov.json.gz")):
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as exc:
+            sys.stderr.write(f"coverage_report: skipping {path}: {exc}\n")
+        os.unlink(path)
+    return docs
+
+
+class FileCov:
+    __slots__ = ("lines", "branches")
+
+    def __init__(self):
+        # line number -> max execution count seen across TUs
+        self.lines = {}
+        # (line, branch index) -> taken?
+        self.branches = {}
+
+
+def fold(docs, repo_root, stats):
+    repo_root = os.path.abspath(repo_root)
+    for doc in docs:
+        for f in doc.get("files", []):
+            path = f.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.join(repo_root, path)
+            rel = os.path.relpath(os.path.abspath(path), repo_root)
+            if not rel.startswith("src" + os.sep):
+                continue
+            cov = stats[rel]
+            for line in f.get("lines", []):
+                no = line.get("line_number", 0)
+                count = line.get("count", 0)
+                cov.lines[no] = max(cov.lines.get(no, 0), count)
+                for bi, br in enumerate(line.get("branches", [])):
+                    key = (no, bi)
+                    taken = br.get("count", 0) > 0
+                    cov.branches[key] = cov.branches.get(key, False) or taken
+
+
+def percent(hit, total):
+    return 100.0 * hit / total if total else 100.0
+
+
+def report(stats, json_path):
+    rows = []
+    t_lines = t_lines_hit = t_br = t_br_hit = 0
+    for rel in sorted(stats):
+        cov = stats[rel]
+        lines = len(cov.lines)
+        lines_hit = sum(1 for c in cov.lines.values() if c > 0)
+        br = len(cov.branches)
+        br_hit = sum(1 for taken in cov.branches.values() if taken)
+        t_lines += lines
+        t_lines_hit += lines_hit
+        t_br += br
+        t_br_hit += br_hit
+        rows.append((rel, lines_hit, lines, br_hit, br))
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'file':<{width}}  {'lines':>12}  {'line%':>6}  "
+          f"{'branches':>12}  {'brch%':>6}")
+    for rel, lh, ln, bh, bn in rows:
+        print(f"{rel:<{width}}  {lh:>5}/{ln:<6}  "
+              f"{percent(lh, ln):>5.1f}%  {bh:>5}/{bn:<6}  "
+              f"{percent(bh, bn):>5.1f}%")
+    print(f"{'TOTAL':<{width}}  {t_lines_hit:>5}/{t_lines:<6}  "
+          f"{percent(t_lines_hit, t_lines):>5.1f}%  "
+          f"{t_br_hit:>5}/{t_br:<6}  {percent(t_br_hit, t_br):>5.1f}%")
+    if json_path:
+        doc = {
+            "total": {
+                "lines": t_lines, "lines_hit": t_lines_hit,
+                "line_percent": round(percent(t_lines_hit, t_lines), 2),
+                "branches": t_br, "branches_hit": t_br_hit,
+                "branch_percent": round(percent(t_br_hit, t_br), 2),
+            },
+            "files": [
+                {"file": rel, "lines": ln, "lines_hit": lh,
+                 "branches": bn, "branches_hit": bh}
+                for rel, lh, ln, bh, bn in rows
+            ],
+        }
+        with open(json_path, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+    return percent(t_lines_hit, t_lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Aggregate gcov line/branch coverage for src/")
+    parser.add_argument("--build", required=True,
+                        help="build directory of a PROCLUS_COVERAGE "
+                             "configure (e.g. build-coverage)")
+    parser.add_argument("--root", default=".",
+                        help="repo root (default: cwd)")
+    parser.add_argument("--json", default="", metavar="FILE",
+                        help="also write the summary as JSON")
+    parser.add_argument("--fail-under-line", type=float, default=0.0,
+                        metavar="PCT",
+                        help="exit 1 if total line coverage is below PCT")
+    args = parser.parse_args(argv)
+
+    gcda = sorted(glob.glob(os.path.join(args.build, "**", "*.gcda"),
+                            recursive=True))
+    if not gcda:
+        sys.stderr.write(
+            f"coverage_report: no .gcda files under {args.build}. "
+            "Configure with -DPROCLUS_COVERAGE=ON (the `coverage` "
+            "preset) and run the tests first.\n")
+        return 2
+    gcov = find_gcov()
+    stats = collections.defaultdict(FileCov)
+    with tempfile.TemporaryDirectory(prefix="proclus_cov_") as tmp:
+        # Batch to keep command lines bounded.
+        for i in range(0, len(gcda), 64):
+            docs = run_gcov(gcov, gcda[i:i + 64], tmp)
+            fold(docs, args.root, stats)
+    if not stats:
+        sys.stderr.write(
+            "coverage_report: counters found, but none map to src/ — "
+            "was the build configured from this repo root?\n")
+        return 2
+    line_pct = report(stats, args.json)
+    print(f"coverage_report: {len(gcda)} counter files aggregated",
+          file=sys.stderr)
+    if args.fail_under_line and line_pct < args.fail_under_line:
+        sys.stderr.write(
+            f"coverage_report: line coverage {line_pct:.1f}% is below "
+            f"--fail-under-line {args.fail_under_line:.1f}%\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

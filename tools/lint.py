@@ -21,13 +21,12 @@ Enforces invariants that no generic tool knows about:
   nodiscard-status    Status and Result must stay declared [[nodiscard]] so
                       the compiler rejects silently discarded errors
                       (-Werror turns those warnings into build failures).
-  result-unchecked    Result<T>::value() (including std::move(r).value())
-                      or a dereference of an explicitly-typed Result local
-                      without a preceding r.ok() check (or
-                      PROCLUS_RETURN_IF_ERROR(r.status())) in the same
-                      function body. value() on an unchecked Result aborts
-                      the process, which turns malformed input into a crash.
-                      Per-function pass over src/, bench/, and fuzz/.
+  result-unchecked    RETIRED — superseded by the `status-flow` rule in
+                      tools/analyzer, which checks the same invariant
+                      (no Result access before an ok() check) on the
+                      statement tree instead of with textual precedence,
+                      so a check in a sibling branch no longer counts as
+                      a guard. See tools/analyzer/rules.py.
   raw-scan            Direct PointSource::Scan / ForEachBlock calls are
                       forbidden outside the scan engine itself (src/data/
                       engine.cc, src/data/point_source.cc, and the
@@ -158,33 +157,10 @@ ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
 
 GUARD_DIRS = ("src", "bench", "fuzz")
 
-# --- result-unchecked -------------------------------------------------------
-
-# Directories where an unchecked Result access is a real bug (library, bench
-# harness, fuzz harness). Tests intentionally use value() on temporaries as a
-# crash-on-failure assertion, so they are exempt.
-RESULT_RULE_DIRS = ("src", "bench", "fuzz")
-
-# Any function definition (not just Status-returning): return type token(s),
-# then a possibly-qualified name, then a parameter list. Lines opening with a
-# control-flow or jump keyword are excluded so `return Foo(x);` is not
-# mistaken for a definition.
-ANY_FN_RE = re.compile(
-    r"^[ \t]*(?!return\b|else\b|case\b|delete\b|new\b|if\b|for\b|while\b"
-    r"|switch\b|do\b|using\b|typedef\b|throw\b|goto\b)"
-    r"(?:static\s+|inline\s+|constexpr\s+|explicit\s+|virtual\s+|friend\s+)*"
-    r"[A-Za-z_][\w:]*(?:\s*<[^;{}()]*>)?(?:\s*[*&]+\s*|\s+)"
-    r"(?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_~]\w*\s*\(",
-    re.MULTILINE)
-
-# r.value() or std::move(r).value() where r is a plain identifier.
-VALUE_CALL_RE = re.compile(
-    r"(?:std\s*::\s*move\s*\(\s*([A-Za-z_]\w*)\s*\)|\b([A-Za-z_]\w*))"
-    r"\s*\.\s*value\s*\(\s*\)")
-
-# A local declared with an explicit Result<...> type (auto locals cannot be
-# typed without a real parser, so they are only covered via value() calls).
-RESULT_DECL_RE = re.compile(r"\bResult\s*<[^;{}()=]*>\s+([A-Za-z_]\w*)")
+# Directories where determinism bugs are real bugs (library, bench harness,
+# fuzz harness). Tests intentionally do order-sensitive things as assertions,
+# so they are exempt.
+LIBRARY_RULE_DIRS = ("src", "bench", "fuzz")
 
 # --- segmental-dimension-set ------------------------------------------------
 
@@ -446,59 +422,6 @@ def check_status_fn_checks(rel_path, original_lines, code, findings):
             "return Status for user-input validation, or add an "
             "`// invariant:` comment explaining why this cannot fire on "
             "caller-supplied data"))
-
-
-def result_guarded_before(body, name, pos):
-    """True if `name` was error-checked anywhere before offset pos in body.
-
-    Accepts every guard spelling the codebase uses: `name.ok()` (inside
-    PROCLUS_CHECK, ASSERT_TRUE, or a plain if) and
-    `PROCLUS_RETURN_IF_ERROR(name.status())`.
-    """
-    prefix = body[:pos]
-    escaped = re.escape(name)
-    if re.search(r"\b" + escaped + r"\s*\.\s*ok\s*\(", prefix):
-        return True
-    return bool(re.search(
-        r"PROCLUS_RETURN_IF_ERROR\s*\(\s*" + escaped +
-        r"\s*\.\s*status\s*\(", prefix))
-
-
-def check_result_unchecked(rel_path, original_lines, code, findings):
-    top = rel_path.split(os.sep, 1)[0]
-    if top not in RESULT_RULE_DIRS:
-        return
-    # The Result implementation itself legitimately touches its storage.
-    if rel_path == os.path.join("src", "common", "status.h"):
-        return
-
-    def report(offset, what, name):
-        ln = line_of(code, offset)
-        if allowed(original_lines, ln, "result-unchecked"):
-            return
-        findings.append(Finding(
-            rel_path, ln, "result-unchecked",
-            f"{what} on Result '{name}' with no preceding {name}.ok() check "
-            "in this function; an error Status here aborts the process — "
-            "check ok() (or PROCLUS_RETURN_IF_ERROR) first"))
-
-    for start, end in fn_spans(code, ANY_FN_RE):
-        body = code[start:end]
-        for m in VALUE_CALL_RE.finditer(body):
-            name = m.group(1) or m.group(2)
-            if not result_guarded_before(body, name, m.start()):
-                report(start + m.start(), "value()", name)
-        for decl in RESULT_DECL_RE.finditer(body):
-            name = decl.group(1)
-            escaped = re.escape(name)
-            # `*name` in dereference (not multiplication) position, or
-            # `name->member`.
-            deref = re.compile(
-                r"(?:\breturn\s+|[=(,;{]\s*)\*\s*" + escaped + r"\b"
-                r"|\b" + escaped + r"\s*->")
-            for use in deref.finditer(body, decl.end()):
-                if not result_guarded_before(body, name, use.start()):
-                    report(start + use.start(), "dereference", name)
 
 
 def match_paren(code, open_paren):
@@ -777,7 +700,7 @@ def range_for_loops(code):
 
 def check_unordered_iteration(rel_path, original_lines, code, findings):
     top = rel_path.split(os.sep, 1)[0]
-    if top not in RESULT_RULE_DIRS:
+    if top not in LIBRARY_RULE_DIRS:
         return
     names = unordered_container_names(code)
     if not names:
@@ -850,7 +773,6 @@ def lint_file(root, rel_path, findings):
     check_raw_scan(rel_path, original_lines, code, findings)
     check_raw_ifstream(rel_path, original_lines, code, findings)
     check_status_fn_checks(rel_path, original_lines, code, findings)
-    check_result_unchecked(rel_path, original_lines, code, findings)
     check_segmental_dimension_set(rel_path, original_lines, code, findings)
     check_unordered_iteration(rel_path, original_lines, code, findings)
     check_raw_sync(rel_path, original_lines, code, findings)
@@ -936,83 +858,21 @@ SELF_TEST_FIXTURES = [
      "#include <iostream>\n"
      "void Dump() { std::cerr << 1; }  // lint:allow(iostream-in-library)\n",
      []),
-    # result-unchecked: value() with no ok() check anywhere before it.
+    # DEPRECATION NOTE — result-unchecked is retired. The textual rule
+    # treated any earlier `r.ok()` in the function body as a guard, even
+    # one in a sibling branch that does not dominate the access; the
+    # `status-flow` rule in tools/analyzer tracks dominance on the
+    # statement tree and owns this invariant now (see
+    # tools/analyzer/rules.py and its fixtures). This fixture — the
+    # retired rule's canonical positive — must stay FINDING-FREE here to
+    # prove the regex rule is gone; the analyzer self-test proves
+    # status-flow still catches the same code.
     ("src/core/unchecked_value.cc",
      "#include \"common/status.h\"\n"
      "namespace proclus {\n"
      "int Get() {\n"
      "  auto r = Compute();\n"
      "  return r.value();\n"
-     "}\n"
-     "}\n",
-     ["result-unchecked"]),
-    # result-unchecked: std::move(r).value() is the same access.
-    ("src/core/unchecked_move.cc",
-     "#include \"common/status.h\"\n"
-     "namespace proclus {\n"
-     "int Get() {\n"
-     "  auto r = Compute();\n"
-     "  return std::move(r).value();\n"
-     "}\n"
-     "}\n",
-     ["result-unchecked"]),
-    # A PROCLUS_CHECK(r.ok()) guard earlier in the function is sufficient.
-    ("src/core/checked_value.cc",
-     "#include \"common/status.h\"\n"
-     "namespace proclus {\n"
-     "int Get() {\n"
-     "  auto r = Compute();\n"
-     "  // invariant: Compute cannot fail on the fixed input above.\n"
-     "  PROCLUS_CHECK(r.ok());\n"
-     "  return std::move(r).value();\n"
-     "}\n"
-     "}\n",
-     []),
-    # So is an early-return on !r.ok().
-    ("src/core/branch_checked.cc",
-     "#include \"common/status.h\"\n"
-     "namespace proclus {\n"
-     "Result<int> Get() {\n"
-     "  Result<int> r = Compute();\n"
-     "  if (!r.ok()) return r.status();\n"
-     "  return *r + 1;\n"
-     "}\n"
-     "}\n",
-     []),
-    # Dereference / arrow on an explicitly-typed Result local, unchecked.
-    ("src/core/unchecked_deref.cc",
-     "#include \"common/status.h\"\n"
-     "namespace proclus {\n"
-     "size_t Get() {\n"
-     "  Result<Dataset> r = Load();\n"
-     "  return r->size();\n"
-     "}\n"
-     "int Get2() {\n"
-     "  Result<int> r = Compute();\n"
-     "  return *r;\n"
-     "}\n"
-     "}\n",
-     ["result-unchecked", "result-unchecked"]),
-    # PROCLUS_RETURN_IF_ERROR(r.status()) counts as a guard.
-    ("src/core/rif_checked.cc",
-     "#include \"common/status.h\"\n"
-     "namespace proclus {\n"
-     "Status Use() {\n"
-     "  Result<int> r = Compute();\n"
-     "  PROCLUS_RETURN_IF_ERROR(r.status());\n"
-     "  Consume(*r);\n"
-     "  return Status::OK();\n"
-     "}\n"
-     "}\n",
-     []),
-    # lint:allow(result-unchecked) suppresses the finding on that line.
-    ("src/core/allowed_value.cc",
-     "#include \"common/status.h\"\n"
-     "namespace proclus {\n"
-     "int Get() {\n"
-     "  auto r = Compute();\n"
-     "  // Crash-on-error is intended here: r comes from a constant.\n"
-     "  return r.value();  // lint:allow(result-unchecked)\n"
      "}\n"
      "}\n",
      []),

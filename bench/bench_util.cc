@@ -189,6 +189,19 @@ void PrintRunStats(const std::string& prefix, const RunStats& stats) {
           static_cast<double>(stats.failed_scans));
   PrintKV(prefix + " wasted rows",
           static_cast<double>(stats.wasted_rows));
+  // Per-shard counters (sharded scans only): one table row per shard, in
+  // shard order, so the JSON baseline records how the work and the
+  // retries distributed across the shard set.
+  if (!stats.shard_io.empty()) {
+    TableWriter table({"shard", "scans", "rows", "bytes", "retries"});
+    for (size_t s = 0; s < stats.shard_io.size(); ++s) {
+      const RunStats::ShardIo& io = stats.shard_io[s];
+      table.AddRow({std::to_string(s), std::to_string(io.scans),
+                    std::to_string(io.rows), std::to_string(io.bytes),
+                    std::to_string(io.retries)});
+    }
+    PrintTable(prefix + " shard io", table);
+  }
 }
 
 void PrintTable(const std::string& name, const TableWriter& table) {

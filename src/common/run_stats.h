@@ -10,7 +10,9 @@
 #ifndef PROCLUS_COMMON_RUN_STATS_H_
 #define PROCLUS_COMMON_RUN_STATS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace proclus {
 
@@ -75,6 +77,33 @@ struct RunStats {
   double refine_seconds = 0.0;
   double total_seconds = 0.0;
 
+  // ----- Per-shard attribution (recorded by ShardedScanExecutor) -----
+  /// One shard's share of the sharded scans: how the aggregate counters
+  /// above split across the shard set. Empty unless the run scanned a
+  /// ShardedSource through the per-shard path.
+  struct ShardIo {
+    /// Shard scans completed (one per sharded whole-set scan, plus one
+    /// per re-issued attempt after a transient shard failure).
+    uint64_t scans = 0;
+    /// Rows this shard delivered (rows discarded by failed attempts are
+    /// counted in wasted_rows, not here).
+    uint64_t rows = 0;
+    /// Bytes physically read from this shard's backing storage.
+    uint64_t bytes = 0;
+    /// Scan re-issues this shard needed after transient failures.
+    uint64_t retries = 0;
+
+    void Merge(const ShardIo& other) {
+      scans += other.scans;
+      rows += other.rows;
+      bytes += other.bytes;
+      retries += other.retries;
+    }
+  };
+  /// Indexed by shard; shorter runs merge element-wise (shard identity is
+  /// positional, which matches the fixed shard order of a manifest).
+  std::vector<ShardIo> shard_io;
+
   /// Adds every counter of `other` into this (for aggregating runs).
   void Merge(const RunStats& other) {
     scans_issued += other.scans_issued;
@@ -97,6 +126,10 @@ struct RunStats {
     iterative_seconds += other.iterative_seconds;
     refine_seconds += other.refine_seconds;
     total_seconds += other.total_seconds;
+    if (shard_io.size() < other.shard_io.size())
+      shard_io.resize(other.shard_io.size());
+    for (size_t s = 0; s < other.shard_io.size(); ++s)
+      shard_io[s].Merge(other.shard_io[s]);
   }
 };
 

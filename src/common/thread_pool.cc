@@ -1,10 +1,29 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace proclus {
 
 namespace {
+
+// Size of the process-wide pool: the PROCLUS_POOL_THREADS environment
+// variable when set to a positive integer, hardware concurrency
+// otherwise. Containers and VMs frequently under-report
+// hardware_concurrency() relative to the parallelism actually granted;
+// the override lets deployments (and the shard benchmarks) size the pool
+// to reality. Results never depend on the value — only wall time does
+// (common/parallel.h).
+size_t GlobalPoolThreads() {
+  const char* env = std::getenv("PROCLUS_POOL_THREADS");
+  if (env != nullptr) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0 && value <= 1024)
+      return static_cast<size_t>(value);
+  }
+  return 0;  // ThreadPool maps 0 to hardware concurrency.
+}
 
 // True while this thread is executing inside ThreadPool::Run (as the
 // caller or as a pool worker running a task). A nested Run on such a
@@ -33,7 +52,7 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool pool(/*num_threads=*/0);
+  static ThreadPool pool(GlobalPoolThreads());
   return pool;
 }
 

@@ -45,8 +45,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Process-wide pool, lazily constructed on the first parallel scan and
-  /// sized to the hardware concurrency. Destroyed at static-destruction
-  /// time, after main returns.
+  /// sized to the hardware concurrency — or to the PROCLUS_POOL_THREADS
+  /// environment variable when that is set to a positive integer, for
+  /// containers whose reported CPU count understates the parallelism
+  /// actually granted. Destroyed at static-destruction time, after main
+  /// returns.
   static ThreadPool& Global();
 
   size_t num_threads() const { return threads_.size(); }

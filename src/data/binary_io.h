@@ -16,13 +16,27 @@
 // num_checksum_blocks = ceil(rows / checksum_block_rows); the final block
 // may cover fewer rows.
 
+// Shard manifests (.pcsm) describe a snapshot split into N per-shard
+// snapshots for the sharded scan engine (data/sharded_source.h):
+//
+// v1: magic "PCSM" (4) | version u32 | num_shards u64 | rows u64 |
+//     cols u64 | checksum_block_rows u64 | per shard:
+//     rows u64 | name_len u64 | name bytes (path relative to the
+//     manifest's directory).
+//
+// SplitIntoShards writes the shard snapshots (each a self-contained v2
+// PCLS file with its own checksum table) plus the manifest, verifying the
+// input snapshot's checksums as its payload streams through.
+
 #ifndef PROCLUS_DATA_BINARY_IO_H_
 #define PROCLUS_DATA_BINARY_IO_H_
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "data/dataset.h"
 
@@ -60,6 +74,57 @@ Result<Dataset> ReadBinaryFile(const std::string& path);
 /// in src/data stays behind one audited implementation (see the raw-ifstream
 /// lint rule).
 Result<std::string> ReadFileBytes(const std::string& path);
+
+/// Parsed contents of a shard manifest (.pcsm; format at the top of this
+/// header).
+struct ShardManifest {
+  struct Entry {
+    /// Rows held by this shard.
+    uint64_t rows = 0;
+    /// Shard snapshot path, relative to the manifest's directory.
+    std::string file;
+  };
+  /// Total rows across all shards.
+  uint64_t rows = 0;
+  /// Dimensionality shared by every shard.
+  uint64_t cols = 0;
+  /// Checksum granularity the shard snapshots were written with.
+  uint64_t checksum_block_rows = 0;
+  /// Shards in row order (shard i holds the rows after shards 0..i-1).
+  std::vector<Entry> shards;
+};
+
+/// Writes `manifest` to the file at `path`.
+Status WriteShardManifest(const ShardManifest& manifest,
+                          const std::string& path);
+
+/// Reads a manifest previously written with WriteShardManifest. Corrupted
+/// or truncated input yields a Corruption status.
+Result<ShardManifest> ReadShardManifest(const std::string& path);
+
+/// How SplitIntoShards partitions a snapshot.
+struct ShardSplitOptions {
+  /// Number of shards to produce (clamped to the row count).
+  size_t num_shards = 1;
+  /// Every shard boundary is placed at a multiple of this row count, so
+  /// the per-shard parallel scan path (which requires shard offsets to be
+  /// multiples of the scan's block_rows) engages for any block size
+  /// dividing it. When the snapshot is too small for aligned shards the
+  /// split falls back to an even unaligned partition, which the glued
+  /// sequential scan still reproduces bit-identically.
+  uint64_t align_rows = kDefaultBlockRows;
+  /// Integrity granularity of the written shard snapshots.
+  uint64_t checksum_block_rows = kDefaultChecksumBlockRows;
+};
+
+/// Splits the PCLS snapshot at `snapshot_path` into per-shard snapshots
+/// `<out_prefix>.shard<i>.bin` plus a manifest `<out_prefix>.pcsm`,
+/// streaming the payload (the full dataset is never resident) and
+/// verifying the input's checksum table as it passes through. Returns the
+/// manifest path.
+Result<std::string> SplitIntoShards(const std::string& snapshot_path,
+                                    const std::string& out_prefix,
+                                    const ShardSplitOptions& options = {});
 
 }  // namespace proclus
 

@@ -1,5 +1,12 @@
 #include "data/engine.h"
 
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/sharded_source.h"
+
 namespace proclus {
 
 Status ScanExecutor::Run(const PointSource& source,
@@ -8,6 +15,15 @@ Status ScanExecutor::Run(const PointSource& source,
     return Status::InvalidArgument("block_rows must be > 0");
   if (consumers.empty())
     return Status::InvalidArgument("no consumers");
+
+  // Shard sets with block-aligned boundaries take the per-shard path
+  // (concurrent shard scans, per-shard retry, per-shard counters);
+  // unaligned sets keep the glued sequential Scan below. Either way the
+  // bits match the unsharded run.
+  if (const ShardedSource* sharded = source.Sharded();
+      sharded != nullptr && sharded->AlignedTo(options_.block_rows)) {
+    return ShardedScanExecutor(options_).Run(*sharded, consumers);
+  }
 
   ScanGeometry geometry;
   geometry.rows = source.size();
@@ -78,6 +94,146 @@ Status ScanExecutor::Run(const PointSource& source,
     options_.stats->scans_issued += 1;
     options_.stats->rows_visited += geometry.rows;
     options_.stats->bytes_read += source.io().bytes_read - before.bytes_read;
+    for (ScanConsumer* consumer : consumers) {
+      options_.stats->distance_evals += consumer->distance_evals();
+      const ScanConsumer::KernelStats kernel = consumer->kernel_stats();
+      options_.stats->kernel_batches += kernel.batches;
+      options_.stats->kernel_rows += kernel.rows_scored;
+      options_.stats->tile_reuse_hits += kernel.tile_hits;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedScanExecutor::Run(const ShardedSource& source,
+                                std::span<ScanConsumer* const> consumers)
+    const {
+  if (options_.block_rows == 0)
+    return Status::InvalidArgument("block_rows must be > 0");
+  if (consumers.empty())
+    return Status::InvalidArgument("no consumers");
+  // Unaligned shard boundaries would put one scan block in two shards;
+  // the glued sequential path handles that geometry bit-identically.
+  // (ScanExecutor::Run cannot re-delegate here: its delegation requires
+  // AlignedTo, which just failed.)
+  if (!source.AlignedTo(options_.block_rows))
+    return ScanExecutor(options_).Run(source, consumers);
+
+  ScanGeometry geometry;
+  geometry.rows = source.size();
+  geometry.dims = source.dims();
+  geometry.block_rows = options_.block_rows;
+  geometry.num_blocks = BlockCount(geometry.rows, geometry.block_rows);
+  for (ScanConsumer* consumer : consumers)
+    PROCLUS_RETURN_IF_ERROR(consumer->Prepare(geometry));
+
+  // Everything a shard scan mutates lives in its own outcome slot; the
+  // aggregation below runs on the calling thread after the parallel
+  // region (same ownership-partitioning argument as ScanExecutor::Run,
+  // one level up: workers share only per-block consumer state at
+  // distinct global block indices).
+  struct ShardOutcome {
+    Status status = Status::OK();
+    RunStats::ShardIo io;
+    uint64_t failed_scans = 0;
+    uint64_t wasted_rows = 0;
+  };
+  const size_t num_shards = source.num_shards();
+  std::vector<ShardOutcome> outcomes(num_shards);
+
+  auto scan_shard = [&](size_t s) {
+    ShardOutcome& outcome = outcomes[s];
+    const PointSource& shard = source.shard(s);
+    const size_t offset = source.shard_offset(s);
+    const size_t max_attempts =
+        options_.retry.max_attempts == 0 ? 1 : options_.retry.max_attempts;
+    for (size_t attempt = 1;; ++attempt) {
+      const uint64_t bytes_before = shard.io().bytes_read;
+      uint64_t delivered_rows = 0;
+      Status status = shard.Scan(
+          options_.block_rows,
+          [&](size_t first, std::span<const double> data, size_t rows) {
+            // Aligned boundaries make the global index the index this
+            // block has in the unsharded scan — the whole determinism
+            // argument in one line.
+            const size_t global_first = offset + first;
+            delivered_rows += rows;
+            const size_t block = global_first / options_.block_rows;
+            for (ScanConsumer* consumer : consumers)
+              consumer->ConsumeBlock(block, global_first, data, rows);
+          });
+      outcome.io.bytes += shard.io().bytes_read - bytes_before;
+      if (status.ok()) {
+        outcome.io.scans += 1;
+        outcome.io.rows += delivered_rows;
+        break;
+      }
+      outcome.failed_scans += 1;
+      outcome.wasted_rows += delivered_rows;
+      if (!IsTransient(status) || attempt >= max_attempts) {
+        outcome.status = status;
+        break;
+      }
+      // Per-shard retry without consumer rollback: the re-issue delivers
+      // the same blocks with the same bytes, which the ConsumeBlock
+      // re-delivery contract absorbs; every other shard's blocks are
+      // disjoint by construction.
+      outcome.io.retries += 1;
+      SleepBackoff(options_.retry, attempt);
+    }
+  };
+
+  const size_t workers =
+      std::min(options_.num_threads == 0 ? 1 : options_.num_threads,
+               num_shards);
+  if (workers <= 1) {
+    for (size_t s = 0; s < num_shards; ++s) scan_shard(s);
+  } else {
+    // order: relaxed — pure shard-index ticket; the claimed slot's writes
+    // are published to the caller by ThreadPool::Run's completion
+    // handshake, not by this counter.
+    std::atomic<size_t> next_shard{0};
+    ThreadPool::Global().Run(workers, [&](size_t) {
+      for (;;) {
+        const size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
+        if (s >= num_shards) break;
+        scan_shard(s);
+      }
+    });
+  }
+
+  Status first_error = Status::OK();
+  uint64_t bytes_total = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const ShardOutcome& outcome = outcomes[s];
+    bytes_total += outcome.io.bytes;
+    if (options_.stats != nullptr) {
+      options_.stats->failed_scans += outcome.failed_scans;
+      options_.stats->wasted_rows += outcome.wasted_rows;
+      options_.stats->retries += outcome.io.retries;
+    }
+    if (first_error.ok() && !outcome.status.ok())
+      first_error = outcome.status;
+  }
+  if (!first_error.ok()) return first_error;
+
+  // One global merge, ascending block order — shard count cannot matter.
+  for (ScanConsumer* consumer : consumers)
+    PROCLUS_RETURN_IF_ERROR(consumer->Merge());
+
+  // The shards recorded their physical scans into their own counters;
+  // record the logical whole-set scan (and its physical bytes) on the
+  // shard set itself so its counters stay truthful too.
+  source.RecordScan(geometry.rows, bytes_total);
+
+  if (options_.stats != nullptr) {
+    options_.stats->scans_issued += 1;
+    options_.stats->rows_visited += geometry.rows;
+    options_.stats->bytes_read += bytes_total;
+    if (options_.stats->shard_io.size() < num_shards)
+      options_.stats->shard_io.resize(num_shards);
+    for (size_t s = 0; s < num_shards; ++s)
+      options_.stats->shard_io[s].Merge(outcomes[s].io);
     for (ScanConsumer* consumer : consumers) {
       options_.stats->distance_evals += consumer->distance_evals();
       const ScanConsumer::KernelStats kernel = consumer->kernel_stats();

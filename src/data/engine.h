@@ -24,6 +24,13 @@
 //    list order within the same visit; consumers never observe each
 //    other's partials, so a fused run is bit-identical to running the
 //    same consumers over separate scans.
+//  * Sharded scans (ShardedScanExecutor below) lift the same invariant one
+//    level: shards are scanned concurrently, but every block keeps the
+//    block index it would have in the unsharded scan, so the one global
+//    Merge in ascending block order yields bits independent of the shard
+//    count too. Shard-level fault retry re-delivers a failed shard's
+//    blocks into live consumers, which the re-delivery contract on
+//    ConsumeBlock (see ScanConsumer) makes invisible.
 //
 // Concurrency & ownership (the full ownership map is DESIGN.md §10): the
 // executor itself holds no locks. Its safety argument is pure ownership
@@ -83,6 +90,16 @@ class ScanConsumer {
   /// Delivers one block of `rows` points starting at row `first_row`
   /// (`data` holds rows x dims doubles, row-major). May be called
   /// concurrently for distinct blocks; see the contract above.
+  ///
+  /// Re-delivery contract: after a transient shard failure the sharded
+  /// executor delivers the failed shard's blocks again — same indices,
+  /// same bytes, possibly after a truncated partial delivery — without an
+  /// intervening Reset/Prepare. ConsumeBlock must therefore leave its
+  /// block's partial (and any per-row state it writes) as if only the
+  /// final delivery had happened: initialize-then-fill per call, or make
+  /// only idempotent row-keyed / min-max updates. Every consumer in this
+  /// repository already satisfies this (it is what their no-op Reset()
+  /// overrides document).
   virtual void ConsumeBlock(size_t block_index, size_t first_row,
                             std::span<const double> data, size_t rows) = 0;
 
@@ -147,7 +164,11 @@ class ScanExecutor {
 
   /// Runs one scan: Prepare on every consumer, one ConsumeBlock per block
   /// per consumer, then Merge on every consumer in list order. Requires
-  /// at least one consumer.
+  /// at least one consumer. A ShardedSource whose shard boundaries align
+  /// with block_rows is delegated to the ShardedScanExecutor (per-shard
+  /// parallel scan, per-shard retry) — the results are bit-identical
+  /// either way, so callers need not know whether their source is
+  /// sharded.
   Status Run(const PointSource& source,
              std::span<ScanConsumer* const> consumers) const;
   Status Run(const PointSource& source,
@@ -156,6 +177,42 @@ class ScanExecutor {
                std::span<ScanConsumer* const>(consumers.begin(),
                                               consumers.size()));
   }
+
+  const ScanOptions& options() const { return options_; }
+
+ private:
+  ScanOptions options_;
+};
+
+/// Drives N consumers over the shards of a ShardedSource.
+///
+/// Shards are scanned concurrently (up to options.num_threads shard scans
+/// in flight on the persistent ThreadPool; 1 = sequential in shard
+/// order), every block keeps the global block index it would have in the
+/// unsharded scan, and the one Merge per consumer runs afterwards on the
+/// calling thread in ascending block order. Because the merge order is a
+/// property of the block geometry — not of shards or threads — the
+/// result is bit-identical to ScanExecutor::Run over the unsharded
+/// snapshot for ANY shard count and thread count.
+///
+/// Failure domains are per shard: a transiently failed shard scan is
+/// re-issued alone under options.retry (its re-delivered blocks are
+/// absorbed by the ConsumeBlock re-delivery contract; no other shard's
+/// partials are touched), and per-shard scan/row/byte/retry counters are
+/// recorded into RunStats::shard_io. A permanent shard failure fails the
+/// whole scan after every in-flight shard completes.
+///
+/// Requires shard boundaries aligned to options.block_rows
+/// (ShardedSource::AlignedTo); unaligned sets fall back to the glued
+/// sequential scan with wholesale retry, which is still bit-identical.
+class ShardedScanExecutor {
+ public:
+  explicit ShardedScanExecutor(const ScanOptions& options)
+      : options_(options) {}
+
+  /// Runs one logical whole-set scan across the shards.
+  Status Run(const ShardedSource& source,
+             std::span<ScanConsumer* const> consumers) const;
 
   const ScanOptions& options() const { return options_; }
 

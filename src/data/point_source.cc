@@ -5,8 +5,12 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/hash.h"
+#include "common/sync.h"
 
 namespace proclus {
 
@@ -57,6 +61,70 @@ std::string ShortReadDetail(const std::string& path, uint64_t offset,
          ": expected " + std::to_string(expected) + " bytes, got " +
          std::to_string(actual < 0 ? 0 : actual);
 }
+
+// Streaming verifier over a snapshot's checksum blocks, independent of
+// the scan tile geometry (the two block sizes need not align). Feed()
+// consumes rows in scan order and reports the first mismatched checksum
+// block as DataLoss. Shared by the inline and prefetch scan paths so both
+// verify identically.
+class ChecksumStream {
+ public:
+  ChecksumStream(const std::vector<uint64_t>& checksums,
+                 size_t checksum_block_rows, size_t total_rows,
+                 size_t row_bytes, size_t data_offset,
+                 const std::string& path)
+      : checksums_(checksums),
+        checksum_block_rows_(checksum_block_rows),
+        total_rows_(total_rows),
+        row_bytes_(row_bytes),
+        data_offset_(data_offset),
+        path_(path) {}
+
+  /// Hashes `rows` rows at `bytes`; returns DataLoss when a completed
+  /// checksum block disagrees with the table. No-op for v1 snapshots.
+  Status Feed(const char* bytes, size_t rows) {
+    if (checksums_.empty()) return Status::OK();
+    size_t left = rows;
+    while (left > 0) {
+      const size_t take =
+          std::min(checksum_block_rows_ - rows_in_block_, left);
+      hasher_.Update(bytes, take * row_bytes_);
+      bytes += take * row_bytes_;
+      left -= take;
+      rows_in_block_ += take;
+      rows_hashed_ += take;
+      if (rows_in_block_ == checksum_block_rows_ ||
+          rows_hashed_ == total_rows_) {
+        const uint64_t digest = hasher_.Digest();
+        if (digest != checksums_[block_]) {
+          return Status::DataLoss(
+              "checksum mismatch in '" + path_ + "' block " +
+              std::to_string(block_) + " (byte offset " +
+              std::to_string(data_offset_ +
+                             block_ * checksum_block_rows_ * row_bytes_) +
+              "): expected " + std::to_string(checksums_[block_]) +
+              ", computed " + std::to_string(digest));
+        }
+        hasher_.Reset();
+        ++block_;
+        rows_in_block_ = 0;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::vector<uint64_t>& checksums_;
+  const size_t checksum_block_rows_;
+  const size_t total_rows_;
+  const size_t row_bytes_;
+  const size_t data_offset_;
+  const std::string& path_;
+  Xxh64 hasher_;
+  size_t block_ = 0;
+  size_t rows_in_block_ = 0;
+  size_t rows_hashed_ = 0;
+};
 }  // namespace
 
 Result<DiskSource> DiskSource::Open(const std::string& path) {
@@ -136,24 +204,34 @@ Result<DiskSource> DiskSource::Open(const std::string& path) {
                     std::move(checksums));
 }
 
+bool DiskSource::DefaultPrefetch() {
+  return std::thread::hardware_concurrency() > 1;
+}
+
 Status DiskSource::Scan(size_t block_rows, const BlockVisitor& visit) const {
   if (block_rows == 0)
     return Status::InvalidArgument("block_rows must be > 0");
+  // Overlap needs at least two tiles; single-tile (and empty) scans take
+  // the inline path, as does an explicit set_prefetch(false).
+  if (!prefetch_ || rows_ <= block_rows) return ScanInline(block_rows, visit);
+  return ScanPrefetch(block_rows, visit);
+}
+
+Status DiskSource::ScanInline(size_t block_rows,
+                              const BlockVisitor& visit) const {
   std::ifstream in(path_, std::ios::binary);
   if (!in) return Status::IOError("cannot reopen '" + path_ + "'");
   in.seekg(static_cast<std::streamoff>(data_offset_));
   const size_t row_bytes = cols_ * sizeof(double);
   std::vector<double> buffer(block_rows * cols_);
   // Streaming integrity: checksum blocks are hashed as their bytes pass
-  // through, independent of the scan block size (the two block geometries
-  // need not align). A completed checksum block is verified before its
-  // last rows are delivered; rows of a still-open checksum block can have
-  // been delivered before a mismatch is detected, which is why a failed
-  // scan must be discarded wholesale (ScanConsumer::Reset contract).
-  Xxh64 hasher;
-  size_t csum_block = 0;
-  size_t rows_in_csum_block = 0;
-  size_t rows_hashed = 0;
+  // through, independent of the scan block size. A completed checksum
+  // block is verified before its last rows are delivered; rows of a
+  // still-open checksum block can have been delivered before a mismatch
+  // is detected, which is why a failed scan must be discarded wholesale
+  // (ScanConsumer::Reset contract).
+  ChecksumStream verifier(checksums_, checksum_block_rows_, rows_, row_bytes,
+                          data_offset_, path_);
   for (size_t first = 0; first < rows_; first += block_rows) {
     size_t rows = std::min(block_rows, rows_ - first);
     in.read(reinterpret_cast<char*>(buffer.data()),
@@ -163,39 +241,115 @@ Status DiskSource::Scan(size_t block_rows, const BlockVisitor& visit) const {
           "scan read failed in " +
           ShortReadDetail(path_, data_offset_ + first * row_bytes,
                           rows * row_bytes, in.gcount()));
-    if (!checksums_.empty()) {
-      const char* p = reinterpret_cast<const char*>(buffer.data());
-      size_t left = rows;
-      while (left > 0) {
-        const size_t take =
-            std::min(checksum_block_rows_ - rows_in_csum_block, left);
-        hasher.Update(p, take * row_bytes);
-        p += take * row_bytes;
-        left -= take;
-        rows_in_csum_block += take;
-        rows_hashed += take;
-        if (rows_in_csum_block == checksum_block_rows_ ||
-            rows_hashed == rows_) {
-          const uint64_t digest = hasher.Digest();
-          if (digest != checksums_[csum_block]) {
-            return Status::DataLoss(
-                "checksum mismatch in '" + path_ + "' block " +
-                std::to_string(csum_block) + " (byte offset " +
-                std::to_string(data_offset_ +
-                               csum_block * checksum_block_rows_ *
-                                   row_bytes) +
-                "): expected " + std::to_string(checksums_[csum_block]) +
-                ", computed " + std::to_string(digest));
-          }
-          hasher.Reset();
-          ++csum_block;
-          rows_in_csum_block = 0;
-        }
-      }
-    }
+    PROCLUS_RETURN_IF_ERROR(verifier.Feed(
+        reinterpret_cast<const char*>(buffer.data()), rows));
     visit(first, std::span<const double>(buffer.data(), rows * cols_),
           rows);
   }
+  RecordScan(rows_, rows_ * cols_ * sizeof(double));
+  return Status::OK();
+}
+
+Status DiskSource::ScanPrefetch(size_t block_rows,
+                                const BlockVisitor& visit) const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::IOError("cannot reopen '" + path_ + "'");
+  in.seekg(static_cast<std::streamoff>(data_offset_));
+  const size_t row_bytes = cols_ * sizeof(double);
+  const size_t num_tiles = (rows_ + block_rows - 1) / block_rows;
+
+  // Double buffer: tile t lives in slot t % 2. The producer thread reads
+  // and checksums tile t+1 while the calling thread delivers tile t; the
+  // counters below hand slot ownership back and forth, so neither side
+  // ever touches a buffer the other is using. Delivery order, block
+  // contents, and failure semantics are identical to ScanInline — a tile
+  // is delivered only after it was fully read and its completed checksum
+  // blocks verified, and a producer failure surfaces after every tile
+  // read before it was delivered.
+  struct Shared {
+    Mutex mu;
+    CondVar cv;
+    // Tiles fully read + verified (producer advances; tile t is safe to
+    // deliver when filled > t).
+    size_t filled PROCLUS_GUARDED_BY(mu) = 0;
+    // Tiles delivered (consumer advances; the producer may overwrite
+    // slot t % 2 once consumed >= t - 1).
+    size_t consumed PROCLUS_GUARDED_BY(mu) = 0;
+    // Consumer abandoned the scan; producer must exit.
+    bool cancel PROCLUS_GUARDED_BY(mu) = false;
+    // First producer error, valid once failed is set.
+    bool failed PROCLUS_GUARDED_BY(mu) = false;
+    Status status PROCLUS_GUARDED_BY(mu);
+  };
+  Shared shared;
+  std::vector<double> slots[2];
+  slots[0].resize(block_rows * cols_);
+  slots[1].resize(block_rows * cols_);
+
+  std::thread producer([&]() {
+    ChecksumStream verifier(checksums_, checksum_block_rows_, rows_,
+                            row_bytes, data_offset_, path_);
+    for (size_t tile = 0; tile < num_tiles; ++tile) {
+      {
+        MutexLock lock(shared.mu);
+        while (tile >= shared.consumed + 2 && !shared.cancel)
+          shared.cv.Wait(shared.mu);
+        if (shared.cancel) return;
+      }
+      const size_t first = tile * block_rows;
+      const size_t rows = std::min(block_rows, rows_ - first);
+      std::vector<double>& buffer = slots[tile % 2];
+      Status status;
+      in.read(reinterpret_cast<char*>(buffer.data()),
+              static_cast<std::streamsize>(rows * row_bytes));
+      if (!in) {
+        status = Status::IOError(
+            "scan read failed in " +
+            ShortReadDetail(path_, data_offset_ + first * row_bytes,
+                            rows * row_bytes, in.gcount()));
+      } else {
+        status = verifier.Feed(reinterpret_cast<const char*>(buffer.data()),
+                               rows);
+      }
+      {
+        MutexLock lock(shared.mu);
+        if (!status.ok()) {
+          shared.failed = true;
+          shared.status = std::move(status);
+        } else {
+          shared.filled = tile + 1;
+        }
+      }
+      shared.cv.NotifyAll();
+      if (!status.ok()) return;
+    }
+  });
+
+  Status result;
+  for (size_t tile = 0; tile < num_tiles; ++tile) {
+    {
+      MutexLock lock(shared.mu);
+      while (shared.filled <= tile && !shared.failed)
+        shared.cv.Wait(shared.mu);
+      if (shared.filled <= tile) {  // Producer failed before this tile.
+        result = shared.status;
+        shared.cancel = true;
+        break;
+      }
+    }
+    const size_t first = tile * block_rows;
+    const size_t rows = std::min(block_rows, rows_ - first);
+    visit(first,
+          std::span<const double>(slots[tile % 2].data(), rows * cols_),
+          rows);
+    {
+      MutexLock lock(shared.mu);
+      shared.consumed = tile + 1;
+    }
+    shared.cv.NotifyAll();
+  }
+  producer.join();
+  if (!result.ok()) return result;
   RecordScan(rows_, rows_ * cols_ * sizeof(double));
   return Status::OK();
 }

@@ -34,6 +34,8 @@
 
 namespace proclus {
 
+class ShardedSource;
+
 /// Snapshot of a source's cumulative physical-access counters (monotonic
 /// over the source's lifetime). `bytes_read` counts bytes physically read
 /// from backing storage: zero for in-memory sources, whose scans hand out
@@ -83,6 +85,14 @@ class PointSource {
   /// the zero-copy parallel pass path.
   virtual const Dataset* InMemory() const { return nullptr; }
 
+  /// Non-null when the source is a shard set (data/sharded_source.h);
+  /// ScanExecutor::Run delegates such sources to the ShardedScanExecutor
+  /// so every caller gets the per-shard parallel/retry path without
+  /// knowing about sharding. Decorators (e.g. the fault injector) keep
+  /// the null default: a wrapped shard set scans through the decorated
+  /// glued Scan() instead, which preserves their interception.
+  virtual const ShardedSource* Sharded() const { return nullptr; }
+
   /// Cumulative access counters. Thread-compatible with concurrent
   /// Scan/Fetch calls (relaxed GuardedCounters; each field is
   /// individually consistent, not a cross-field snapshot).
@@ -105,8 +115,11 @@ class PointSource {
  private:
   // The executor's zero-copy parallel path reads an in-memory source's
   // data without going through Scan(); it records the logical scan here so
-  // the counters stay truthful for every path.
+  // the counters stay truthful for every path. The sharded executor
+  // likewise scans the shards directly, bypassing the shard set's own
+  // glued Scan(), and records the logical whole-set scan on it here.
   friend class ScanExecutor;
+  friend class ShardedScanExecutor;
 
   // Relaxed-atomic cells behind the IoCounters snapshot. Concurrent
   // Scan/Fetch calls bump them without coordination; Snapshot() is the
@@ -162,6 +175,18 @@ class MemorySource final : public PointSource {
 /// retry internally — a mid-scan failure invalidates everything already
 /// delivered to visitors, so the re-issue belongs to the caller that owns
 /// the consumer state (ScanExecutor::Run).
+///
+/// Prefetch: by default (on hosts with more than one hardware thread)
+/// Scan double-buffers — a producer thread reads and checksums tile i+1
+/// while the visitor consumes tile i, overlapping disk I/O with kernel
+/// compute. Block contents, delivery order, and failure semantics are
+/// identical to the inline path (a checksum block completed inside tile i
+/// is still verified before tile i is delivered); only wall time changes.
+/// `set_prefetch(false)` restores the single-threaded read loop (also
+/// used automatically for single-tile scans). On a single-core host the
+/// producer thread cannot overlap page-cache reads with compute and the
+/// handoff is pure overhead, so the default there is off — set_prefetch
+/// still forces either path explicitly.
 class DiskSource final : public PointSource {
  public:
   /// Opens and validates the snapshot at `path`.
@@ -179,6 +204,11 @@ class DiskSource final : public PointSource {
   /// True when the snapshot carries a checksum table (version >= 2).
   bool verifies_checksums() const { return !checksums_.empty(); }
 
+  /// Whether Scan overlaps tile reads with visitor compute (default on
+  /// when the host has more than one hardware thread).
+  bool prefetch() const { return prefetch_; }
+  void set_prefetch(bool enabled) { prefetch_ = enabled; }
+
  private:
   DiskSource(std::string path, size_t rows, size_t cols, size_t data_offset,
              size_t checksum_block_rows, std::vector<uint64_t> checksums)
@@ -193,11 +223,22 @@ class DiskSource final : public PointSource {
   size_t rows_;
   size_t cols_;
   size_t data_offset_;
+  // Sequential fallback for Scan when prefetch is disabled or the scan
+  // has fewer than two tiles.
+  Status ScanInline(size_t block_rows, const BlockVisitor& visit) const;
+  // Double-buffered Scan: producer thread reads + checksums tiles into
+  // two slots, the calling thread delivers them in order.
+  Status ScanPrefetch(size_t block_rows, const BlockVisitor& visit) const;
+
+  // True when the host has a second hardware thread to run the producer.
+  static bool DefaultPrefetch();
+
   // v2 only: rows per checksum block and one XXH64 digest per block
   // (empty for v1 snapshots).
   size_t checksum_block_rows_;
   std::vector<uint64_t> checksums_;
   RetryPolicy retry_;
+  bool prefetch_ = DefaultPrefetch();
 };
 
 }  // namespace proclus

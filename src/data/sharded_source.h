@@ -1,0 +1,123 @@
+// ShardedSource: one logical PointSource over an ordered set of shard
+// sources, each holding a contiguous row range of the full point set.
+//
+// Sharding is the scan layer's unit of coarse parallelism and of failure
+// isolation: the ShardedScanExecutor (data/engine.h) scans shards
+// concurrently on the persistent ThreadPool and retries a transiently
+// failed shard alone, while the deterministic merge stays global — every
+// block keeps its single-source block index, so results are bit-identical
+// to scanning the unsharded snapshot for any shard count and thread count
+// (DESIGN.md §12).
+//
+// A ShardedSource is also a plain PointSource: its own Scan() glues the
+// shards back into exactly the single-source block geometry (restitching
+// blocks that straddle a shard boundary through a staging buffer), so
+// every consumer of the PointSource interface works unchanged. Fetch()
+// routes each index to the shard owning its row.
+//
+// Shard boundaries are fixed at construction; the parallel per-shard path
+// engages when every boundary is a multiple of the scan's block_rows
+// (SplitIntoShards aligns boundaries for exactly this reason — see
+// data/binary_io.h), and the glued sequential path covers every other
+// geometry with identical results.
+
+#ifndef PROCLUS_DATA_SHARDED_SOURCE_H_
+#define PROCLUS_DATA_SHARDED_SOURCE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/point_source.h"
+
+namespace proclus {
+
+/// PointSource over a contiguous row range [first_row, first_row + rows)
+/// of an in-memory Dataset (not owned). The building block for memory
+/// sharding: blocks are zero-copy spans into the parent dataset.
+class MemorySliceSource final : public PointSource {
+ public:
+  /// Views rows [first_row, first_row + rows) of `dataset`, which must
+  /// outlive this source. Requires first_row + rows <= dataset.size().
+  MemorySliceSource(const Dataset& dataset, size_t first_row, size_t rows);
+
+  size_t size() const override { return rows_; }
+  size_t dims() const override { return dataset_->dims(); }
+  Status Scan(size_t block_rows, const BlockVisitor& visit) const override;
+  Result<Matrix> Fetch(std::span<const size_t> indices) const override;
+  // InMemory() stays null: the slice is not the whole dataset, so the
+  // executor's whole-source zero-copy path must not engage (its row
+  // indices would be global, not slice-relative).
+
+ private:
+  const Dataset* dataset_;
+  size_t first_row_;
+  size_t rows_;
+};
+
+/// Logical concatenation of N shard sources (shard i holds rows
+/// [shard_offset(i), shard_offset(i) + shard(i).size())).
+class ShardedSource final : public PointSource {
+ public:
+  /// Takes ownership of `shards` (all non-null, all with equal dims;
+  /// shards may be empty only when every shard is empty). Returns
+  /// InvalidArgument when the shard set is empty or a shard is null, and
+  /// Corruption when shard dimensionalities disagree.
+  static Result<ShardedSource> Create(
+      std::vector<std::unique_ptr<PointSource>> shards);
+
+  /// Opens every shard snapshot listed in the PCSM manifest at `path`
+  /// (see data/binary_io.h) as a DiskSource, validating each shard's
+  /// shape against the manifest.
+  static Result<ShardedSource> OpenManifest(const std::string& path);
+
+  /// Shards an in-memory dataset into `num_shards` contiguous
+  /// MemorySliceSource ranges, each (except the last) holding a multiple
+  /// of `align_rows` rows. `dataset` must outlive the source. Shard
+  /// counts larger than the row count are clamped.
+  static Result<ShardedSource> FromDataset(const Dataset& dataset,
+                                           size_t num_shards,
+                                           size_t align_rows);
+
+  size_t size() const override { return rows_; }
+  size_t dims() const override { return cols_; }
+  /// Glued sequential scan: delivers the exact single-source block
+  /// geometry regardless of shard boundaries, restitching straddling
+  /// blocks through a staging buffer and passing aligned shard blocks
+  /// through without a copy.
+  Status Scan(size_t block_rows, const BlockVisitor& visit) const override;
+  /// Routes each index to its owning shard (one batched fetch per shard).
+  Result<Matrix> Fetch(std::span<const size_t> indices) const override;
+  const ShardedSource* Sharded() const override { return this; }
+
+  size_t num_shards() const { return shards_.size(); }
+  const PointSource& shard(size_t i) const { return *shards_[i]; }
+  /// Global index of shard i's first row.
+  size_t shard_offset(size_t i) const { return offsets_[i]; }
+  size_t shard_rows(size_t i) const { return shards_[i]->size(); }
+
+  /// True when every shard boundary is a multiple of `block_rows`, i.e.
+  /// no scan block of that size straddles a shard boundary and the
+  /// per-shard parallel path reproduces the single-source block geometry.
+  bool AlignedTo(size_t block_rows) const;
+
+ private:
+  ShardedSource(std::vector<std::unique_ptr<PointSource>> shards,
+                std::vector<size_t> offsets, size_t rows, size_t cols)
+      : shards_(std::move(shards)),
+        offsets_(std::move(offsets)),
+        rows_(rows),
+        cols_(cols) {}
+
+  std::vector<std::unique_ptr<PointSource>> shards_;
+  std::vector<size_t> offsets_;  // offsets_[i] = first global row of shard i
+  size_t rows_;
+  size_t cols_;
+};
+
+}  // namespace proclus
+
+#endif  // PROCLUS_DATA_SHARDED_SOURCE_H_

@@ -1,0 +1,8 @@
+// fixture-path: src/data/fixture_shard_upward.cc
+// A shard-layer file reaching up for the consumer implementations (core,
+// layer 3) or the distance kernels (layer 2): both are back-edges. The
+// shard executor must see consumers only through the ScanConsumer
+// interface declared in its own layer (data/engine.h).
+#include "data/sharded_source.h"
+#include "src/core/consumers.h"  // expect: layer-dag
+#include "src/distance/batch.h"  // expect: layer-dag

@@ -1,0 +1,11 @@
+// fixture-path: src/data/fixture_shard_sources.cc
+// The shard layer lives in src/data (layer 1): it may include its own
+// directory (sharded_source, engine, binary_io, point_source) and
+// common (layer 0), and nothing above — exactly the shape of the real
+// sharded_source.cc / engine.cc.
+#include "common/run_stats.h"
+#include "common/status.h"
+#include "data/binary_io.h"
+#include "data/engine.h"
+#include "data/point_source.h"
+#include "data/sharded_source.h"

@@ -124,12 +124,14 @@ IOSTREAM_RE = re.compile(r"std\s*::\s*(cout|cerr|clog)\b")
 RAW_SCAN_DIRS = ("src", "bench", "examples")
 
 # The scan machinery itself: the executor that drives consumers over
-# Scan(), the PointSource implementations, and the fault-injection
-# decorator (which must drive the inner source's raw scan to simulate
-# mid-scan failures).
+# Scan(), the PointSource implementations, the fault-injection decorator
+# (which must drive the inner source's raw scan to simulate mid-scan
+# failures), and the shard set (whose glued Scan restitches the raw
+# per-shard scans into whole-set blocks).
 RAW_SCAN_ALLOWLIST = (os.path.join("src", "data", "engine.cc"),
                       os.path.join("src", "data", "point_source.cc"),
-                      os.path.join("src", "data", "fault_source.cc"))
+                      os.path.join("src", "data", "fault_source.cc"),
+                      os.path.join("src", "data", "sharded_source.cc"))
 
 RAW_SCAN_RE = re.compile(r"(?:\.|->)\s*Scan\s*\(|\bForEachBlock\s*\(")
 
@@ -914,6 +916,26 @@ SELF_TEST_FIXTURES = [
      "}\n"
      "}\n",
      []),
+    # The shard set's glued Scan restitches raw per-shard scans into
+    # whole-set blocks; the implementation file is allowlisted.
+    ("src/data/sharded_source.cc",
+     "#include \"data/sharded_source.h\"\n"
+     "namespace proclus {\n"
+     "void Glue(const PointSource& shard) {\n"
+     "  shard.Scan(512, [](size_t, auto, size_t) {});\n"
+     "}\n"
+     "}\n",
+     []),
+    # The allowlist is file-exact: any other shard-layer helper in
+    # src/data still has to route scans through the executor.
+    ("src/data/shard_helper.cc",
+     "#include \"data/sharded_source.h\"\n"
+     "namespace proclus {\n"
+     "void Walk(const PointSource& shard) {\n"
+     "  shard.Scan(512, [](size_t, auto, size_t) {});\n"
+     "}\n"
+     "}\n",
+     ["raw-scan"]),
     # raw-ifstream: a src/data file opening a file directly.
     ("src/data/sneaky_reader.cc",
      "#include <fstream>\n"
@@ -945,6 +967,18 @@ SELF_TEST_FIXTURES = [
      "}\n"
      "}\n",
      []),
+    # The shard layer reads bytes through DiskSource / the manifest
+    # reader, never its own streams: sharded_source.cc is allowlisted for
+    # raw-scan but NOT for raw-ifstream.
+    ("src/data/sharded_source.cc",
+     "#include <fstream>\n"
+     "namespace proclus {\n"
+     "int PeekShard(const char* path) {\n"
+     "  std::ifstream in(path);\n"
+     "  return in.get();\n"
+     "}\n"
+     "}\n",
+     ["raw-ifstream"]),
     # Explicit suppression with justification.
     ("src/data/probe_allowed.cc",
      "#include <fstream>\n"

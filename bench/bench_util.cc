@@ -3,7 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "common/timer.h"
 #include "eval/matching.h"
@@ -189,16 +194,26 @@ void PrintRunStats(const std::string& prefix, const RunStats& stats) {
           static_cast<double>(stats.failed_scans));
   PrintKV(prefix + " wasted rows",
           static_cast<double>(stats.wasted_rows));
+  PrintKV(prefix + " cancel checks",
+          static_cast<double>(stats.cancel_checks));
+  PrintKV(prefix + " cancelled scans",
+          static_cast<double>(stats.cancelled_scans));
+  PrintKV(prefix + " hedged scans",
+          static_cast<double>(stats.hedged_scans));
+  PrintKV(prefix + " deadline misses",
+          static_cast<double>(stats.deadline_misses));
   // Per-shard counters (sharded scans only): one table row per shard, in
-  // shard order, so the JSON baseline records how the work and the
-  // retries distributed across the shard set.
+  // shard order, so the JSON baseline records how the work, the retries,
+  // and the watchdog hedges distributed across the shard set.
   if (!stats.shard_io.empty()) {
-    TableWriter table({"shard", "scans", "rows", "bytes", "retries"});
+    TableWriter table({"shard", "scans", "rows", "bytes", "retries",
+                       "hedges"});
     for (size_t s = 0; s < stats.shard_io.size(); ++s) {
       const RunStats::ShardIo& io = stats.shard_io[s];
       table.AddRow({std::to_string(s), std::to_string(io.scans),
                     std::to_string(io.rows), std::to_string(io.bytes),
-                    std::to_string(io.retries)});
+                    std::to_string(io.retries),
+                    std::to_string(io.hedges)});
     }
     PrintTable(prefix + " shard io", table);
   }
@@ -225,8 +240,17 @@ void PrintTable(const std::string& name, const TableWriter& table) {
 
 void FinishJson(const std::string& binary) {
   if (!json_output) return;
-  std::printf("{\"binary\": \"%s\", \"sections\": [",
-              JsonEscape(binary).c_str());
+  // Host metadata, so a committed baseline records what machine shaped
+  // its timings (counters are machine-independent; seconds are not).
+  long page_size = 0;
+#if defined(_SC_PAGESIZE)
+  page_size = sysconf(_SC_PAGESIZE);
+#endif
+  std::printf("{\"binary\": \"%s\", \"host\": "
+              "{\"hardware_concurrency\": %u, \"page_size_bytes\": %ld}, "
+              "\"sections\": [",
+              JsonEscape(binary).c_str(),
+              std::thread::hardware_concurrency(), page_size);
   for (size_t s = 0; s < json_sections.size(); ++s) {
     const JsonSection& section = json_sections[s];
     std::printf("%s\n  {\"title\": \"%s\", \"values\": [",

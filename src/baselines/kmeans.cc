@@ -304,8 +304,9 @@ Result<KMeansResult> RunKMeansOnSource(const PointSource& source,
   const size_t d = source.dims();
   const size_t k = params.num_clusters;
   RunStats stats;
-  ScanExecutor executor(
-      ScanOptions{params.num_threads, params.block_rows, &stats});
+  ScanOptions scan_options{params.num_threads, params.block_rows, &stats};
+  scan_options.cancel = params.cancel;
+  ScanExecutor executor(scan_options);
   Timer timer;
 
   std::vector<std::vector<double>> centroids;
@@ -330,6 +331,10 @@ Result<KMeansResult> RunKMeansOnSource(const PointSource& source,
   LloydConsumer lloyd;
   FarthestPointConsumer farthest;
   for (size_t iteration = 0; iteration < params.max_iterations; ++iteration) {
+    if (params.cancel.active()) {
+      stats.cancel_checks += 1;
+      PROCLUS_RETURN_IF_ERROR(params.cancel.Check());
+    }
     ++result.iterations;
     // Assignment + inertia + update sums, all in one scan.
     lloyd.Bind(&centroids);

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/run_stats.h"
 #include "common/status.h"
 #include "data/dataset.h"
@@ -31,6 +32,10 @@ struct KMeansParams {
   size_t num_threads = 1;
   /// Rows per scan block / disk read.
   size_t block_rows = 8192;
+  /// Cooperative cancellation token and/or deadline for the run, checked
+  /// at the top of every Lloyd iteration and once per scan block. Never
+  /// changes results (DESIGN.md §13).
+  CancelContext cancel{};
 
   Status Validate(size_t num_points) const;
 };

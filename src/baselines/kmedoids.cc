@@ -222,8 +222,9 @@ Result<MedoidClustering> RunClaransOnSource(const PointSource& source,
   const size_t k = params.num_clusters;
   Rng rng(params.seed);
   RunStats stats;
-  ScanExecutor executor(
-      ScanOptions{params.num_threads, params.block_rows, &stats});
+  ScanOptions scan_options{params.num_threads, params.block_rows, &stats};
+  scan_options.cancel = params.cancel;
+  ScanExecutor executor(scan_options);
   Timer timer;
 
   size_t max_neighbor = params.max_neighbor;
@@ -247,6 +248,10 @@ Result<MedoidClustering> RunClaransOnSource(const PointSource& source,
     size_t examined = 0;
     size_t iterations = 0;
     while (examined < max_neighbor) {
+      if (params.cancel.active()) {
+        stats.cancel_checks += 1;
+        PROCLUS_RETURN_IF_ERROR(params.cancel.Check());
+      }
       ++iterations;
       // Random neighbor: swap one random medoid with one random
       // non-medoid.

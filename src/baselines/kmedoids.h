@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/run_stats.h"
 #include "common/status.h"
 #include "data/dataset.h"
@@ -69,6 +70,10 @@ struct ClaransParams {
   size_t num_threads = 1;
   /// Rows per scan block / disk read.
   size_t block_rows = 8192;
+  /// Cooperative cancellation token and/or deadline for the run, checked
+  /// before every trial medoid set and once per scan block. Never
+  /// changes results (DESIGN.md §13).
+  CancelContext cancel{};
 
   Status Validate(size_t num_points) const;
 };

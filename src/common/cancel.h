@@ -1,0 +1,227 @@
+// Cooperative cancellation and deadlines: the time-bounded execution
+// substrate (DESIGN.md §13).
+//
+// Scans and hill-climbing fits can run for minutes; a serving layer needs
+// to preempt an in-flight fit (a fresher one arrived) and to bound the
+// latency of any operation (a query carries a budget). Neither is
+// expressible with threads alone — C++ threads cannot be killed safely —
+// so the repo uses *cooperative* cancellation: long-running work checks a
+// shared token/deadline at block granularity and unwinds with
+// kCancelled / kDeadlineExceeded when asked to stop.
+//
+// Cost model: an inactive CancelContext costs two predictable branches per
+// Check(); a token costs one relaxed atomic load; a finite deadline adds
+// one steady_clock read (a vDSO call, no syscall on Linux). Checks happen
+// once per scan block (thousands of rows), never per row.
+//
+// Determinism: cancellation never changes results — a run either completes
+// with bit-identical outputs or returns kCancelled/kDeadlineExceeded with
+// no outputs. Both codes are non-transient (common/retry.h::IsTransient):
+// retrying past an explicit stop request would defeat its purpose.
+//
+// Sleeps: every wait in this header is interruptible (token Cancel() wakes
+// it) and truncated to the deadline budget. tools/lint.py rule `raw-sleep`
+// bans bare std::this_thread::sleep_for elsewhere for exactly this reason.
+
+#ifndef PROCLUS_COMMON_CANCEL_H_
+#define PROCLUS_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace proclus {
+
+/// A point on the steady clock after which work should stop. Default
+/// construction is the infinite deadline (never expires); checks against
+/// it never read the clock.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite: never expires.
+  constexpr Deadline() = default;
+
+  /// Expires `budget` from now. Non-positive budgets are already expired;
+  /// absurdly large budgets (>= ~1 year) saturate to infinite so the
+  /// addition below cannot overflow the clock's range.
+  static Deadline After(std::chrono::nanoseconds budget) {
+    if (budget >= std::chrono::hours(24 * 365)) return Deadline();
+    Deadline d;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(budget);
+    return d;
+  }
+
+  /// Expires at `at`.
+  static Deadline At(Clock::time_point at) {
+    Deadline d;
+    d.at_ = at;
+    return d;
+  }
+
+  /// The earlier of the two deadlines (infinite loses to any finite one).
+  static Deadline Earlier(const Deadline& a, const Deadline& b) {
+    return a.at_ < b.at_ ? a : b;
+  }
+
+  bool infinite() const { return at_ == Clock::time_point::max(); }
+
+  /// True when the deadline has passed. Free (no clock read) when
+  /// infinite.
+  bool expired() const { return !infinite() && Clock::now() >= at_; }
+
+  /// Time left before expiry: zero when expired, nanoseconds::max() as the
+  /// infinite sentinel. Use for truncating sleeps, not for arithmetic.
+  std::chrono::nanoseconds remaining() const {
+    if (infinite()) return std::chrono::nanoseconds::max();
+    const Clock::time_point now = Clock::now();
+    if (now >= at_) return std::chrono::nanoseconds{0};
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(at_ - now);
+  }
+
+ private:
+  Clock::time_point at_ = Clock::time_point::max();
+};
+
+/// Thread-safe cooperative cancellation flag. One writer calls Cancel()
+/// (idempotent, callable from any thread, including concurrently); any
+/// number of workers poll cancelled() — one relaxed load — between blocks
+/// of work, and any blocked sleeper in WaitUntilCancelled is woken
+/// immediately. A token is single-use: there is deliberately no reset, so
+/// a worker that observed cancellation can never miss it racing a reuse.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation and wakes every WaitUntilCancelled sleeper.
+  void Cancel() {
+    {
+      MutexLock lock(mu_);
+      CancelLocked();
+    }
+    cv_.NotifyAll();
+  }
+
+  /// True once Cancel() was called. One relaxed load; safe from any
+  /// thread.
+  bool cancelled() const {
+    // order: relaxed — standalone stop flag, no associated data.
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until Cancel() is called or `until` expires, whichever comes
+  /// first (an infinite deadline waits indefinitely). Returns cancelled().
+  /// This is how interruptible sleeps are built: sleep = wait on the
+  /// token with the sleep duration as the deadline.
+  bool WaitUntilCancelled(const Deadline& until) const {
+    MutexLock lock(mu_);
+    while (!cancelled()) {
+      if (until.infinite()) {
+        cv_.Wait(mu_);
+        continue;
+      }
+      const std::chrono::nanoseconds left = until.remaining();
+      if (left.count() <= 0) break;
+      cv_.WaitFor(mu_, left);
+    }
+    return cancelled();
+  }
+
+ private:
+  // The store happens under mu_ so it cannot interleave between a
+  // sleeper's flag re-check and its cv wait (the classic lost-wakeup
+  // window); lock-free cancelled() readers need no ordering because the
+  // flag publishes no payload.
+  void CancelLocked() PROCLUS_REQUIRES(mu_) {
+    // order: relaxed — standalone stop flag, no associated data.
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  // order: relaxed — standalone stop flag; the mutex in Cancel() closes
+  // the lost-wakeup window, not a memory-ordering edge.
+  std::atomic<bool> cancelled_{false};
+  // Serializes the flag store against sleepers' re-check/wait sequence.
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+};
+
+/// The cancellation context threaded through ScanOptions and the
+/// algorithm drivers: an optional (non-owned) token plus a deadline.
+/// Cheap to copy; an all-default context is inactive and Check() is two
+/// branches. The token must outlive every operation it was handed to.
+struct CancelContext {
+  const CancelToken* token = nullptr;
+  Deadline deadline;
+
+  /// True when a check can ever fail (a token is set or the deadline is
+  /// finite).
+  bool active() const { return token != nullptr || !deadline.infinite(); }
+
+  /// OK, or the reason to stop. Cancellation outranks deadline expiry
+  /// when both hold (the explicit request is the more actionable signal).
+  /// Allocates only on failure.
+  Status Check() const {
+    if (token != nullptr && token->cancelled())
+      return Status::Cancelled("operation cancelled");
+    if (deadline.expired())
+      return Status::DeadlineExceeded("deadline exceeded");
+    return Status::OK();
+  }
+
+  /// This context with its deadline tightened to the earlier of its own
+  /// and `cap` — how a per-attempt budget (e.g. the sharded executor's
+  /// soft per-shard deadline) nests inside the caller's budget.
+  CancelContext WithDeadlineCapped(const Deadline& cap) const {
+    CancelContext out = *this;
+    out.deadline = Deadline::Earlier(deadline, cap);
+    return out;
+  }
+};
+
+/// Sleeps for `duration`, truncated to the context's remaining deadline
+/// budget and woken immediately by token cancellation. Returns
+/// ctx.Check() after waking: OK when the full sleep elapsed with the
+/// context still live, kCancelled/kDeadlineExceeded when it was cut
+/// short (or had already fired). The only sanctioned way to sleep outside
+/// this header (lint rule `raw-sleep`).
+inline Status InterruptibleSleep(std::chrono::nanoseconds duration,
+                                 const CancelContext& ctx) {
+  if (duration.count() <= 0) return ctx.Check();
+  const Deadline until = Deadline::Earlier(Deadline::After(duration),
+                                           ctx.deadline);
+  if (ctx.token != nullptr) {
+    ctx.token->WaitUntilCancelled(until);
+  } else {
+    const std::chrono::nanoseconds left = until.remaining();
+    if (left.count() > 0) std::this_thread::sleep_for(left);
+  }
+  return ctx.Check();
+}
+
+/// Blocks until the context tells it to stop — the behavior of a
+/// permanently hung operation under fault injection (data/fault_source.h
+/// hang_rate), kept cooperative so the watchdog/deadline machinery can
+/// reclaim the thread. With a token this parks on its condition variable;
+/// without one it polls the deadline in 1ms slices. An inactive context
+/// never returns — pair hang injection with a token, a deadline, or at
+/// minimum a CTest TIMEOUT.
+inline Status HangUntilCancelled(const CancelContext& ctx) {
+  if (ctx.token != nullptr) {
+    ctx.token->WaitUntilCancelled(ctx.deadline);
+    return ctx.Check();
+  }
+  for (;;) {
+    const Status status = ctx.Check();
+    if (!status.ok()) return status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace proclus
+
+#endif  // PROCLUS_COMMON_CANCEL_H_

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/cancel.h"
 #include "common/status.h"
 
 namespace proclus {
@@ -51,25 +52,39 @@ struct RetryPolicy {
 /// kIOError (read/seek failure, short read) and kDataLoss (an integrity
 /// check caught in-flight corruption; a re-read may succeed). Structural
 /// errors — kCorruption (malformed header/format), kInvalidArgument,
-/// kOutOfRange, etc. — are deterministic and never retried.
+/// kOutOfRange, etc. — are deterministic and never retried. kCancelled and
+/// kDeadlineExceeded are likewise non-transient by design: they are the
+/// caller's own request to stop, and retrying past an explicit stop or an
+/// expired budget would defeat the time-bounded execution contract
+/// (common/cancel.h, DESIGN.md §13).
 inline bool IsTransient(const Status& status) {
   return status.code() == StatusCode::kIOError ||
          status.code() == StatusCode::kDataLoss;
 }
 
-/// Sleeps for the backoff that follows failed attempt `attempt` (1-based).
-/// No-op under the default zero-base policy.
-inline void SleepBackoff(const RetryPolicy& policy, size_t attempt) {
+/// Sleeps for the backoff that follows failed attempt `attempt` (1-based),
+/// truncated to the context's remaining deadline budget and woken
+/// immediately by token cancellation. Returns the context's status after
+/// waking (always OK under an inactive context; no-op under the default
+/// zero-base policy). A non-OK return means the caller should abandon the
+/// retry loop and propagate it instead of re-issuing the operation.
+inline Status SleepBackoff(const RetryPolicy& policy, size_t attempt,
+                           const CancelContext& ctx = {}) {
   const auto delay = policy.BackoffFor(attempt);
-  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  if (delay.count() <= 0) return ctx.Check();
+  return InterruptibleSleep(delay, ctx);
 }
 
 /// Runs `op` (a callable returning Status) under `policy`. Retries only
 /// transient statuses; the final failure is returned as-is. If `retries` is
-/// non-null it is incremented once per re-issued attempt.
+/// non-null it is incremented once per re-issued attempt. A cancellation or
+/// deadline expiry observed between attempts (including mid-backoff — the
+/// sleeps are interruptible) abandons the loop and returns
+/// kCancelled/kDeadlineExceeded instead of the transient status.
 template <typename Op>
 Status RunWithRetry(const RetryPolicy& policy, Op&& op,
-                    uint64_t* retries = nullptr) {
+                    uint64_t* retries = nullptr,
+                    const CancelContext& ctx = {}) {
   const size_t max_attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
   for (size_t attempt = 1;; ++attempt) {
     Status status = op();
@@ -77,7 +92,7 @@ Status RunWithRetry(const RetryPolicy& policy, Op&& op,
       return status;
     }
     if (retries != nullptr) ++*retries;
-    SleepBackoff(policy, attempt);
+    PROCLUS_RETURN_IF_ERROR(SleepBackoff(policy, attempt, ctx));
   }
 }
 

@@ -57,6 +57,20 @@ struct RunStats {
   /// failed; the rows were discarded by Reset() and re-delivered.
   uint64_t wasted_rows = 0;
 
+  // ----- Time-bounded execution counters (DESIGN.md §13) -----
+  /// Cooperative cancellation checkpoints passed by executor-driven scans
+  /// (roughly one relaxed token load per delivered block plus one per scan
+  /// entry; only counted while a CancelContext is active).
+  uint64_t cancel_checks = 0;
+  /// Scan attempts aborted by cancellation or deadline expiry.
+  uint64_t cancelled_scans = 0;
+  /// Shard scans re-issued by the sharded executor's stall watchdog after
+  /// the shard exceeded its soft per-shard deadline (hedged re-scans).
+  uint64_t hedged_scans = 0;
+  /// Deadline expiries observed by executor-driven operations (soft
+  /// per-shard watchdog deadlines included).
+  uint64_t deadline_misses = 0;
+
   // ----- Scan attribution per phase (recorded by the driver) -----
   /// Scans issued by the initialization phase (0 for PROCLUS: the phase
   /// only fetches the sample by position).
@@ -92,12 +106,15 @@ struct RunStats {
     uint64_t bytes = 0;
     /// Scan re-issues this shard needed after transient failures.
     uint64_t retries = 0;
+    /// Hedged re-scans of this shard (soft-deadline watchdog re-issues).
+    uint64_t hedges = 0;
 
     void Merge(const ShardIo& other) {
       scans += other.scans;
       rows += other.rows;
       bytes += other.bytes;
       retries += other.retries;
+      hedges += other.hedges;
     }
   };
   /// Indexed by shard; shorter runs merge element-wise (shard identity is
@@ -118,6 +135,10 @@ struct RunStats {
     retries += other.retries;
     failed_scans += other.failed_scans;
     wasted_rows += other.wasted_rows;
+    cancel_checks += other.cancel_checks;
+    cancelled_scans += other.cancelled_scans;
+    hedged_scans += other.hedged_scans;
+    deadline_misses += other.deadline_misses;
     init_scans += other.init_scans;
     bootstrap_scans += other.bootstrap_scans;
     iterative_scans += other.iterative_scans;

@@ -30,6 +30,7 @@
 #define PROCLUS_COMMON_SYNC_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -123,6 +124,18 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Like Wait, but gives up after `timeout` if not notified earlier.
+  /// Returns false on timeout, true when notified (possibly spuriously);
+  /// either way the mutex is re-held on return, and callers must re-check
+  /// their condition in a loop exactly as with Wait.
+  bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout)
+      PROCLUS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

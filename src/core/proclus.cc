@@ -173,9 +173,10 @@ struct ClimbState {
 
 // Invoked at the top of every hill-climbing iteration, before any work
 // of that iteration, with the restart's complete state. Used by
-// RunProclusOnSource to write periodic checkpoints. A failure aborts the
-// climb.
-using ClimbHook = std::function<Status(const ClimbState&)>;
+// RunProclusOnSource to write periodic checkpoints; `force_save` asks for
+// an immediate save regardless of the period (the cancel-to-checkpoint
+// path). A failure aborts the climb.
+using ClimbHook = std::function<Status(const ClimbState&, bool force_save)>;
 
 // Long-lived consumers and buffers shared by every restart of the fused
 // climb, so steady-state iterations allocate nothing.
@@ -249,7 +250,18 @@ Status FusedClimb(const PointSource& source, const ProclusParams& params,
 
   while (out.iterations < params.max_iterations &&
          since_improvement < params.max_no_improve) {
-    if (hook) PROCLUS_RETURN_IF_ERROR(hook(st));
+    if (params.cancel.active()) {
+      stats.cancel_checks += 1;
+      Status cancelled = params.cancel.Check();
+      if (!cancelled.ok()) {
+        // Cancel-to-checkpoint: persist the exact loop-top state (RNG
+        // included) so a resumed run replays the remaining iterations
+        // bit-identically.
+        if (hook) PROCLUS_RETURN_IF_ERROR(hook(st, /*force_save=*/true));
+        return cancelled;
+      }
+    }
+    if (hook) PROCLUS_RETURN_IF_ERROR(hook(st, /*force_save=*/false));
     ++out.iterations;
     auto dims = FindDimensions(X, params.avg_dims);
     PROCLUS_RETURN_IF_ERROR(dims.status());
@@ -388,7 +400,16 @@ Status ClassicClimb(const PointSource& source, const ProclusParams& params,
 
   while (out.iterations < params.max_iterations &&
          since_improvement < params.max_no_improve) {
-    if (hook) PROCLUS_RETURN_IF_ERROR(hook(st));
+    if (params.cancel.active()) {
+      if (pass_options.stats != nullptr) pass_options.stats->cancel_checks += 1;
+      Status cancelled = params.cancel.Check();
+      if (!cancelled.ok()) {
+        // Cancel-to-checkpoint, as in FusedClimb.
+        if (hook) PROCLUS_RETURN_IF_ERROR(hook(st, /*force_save=*/true));
+        return cancelled;
+      }
+    }
+    if (hook) PROCLUS_RETURN_IF_ERROR(hook(st, /*force_save=*/false));
     ++out.iterations;
     SlotsToCoords(candidate_coords, current, &medoid_coords);
     auto X = LocalityStatsPass(source, medoid_coords, pass_options);
@@ -554,6 +575,13 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
   RunStats stats;
   PassOptions pass_options{params.num_threads, params.block_rows, &stats,
                            params.retry};
+  pass_options.cancel = params.cancel;
+  pass_options.shard_soft_deadline = params.shard_soft_deadline;
+  pass_options.max_hedges_per_shard = params.max_hedges_per_shard;
+  if (params.cancel.active()) {
+    stats.cancel_checks += 1;
+    PROCLUS_RETURN_IF_ERROR(params.cancel.Check());
+  }
   Timer total_timer;
   Timer phase_timer;
 
@@ -602,7 +630,7 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
     std::vector<size_t> sample =
         rng.SampleWithoutReplacement(n, sample_size);
     auto sample_coords =
-        FetchWithRetry(source, sample, params.retry, &stats);
+        FetchWithRetry(source, sample, params.retry, &stats, params.cancel);
     PROCLUS_RETURN_IF_ERROR(sample_coords.status());
     Dataset sample_dataset(std::move(sample_coords).value());
     std::vector<size_t> local(sample.size());
@@ -623,7 +651,8 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
   // enforces the same bound on a resumed pool.
   PROCLUS_CHECK(candidates.size() >= k);
   auto candidate_coords_result =
-      FetchWithRetry(source, candidates, params.retry, &stats);
+      FetchWithRetry(source, candidates, params.retry, &stats,
+                     params.cancel);
   PROCLUS_RETURN_IF_ERROR(candidate_coords_result.status());
   const Matrix& candidate_coords = *candidate_coords_result;
   stats.init_scans = stats.scans_issued;
@@ -677,9 +706,13 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
   size_t current_restart = first_restart;
   ClimbHook hook;
   if (!params.checkpoint.path.empty()) {
-    hook = [&](const ClimbState& cs) -> Status {
-      if (cs.out.iterations % params.checkpoint.every_iterations != 0)
+    hook = [&](const ClimbState& cs, bool force_save) -> Status {
+      if (force_save) {
+        if (!params.checkpoint.save_on_cancel) return Status::OK();
+      } else if (cs.out.iterations % params.checkpoint.every_iterations !=
+                 0) {
         return Status::OK();
+      }
       ProclusCheckpoint ck;
       ck.fingerprint = fingerprint;
       ck.num_dims = d;

@@ -26,9 +26,11 @@
 #ifndef PROCLUS_CORE_PROCLUS_H_
 #define PROCLUS_CORE_PROCLUS_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
+#include "common/cancel.h"
 #include "common/retry.h"
 #include "common/status.h"
 #include "core/model.h"
@@ -57,6 +59,13 @@ struct CheckpointOptions {
   /// fresh; a mismatched or damaged file is an error, never silently
   /// ignored.
   bool resume = true;
+  /// Cancel-to-checkpoint: when the run's CancelContext fires at the top
+  /// of a hill-climbing iteration, write a checkpoint immediately
+  /// (bypassing every_iterations) before returning the cancellation
+  /// status, so the interrupted run resumes bit-identically from where it
+  /// stopped. A cancellation that lands mid-scan unwinds to the last
+  /// periodic checkpoint instead — resume is bit-identical either way.
+  bool save_on_cancel = true;
 };
 
 /// Tunable parameters of PROCLUS. Defaults follow the paper where it gives
@@ -130,6 +139,23 @@ struct ProclusParams {
   RetryPolicy retry{};
   /// Periodic checkpoint/resume of the iterative phase.
   CheckpointOptions checkpoint{};
+  /// Cooperative cancellation token and/or absolute deadline for the
+  /// whole run (DESIGN.md §13). Checked at the top of every hill-climbing
+  /// iteration and once per scan block, so Cancel() returns within one
+  /// block's work; backoff sleeps are interruptible. Like retry, it can
+  /// never change results — a run either completes with identical bits or
+  /// returns kCancelled/kDeadlineExceeded (after a cancel-to-checkpoint
+  /// save when configured; see CheckpointOptions::save_on_cancel).
+  /// Excluded from the checkpoint fingerprint: a run may be resumed under
+  /// a different deadline.
+  CancelContext cancel{};
+  /// Soft per-shard deadline for the sharded scan executor's stall
+  /// watchdog (0 = disabled): a shard scan exceeding it is cancelled and
+  /// hedged — re-issued against that shard only — which masks stalled
+  /// storage without changing bits (see ScanOptions::shard_soft_deadline).
+  std::chrono::microseconds shard_soft_deadline{0};
+  /// Hedged re-scans allowed per shard before the soft cap is dropped.
+  size_t max_hedges_per_shard = 1;
 
   /// Validates the parameters against a dataset shape.
   Status Validate(size_t num_points, size_t dims) const;

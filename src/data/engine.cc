@@ -2,12 +2,26 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "data/sharded_source.h"
 
 namespace proclus {
+
+namespace {
+
+// True for the two time-bounded-execution codes: a scan that stopped
+// because someone asked it to, not because storage failed. Kept out of
+// failed_scans so fault accounting stays truthful.
+bool IsCancelCode(const Status& status) {
+  return status.code() == StatusCode::kCancelled ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
 
 Status ScanExecutor::Run(const PointSource& source,
                          std::span<ScanConsumer* const> consumers) const {
@@ -23,6 +37,13 @@ Status ScanExecutor::Run(const PointSource& source,
   if (const ShardedSource* sharded = source.Sharded();
       sharded != nullptr && sharded->AlignedTo(options_.block_rows)) {
     return ShardedScanExecutor(options_).Run(*sharded, consumers);
+  }
+
+  // Pre-check before any consumer is prepared: an already-cancelled or
+  // already-expired context costs no work at all.
+  if (options_.cancel.active()) {
+    if (options_.stats != nullptr) options_.stats->cancel_checks += 1;
+    PROCLUS_RETURN_IF_ERROR(options_.cancel.Check());
   }
 
   ScanGeometry geometry;
@@ -43,17 +64,35 @@ Status ScanExecutor::Run(const PointSource& source,
     // results.
     const size_t max_attempts =
         options_.retry.max_attempts == 0 ? 1 : options_.retry.max_attempts;
+    ScanSpec spec;
+    spec.block_rows = options_.block_rows;
+    spec.cancel = options_.cancel;
     for (size_t attempt = 1;; ++attempt) {
       uint64_t delivered_rows = 0;
+      uint64_t delivered_blocks = 0;
       Status status = source.Scan(
-          options_.block_rows,
+          spec,
           [&](size_t first, std::span<const double> data, size_t rows) {
             const size_t block = first / options_.block_rows;
             delivered_rows += rows;
+            delivered_blocks += 1;
             for (ScanConsumer* consumer : consumers)
               consumer->ConsumeBlock(block, first, data, rows);
           });
+      // One check per delivered block plus the pre-delivery check inside
+      // Scan(); only counted while the context is live.
+      if (options_.stats != nullptr && options_.cancel.active())
+        options_.stats->cancel_checks += delivered_blocks + 1;
       if (status.ok()) break;
+      if (IsCancelCode(status)) {
+        if (options_.stats != nullptr) {
+          options_.stats->cancelled_scans += 1;
+          if (status.code() == StatusCode::kDeadlineExceeded)
+            options_.stats->deadline_misses += 1;
+          options_.stats->wasted_rows += delivered_rows;
+        }
+        return status;
+      }
       const bool retryable =
           IsTransient(status) && attempt < max_attempts;
       if (options_.stats != nullptr) {
@@ -65,7 +104,8 @@ Status ScanExecutor::Run(const PointSource& source,
       for (ScanConsumer* consumer : consumers) consumer->Reset();
       for (ScanConsumer* consumer : consumers)
         PROCLUS_RETURN_IF_ERROR(consumer->Prepare(geometry));
-      SleepBackoff(options_.retry, attempt);
+      PROCLUS_RETURN_IF_ERROR(
+          SleepBackoff(options_.retry, attempt, options_.cancel));
     }
   } else {
     // Parallel region: workers share nothing but the read-only source
@@ -75,13 +115,67 @@ Status ScanExecutor::Run(const PointSource& source,
     // happens on this thread outside the region.
     const size_t d = memory->dims();
     const std::vector<double>& data = memory->matrix().data();
+    const bool active = options_.cancel.active();
+    // order: relaxed — advisory stop flag; a worker observing it late
+    // only consumes one extra (already-owned) block, which is harmless:
+    // the run is failing anyway and delivered partials are discarded.
+    std::atomic<bool> stop{false};
+    // order: relaxed — pure statistics, read after the pool handshake.
+    std::atomic<uint64_t> checks{0};
+    // order: relaxed — statistic (rows consumed before a stop), read
+    // after the pool handshake.
+    std::atomic<uint64_t> consumed_rows{0};
+    // First failure wins; workers race to it under the mutex.
+    struct FirstError {
+      Mutex mu;
+      Status status PROCLUS_GUARDED_BY(mu) = Status::OK();
+    } fail;
     ParallelBlocks(geometry.rows, options_.block_rows, options_.num_threads,
                    [&](size_t block, size_t first, size_t count) {
+                     if (active) {
+                       if (stop.load(std::memory_order_relaxed)) return;
+                       checks.fetch_add(1, std::memory_order_relaxed);
+                       Status status = options_.cancel.Check();
+                       if (!status.ok()) {
+                         {
+                           MutexLock lock(fail.mu);
+                           if (fail.status.ok())
+                             fail.status = std::move(status);
+                         }
+                         stop.store(true, std::memory_order_relaxed);
+                         return;
+                       }
+                     }
                      std::span<const double> view(data.data() + first * d,
                                                   count * d);
                      for (ScanConsumer* consumer : consumers)
                        consumer->ConsumeBlock(block, first, view, count);
+                     if (active)
+                       consumed_rows.fetch_add(count,
+                                               std::memory_order_relaxed);
                    });
+    // Workers' writes are published by the pool's completion handshake;
+    // the lock below is for the annotation discipline, not for ordering.
+    Status cancelled;
+    {
+      MutexLock lock(fail.mu);
+      cancelled = fail.status;
+    }
+    if (options_.stats != nullptr && active)
+      options_.stats->cancel_checks += checks.load(std::memory_order_relaxed);
+    if (!cancelled.ok()) {
+      // Record what was actually visited before the stop took hold.
+      source.RecordScan(consumed_rows.load(std::memory_order_relaxed),
+                        /*bytes=*/0);
+      if (options_.stats != nullptr) {
+        options_.stats->cancelled_scans += 1;
+        if (cancelled.code() == StatusCode::kDeadlineExceeded)
+          options_.stats->deadline_misses += 1;
+        options_.stats->wasted_rows +=
+            consumed_rows.load(std::memory_order_relaxed);
+      }
+      return cancelled;
+    }
     // The zero-copy parallel path bypasses Scan(); keep the source's
     // counters truthful anyway.
     source.RecordScan(geometry.rows, /*bytes=*/0);
@@ -119,6 +213,11 @@ Status ShardedScanExecutor::Run(const ShardedSource& source,
   if (!source.AlignedTo(options_.block_rows))
     return ScanExecutor(options_).Run(source, consumers);
 
+  if (options_.cancel.active()) {
+    if (options_.stats != nullptr) options_.stats->cancel_checks += 1;
+    PROCLUS_RETURN_IF_ERROR(options_.cancel.Check());
+  }
+
   ScanGeometry geometry;
   geometry.rows = source.size();
   geometry.dims = source.dims();
@@ -137,6 +236,9 @@ Status ShardedScanExecutor::Run(const ShardedSource& source,
     RunStats::ShardIo io;
     uint64_t failed_scans = 0;
     uint64_t wasted_rows = 0;
+    uint64_t cancel_checks = 0;
+    uint64_t deadline_misses = 0;
+    bool cancelled = false;
   };
   const size_t num_shards = source.num_shards();
   std::vector<ShardOutcome> outcomes(num_shards);
@@ -147,25 +249,69 @@ Status ShardedScanExecutor::Run(const ShardedSource& source,
     const size_t offset = source.shard_offset(s);
     const size_t max_attempts =
         options_.retry.max_attempts == 0 ? 1 : options_.retry.max_attempts;
-    for (size_t attempt = 1;; ++attempt) {
+    const bool watchdog = options_.shard_soft_deadline.count() > 0;
+    size_t hedges_left = options_.max_hedges_per_shard;
+    size_t attempt = 1;
+    for (;;) {
+      // Stall watchdog: while hedges remain, the attempt runs under the
+      // caller's context capped to the soft per-shard deadline, so a
+      // stalled or hung storage operation wakes at the cap instead of
+      // holding the worker. The final attempt drops the cap — a shard
+      // that is merely slow must still complete.
+      const bool soft = watchdog && hedges_left > 0;
+      ScanSpec spec;
+      spec.block_rows = options_.block_rows;
+      spec.cancel =
+          soft ? options_.cancel.WithDeadlineCapped(
+                     Deadline::After(options_.shard_soft_deadline))
+               : options_.cancel;
       const uint64_t bytes_before = shard.io().bytes_read;
       uint64_t delivered_rows = 0;
+      uint64_t delivered_blocks = 0;
       Status status = shard.Scan(
-          options_.block_rows,
+          spec,
           [&](size_t first, std::span<const double> data, size_t rows) {
             // Aligned boundaries make the global index the index this
             // block has in the unsharded scan — the whole determinism
             // argument in one line.
             const size_t global_first = offset + first;
             delivered_rows += rows;
+            delivered_blocks += 1;
             const size_t block = global_first / options_.block_rows;
             for (ScanConsumer* consumer : consumers)
               consumer->ConsumeBlock(block, global_first, data, rows);
           });
       outcome.io.bytes += shard.io().bytes_read - bytes_before;
+      if (spec.cancel.active())
+        outcome.cancel_checks += delivered_blocks + 1;
       if (status.ok()) {
         outcome.io.scans += 1;
         outcome.io.rows += delivered_rows;
+        break;
+      }
+      if (IsCancelCode(status)) {
+        const Status parent = options_.cancel.Check();
+        if (status.code() == StatusCode::kDeadlineExceeded && soft &&
+            parent.ok()) {
+          // The watchdog fired, not the caller: hedge. The re-scan
+          // re-delivers this shard's blocks (same indices, same bytes),
+          // which the ConsumeBlock re-delivery contract absorbs, and a
+          // completed attempt — whichever one — delivers exactly the
+          // shard's blocks, so hedging cannot change bits. A completed
+          // primary never reaches this branch: first completion wins.
+          hedges_left -= 1;
+          outcome.io.hedges += 1;
+          outcome.deadline_misses += 1;
+          outcome.wasted_rows += delivered_rows;
+          continue;
+        }
+        // The caller's own token or deadline ended the shard; report the
+        // caller's view when it has one.
+        outcome.cancelled = true;
+        outcome.status = parent.ok() ? status : parent;
+        if (outcome.status.code() == StatusCode::kDeadlineExceeded)
+          outcome.deadline_misses += 1;
+        outcome.wasted_rows += delivered_rows;
         break;
       }
       outcome.failed_scans += 1;
@@ -179,7 +325,16 @@ Status ShardedScanExecutor::Run(const ShardedSource& source,
       // re-delivery contract absorbs; every other shard's blocks are
       // disjoint by construction.
       outcome.io.retries += 1;
-      SleepBackoff(options_.retry, attempt);
+      const Status slept =
+          SleepBackoff(options_.retry, attempt, options_.cancel);
+      if (!slept.ok()) {
+        outcome.cancelled = true;
+        outcome.status = slept;
+        if (slept.code() == StatusCode::kDeadlineExceeded)
+          outcome.deadline_misses += 1;
+        break;
+      }
+      attempt += 1;
     }
   };
 
@@ -211,6 +366,10 @@ Status ShardedScanExecutor::Run(const ShardedSource& source,
       options_.stats->failed_scans += outcome.failed_scans;
       options_.stats->wasted_rows += outcome.wasted_rows;
       options_.stats->retries += outcome.io.retries;
+      options_.stats->cancel_checks += outcome.cancel_checks;
+      options_.stats->deadline_misses += outcome.deadline_misses;
+      options_.stats->hedged_scans += outcome.io.hedges;
+      if (outcome.cancelled) options_.stats->cancelled_scans += 1;
     }
     if (first_error.ok() && !outcome.status.ok())
       first_error = outcome.status;
@@ -248,17 +407,22 @@ Status ShardedScanExecutor::Run(const ShardedSource& source,
 Result<Matrix> FetchWithRetry(const PointSource& source,
                               std::span<const size_t> indices,
                               const RetryPolicy& policy,
-                              RunStats* stats) {
+                              RunStats* stats,
+                              const CancelContext& cancel) {
   const size_t max_attempts =
       policy.max_attempts == 0 ? 1 : policy.max_attempts;
   for (size_t attempt = 1;; ++attempt) {
+    if (cancel.active()) {
+      if (stats != nullptr) stats->cancel_checks += 1;
+      PROCLUS_RETURN_IF_ERROR(cancel.Check());
+    }
     Result<Matrix> result = source.Fetch(indices);
     if (result.ok() || !IsTransient(result.status()) ||
         attempt >= max_attempts) {
       return result;
     }
     if (stats != nullptr) stats->retries += 1;
-    SleepBackoff(policy, attempt);
+    PROCLUS_RETURN_IF_ERROR(SleepBackoff(policy, attempt, cancel));
   }
 }
 

@@ -48,10 +48,12 @@
 #ifndef PROCLUS_DATA_ENGINE_H_
 #define PROCLUS_DATA_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <initializer_list>
 #include <span>
 
+#include "common/cancel.h"
 #include "common/matrix.h"
 #include "common/parallel.h"
 #include "common/retry.h"
@@ -153,8 +155,25 @@ struct ScanOptions {
   RunStats* stats = nullptr;
   /// Retry schedule for transient scan failures (IOError/DataLoss). A
   /// failed attempt Resets every consumer and re-issues the whole scan;
-  /// results are bit-identical whether or not any retry happened.
+  /// results are bit-identical whether or not any retry happened. Retry
+  /// backoff sleeps are interruptible under `cancel`.
   RetryPolicy retry{};
+  /// Cooperative cancellation token and/or absolute deadline for the
+  /// whole scan (DESIGN.md §13). Checked once per block (one relaxed
+  /// load, plus one steady-clock read when the deadline is finite), so a
+  /// Cancel() unwinds within one block's work. Cancellation never changes
+  /// results: a run either completes with bits identical to an
+  /// uncancelled run or returns kCancelled/kDeadlineExceeded.
+  CancelContext cancel{};
+  /// Soft per-shard deadline for the sharded executor's stall watchdog
+  /// (0 = disabled). A shard scan exceeding this budget is cancelled and
+  /// hedged: re-issued against the same shard, whose re-delivered blocks
+  /// the ConsumeBlock re-delivery contract absorbs — so hedging preserves
+  /// bit-identity. Ignored by non-sharded scans.
+  std::chrono::microseconds shard_soft_deadline{0};
+  /// Hedged re-scans allowed per shard before the final attempt runs
+  /// without the soft cap (so a merely-slow shard still terminates).
+  size_t max_hedges_per_shard = 1;
 };
 
 /// Drives N consumers over one physical scan of a source.
@@ -202,6 +221,17 @@ class ScanExecutor {
 /// recorded into RunStats::shard_io. A permanent shard failure fails the
 /// whole scan after every in-flight shard completes.
 ///
+/// Stall watchdog (options.shard_soft_deadline > 0): each shard attempt
+/// that still has hedges left runs under the caller's context capped to
+/// the soft deadline. A stalled attempt wakes at the cap (every injected
+/// or retry sleep is interruptible), returns kDeadlineExceeded, and — if
+/// the caller's own context is still live — the same worker re-scans just
+/// that shard (a hedged attempt, counted in RunStats::hedged_scans and
+/// ShardIo::hedges). Duplicate blocks are absorbed by the re-delivery
+/// contract and a completed attempt delivers exactly the shard's blocks,
+/// so the first attempt to complete defines the (identical) bits; once
+/// hedges are exhausted the final attempt runs without the soft cap.
+///
 /// Requires shard boundaries aligned to options.block_rows
 /// (ShardedSource::AlignedTo); unaligned sets fall back to the glued
 /// sequential scan with wholesale retry, which is still bit-identical.
@@ -224,10 +254,13 @@ class ShardedScanExecutor {
 /// source.Fetch(indices) under `policy` while the status is transient
 /// (IOError/DataLoss). Each re-issue is counted into stats->retries when
 /// `stats` is non-null. Results are bit-identical to a first-try success.
+/// Backoff sleeps are interruptible under `cancel`, and each attempt is
+/// preceded by a cancellation check.
 Result<Matrix> FetchWithRetry(const PointSource& source,
                               std::span<const size_t> indices,
                               const RetryPolicy& policy,
-                              RunStats* stats = nullptr);
+                              RunStats* stats = nullptr,
+                              const CancelContext& cancel = {});
 
 }  // namespace proclus
 

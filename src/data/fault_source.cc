@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <string>
-#include <thread>
 
+#include "common/cancel.h"
 #include "common/rng.h"
 
 namespace proclus {
@@ -39,22 +39,29 @@ FaultInjectingPointSource::Decision FaultInjectingPointSource::Decide(
   }
   out.position = gen.Next();
   out.delayed = ToUnit(gen.Next()) < plan_.delay_rate;
+  // Stall/hang draws come last so enabling them never perturbs an
+  // existing fail/corrupt/delay schedule for the same seed.
+  out.stalled = ToUnit(gen.Next()) < plan_.stall_rate;
+  out.hung = ToUnit(gen.Next()) < plan_.hang_rate;
   return out;
 }
 
 FaultInjectingPointSource::Decision FaultInjectingPointSource::Admit(
-    uint64_t op) const {
+    uint64_t op, const CancelContext& ctx) const {
   Decision d = Decide(op);
   if (d.delayed && plan_.delay.count() > 0) {
     counters_.delays.Add(1);
-    std::this_thread::sleep_for(plan_.delay);
+    // Best-effort interruptible: an interrupted delay ends early and the
+    // caller's next cancellation check aborts the operation.
+    (void)InterruptibleSleep(plan_.delay, ctx);
   }
-  if (d.kind != FaultKind::kNone &&
+  if ((d.kind != FaultKind::kNone || d.hung) &&
       consecutive_.load(std::memory_order_relaxed) >=
           plan_.max_consecutive) {
     // A run of max_consecutive injected faults forces the next operation
-    // through, so bounded retry always converges.
+    // through, so bounded retry (and bounded hedging) always converges.
     d.kind = FaultKind::kNone;
+    d.hung = false;
   }
   return d;
 }
@@ -64,21 +71,34 @@ void FaultInjectingPointSource::NoteClean() const {
   if (run > 0) counters_.absorbed.Add(run);
 }
 
-Status FaultInjectingPointSource::Scan(size_t block_rows,
-                                       const BlockVisitor& visit) const {
-  if (block_rows == 0)
-    return Status::InvalidArgument("block_rows must be > 0");
+Status FaultInjectingPointSource::ScanBlocks(const ScanSpec& spec,
+                                             const BlockVisitor& visit) const {
+  const size_t block_rows = spec.block_rows;
   const uint64_t op = counters_.ops.FetchAdd(1);
   if (plan_.kill_after_ops > 0 && op >= plan_.kill_after_ops) {
     counters_.scan_faults.Add(1);
     return Status::IOError("injected permanent failure (kill) at operation " +
                            std::to_string(op));
   }
-  const Decision d = Admit(op);
+  const Decision d = Admit(op, spec.cancel);
+
+  // Slow-storage injection, served before any read so a soft per-shard
+  // deadline (stall watchdog) fires while the operation is visibly "in
+  // flight". A hang aborts the operation with the context's status; an
+  // outlived stall lets it proceed.
+  if (d.hung) {
+    counters_.hangs.Add(1);
+    consecutive_.fetch_add(1, std::memory_order_relaxed);
+    return HangUntilCancelled(spec.cancel);
+  }
+  if (d.stalled && plan_.stall.count() > 0) {
+    counters_.stalls.Add(1);
+    PROCLUS_RETURN_IF_ERROR(InterruptibleSleep(plan_.stall, spec.cancel));
+  }
 
   const IoCounters inner_before = inner_->io();
   if (d.kind == FaultKind::kNone) {
-    Status status = inner_->Scan(block_rows, visit);
+    Status status = inner_->Scan(spec, visit);
     if (status.ok()) {
       NoteClean();
       RecordScan(inner_->size(),
@@ -98,7 +118,7 @@ Status FaultInjectingPointSource::Scan(size_t block_rows,
   // counters keep the wasted physical reads truthful.
   bool tripped = false;
   Status inner_status = inner_->Scan(
-      block_rows,
+      spec,
       [&](size_t first, std::span<const double> data, size_t rows) {
         if (tripped) return;
         const size_t block = first / block_rows;
@@ -154,7 +174,10 @@ Result<Matrix> FaultInjectingPointSource::Fetch(
     return Status::IOError("injected permanent failure (kill) at operation " +
                            std::to_string(op));
   }
-  const Decision d = Admit(op);
+  // Fetch operations carry no cancellation context (Fetch keeps its
+  // narrow signature), so delays stay uninterruptible and stall/hang
+  // draws are ignored here — slow-storage injection is a Scan-side model.
+  const Decision d = Admit(op, CancelContext{});
   if (d.kind != FaultKind::kNone) {
     consecutive_.fetch_add(1, std::memory_order_relaxed);
     counters_.fetch_faults.Add(1);

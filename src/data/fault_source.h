@@ -20,14 +20,24 @@
 //    by an integrity check (a re-read may succeed, so it is retryable;
 //    corrupted bytes are never delivered — persistent on-disk corruption
 //    is DiskSource's own checksum verification, tested separately);
-//  * latency spike      — the operation sleeps plan.delay first.
+//  * latency spike      — the operation sleeps plan.delay first
+//    (interruptible by the scan's CancelContext);
+//  * stall spike        — a Scan operation sleeps plan.stall before
+//    reading, modeling slow (not failing) storage. The sleep is
+//    interruptible, so a soft per-shard deadline (the sharded executor's
+//    stall watchdog) or an external Cancel() reclaims the thread and the
+//    scan returns kDeadlineExceeded/kCancelled;
+//  * permanent hang     — a Scan operation blocks forever, cooperatively:
+//    it parks on the scan's CancelContext and returns its status once
+//    cancelled or past deadline. A hang under an inactive context never
+//    returns (pair hang_rate with a token/deadline or a CTest TIMEOUT).
 //
-// `max_consecutive` caps how many faults in a row the schedule may inject,
-// so any retry policy with max_attempts > max_consecutive is guaranteed to
-// make progress. `kill_after_ops` turns every operation from that index on
-// into a permanent failure — a deterministic "crash" for checkpoint/resume
-// tests. InMemory() deliberately returns nullptr so the executor's
-// zero-copy parallel path cannot bypass injection.
+// `max_consecutive` caps how many faults in a row the schedule may inject
+// (hangs included), so any retry policy with max_attempts > max_consecutive
+// is guaranteed to make progress. `kill_after_ops` turns every operation
+// from that index on into a permanent failure — a deterministic "crash"
+// for checkpoint/resume tests. InMemory() deliberately returns nullptr so
+// the executor's zero-copy parallel path cannot bypass injection.
 
 #ifndef PROCLUS_DATA_FAULT_SOURCE_H_
 #define PROCLUS_DATA_FAULT_SOURCE_H_
@@ -36,6 +46,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/cancel.h"
 #include "common/sync.h"
 #include "data/point_source.h"
 
@@ -62,6 +73,16 @@ struct FaultPlan {
   /// When non-zero: every operation with index >= kill_after_ops fails
   /// permanently (simulated crash; exceeds any retry budget).
   uint64_t kill_after_ops = 0;
+  /// Stall served on a stalled Scan operation (slow, not failing,
+  /// storage; interruptible — see the fault model above).
+  std::chrono::microseconds stall{0};
+  /// P(stall spike) per Scan operation (independent of the fault draw;
+  /// drawn after the delay draw so enabling stalls never changes an
+  /// existing fail/corrupt/delay schedule).
+  double stall_rate = 0.0;
+  /// P(permanent cooperative hang) per Scan operation (counts toward
+  /// max_consecutive so hung retries eventually pass).
+  double hang_rate = 0.0;
 };
 
 /// Snapshot of the injector's cumulative counters.
@@ -76,6 +97,10 @@ struct FaultCounters {
   uint64_t injected_short_reads = 0;
   /// Latency spikes served.
   uint64_t delays = 0;
+  /// Stall spikes served (Scan operations only).
+  uint64_t stalls = 0;
+  /// Permanent hangs entered (Scan operations only).
+  uint64_t hangs = 0;
   /// Injected faults that a later clean operation proved absorbed — i.e.
   /// the caller retried past them.
   uint64_t absorbed = 0;
@@ -93,7 +118,6 @@ class FaultInjectingPointSource final : public PointSource {
 
   size_t size() const override { return inner_->size(); }
   size_t dims() const override { return inner_->dims(); }
-  Status Scan(size_t block_rows, const BlockVisitor& visit) const override;
   Result<Matrix> Fetch(std::span<const size_t> indices) const override;
   /// Always null: every access must flow through the (faultable) Scan.
   const Dataset* InMemory() const override { return nullptr; }
@@ -103,19 +127,27 @@ class FaultInjectingPointSource final : public PointSource {
   /// Cumulative injection counters.
   FaultCounters fault_counters() const { return counters_.Snapshot(); }
 
+ protected:
+  Status ScanBlocks(const ScanSpec& spec,
+                    const BlockVisitor& visit) const override;
+
  private:
   enum class FaultKind { kNone, kFail, kCorrupt, kShortRead };
   struct Decision {
     FaultKind kind = FaultKind::kNone;
     uint64_t position = 0;  // which block of a scan fails (mod num_blocks)
     bool delayed = false;
+    bool stalled = false;   // Scan only
+    bool hung = false;      // Scan only
   };
 
   /// Deterministic schedule lookup for operation `op`.
   Decision Decide(uint64_t op) const;
   /// Applies max_consecutive / kill_after_ops to the raw decision, serves
-  /// the latency spike, and bumps the operation counter bookkeeping.
-  Decision Admit(uint64_t op) const;
+  /// the latency spike (interruptible under `ctx`; an interrupted delay
+  /// just ends early — the caller's next cancellation check unwinds the
+  /// operation), and bumps the operation counter bookkeeping.
+  Decision Admit(uint64_t op, const CancelContext& ctx) const;
   /// Bookkeeping after a clean (non-injected) operation completed.
   void NoteClean() const;
 
@@ -134,6 +166,8 @@ class FaultInjectingPointSource final : public PointSource {
     GuardedCounter corruptions;
     GuardedCounter short_reads;
     GuardedCounter delays;
+    GuardedCounter stalls;
+    GuardedCounter hangs;
     GuardedCounter absorbed;
 
     FaultCounters Snapshot() const {
@@ -144,6 +178,8 @@ class FaultInjectingPointSource final : public PointSource {
       out.injected_corruptions = corruptions.Load();
       out.injected_short_reads = short_reads.Load();
       out.delays = delays.Load();
+      out.stalls = stalls.Load();
+      out.hangs = hangs.Load();
       out.absorbed = absorbed.Load();
       return out;
     }

@@ -16,14 +16,14 @@ namespace proclus {
 
 // ---------- MemorySource ----------
 
-Status MemorySource::Scan(size_t block_rows, const BlockVisitor& visit)
-    const {
-  if (block_rows == 0)
-    return Status::InvalidArgument("block_rows must be > 0");
+Status MemorySource::ScanBlocks(const ScanSpec& spec,
+                                const BlockVisitor& visit) const {
+  const size_t block_rows = spec.block_rows;
   const size_t n = dataset_->size();
   const size_t d = dataset_->dims();
   const std::vector<double>& data = dataset_->matrix().data();
   for (size_t first = 0; first < n; first += block_rows) {
+    PROCLUS_RETURN_IF_ERROR(spec.cancel.Check());
     size_t rows = std::min(block_rows, n - first);
     visit(first, std::span<const double>(data.data() + first * d, rows * d),
           rows);
@@ -208,17 +208,18 @@ bool DiskSource::DefaultPrefetch() {
   return std::thread::hardware_concurrency() > 1;
 }
 
-Status DiskSource::Scan(size_t block_rows, const BlockVisitor& visit) const {
-  if (block_rows == 0)
-    return Status::InvalidArgument("block_rows must be > 0");
+Status DiskSource::ScanBlocks(const ScanSpec& spec,
+                              const BlockVisitor& visit) const {
   // Overlap needs at least two tiles; single-tile (and empty) scans take
   // the inline path, as does an explicit set_prefetch(false).
-  if (!prefetch_ || rows_ <= block_rows) return ScanInline(block_rows, visit);
-  return ScanPrefetch(block_rows, visit);
+  if (!prefetch_ || rows_ <= spec.block_rows)
+    return ScanInline(spec, visit);
+  return ScanPrefetch(spec, visit);
 }
 
-Status DiskSource::ScanInline(size_t block_rows,
+Status DiskSource::ScanInline(const ScanSpec& spec,
                               const BlockVisitor& visit) const {
+  const size_t block_rows = spec.block_rows;
   std::ifstream in(path_, std::ios::binary);
   if (!in) return Status::IOError("cannot reopen '" + path_ + "'");
   in.seekg(static_cast<std::streamoff>(data_offset_));
@@ -233,6 +234,7 @@ Status DiskSource::ScanInline(size_t block_rows,
   ChecksumStream verifier(checksums_, checksum_block_rows_, rows_, row_bytes,
                           data_offset_, path_);
   for (size_t first = 0; first < rows_; first += block_rows) {
+    PROCLUS_RETURN_IF_ERROR(spec.cancel.Check());
     size_t rows = std::min(block_rows, rows_ - first);
     in.read(reinterpret_cast<char*>(buffer.data()),
             static_cast<std::streamsize>(rows * row_bytes));
@@ -250,8 +252,9 @@ Status DiskSource::ScanInline(size_t block_rows,
   return Status::OK();
 }
 
-Status DiskSource::ScanPrefetch(size_t block_rows,
+Status DiskSource::ScanPrefetch(const ScanSpec& spec,
                                 const BlockVisitor& visit) const {
+  const size_t block_rows = spec.block_rows;
   std::ifstream in(path_, std::ios::binary);
   if (!in) return Status::IOError("cannot reopen '" + path_ + "'");
   in.seekg(static_cast<std::streamoff>(data_offset_));
@@ -266,6 +269,13 @@ Status DiskSource::ScanPrefetch(size_t block_rows,
   // is delivered only after it was fully read and its completed checksum
   // blocks verified, and a producer failure surfaces after every tile
   // read before it was delivered.
+  //
+  // Cancellation: both sides poll spec.cancel between tiles. The producer
+  // reports an observed stop through the failure slot (so a consumer
+  // blocked waiting for the next tile wakes and unwinds), and the
+  // consumer requests producer exit through the `stop` token — the same
+  // mechanism an external CancelToken uses, so abandonment-on-failure and
+  // external cancellation share one code path.
   struct Shared {
     Mutex mu;
     CondVar cv;
@@ -275,8 +285,12 @@ Status DiskSource::ScanPrefetch(size_t block_rows,
     // Tiles delivered (consumer advances; the producer may overwrite
     // slot t % 2 once consumed >= t - 1).
     size_t consumed PROCLUS_GUARDED_BY(mu) = 0;
-    // Consumer abandoned the scan; producer must exit.
-    bool cancel PROCLUS_GUARDED_BY(mu) = false;
+    // Set by the consumer when it abandons the scan (producer failure or
+    // external cancellation observed): the producer must exit without
+    // touching further slots. A CancelToken (lock-free flag) rather than
+    // a guarded bool so the producer can also poll it between reads
+    // without taking mu; waiters on cv are woken explicitly.
+    CancelToken stop;
     // First producer error, valid once failed is set.
     bool failed PROCLUS_GUARDED_BY(mu) = false;
     Status status PROCLUS_GUARDED_BY(mu);
@@ -292,24 +306,28 @@ Status DiskSource::ScanPrefetch(size_t block_rows,
     for (size_t tile = 0; tile < num_tiles; ++tile) {
       {
         MutexLock lock(shared.mu);
-        while (tile >= shared.consumed + 2 && !shared.cancel)
+        while (tile >= shared.consumed + 2 && !shared.stop.cancelled())
           shared.cv.Wait(shared.mu);
-        if (shared.cancel) return;
+        if (shared.stop.cancelled()) return;
       }
-      const size_t first = tile * block_rows;
-      const size_t rows = std::min(block_rows, rows_ - first);
-      std::vector<double>& buffer = slots[tile % 2];
-      Status status;
-      in.read(reinterpret_cast<char*>(buffer.data()),
-              static_cast<std::streamsize>(rows * row_bytes));
-      if (!in) {
-        status = Status::IOError(
-            "scan read failed in " +
-            ShortReadDetail(path_, data_offset_ + first * row_bytes,
-                            rows * row_bytes, in.gcount()));
-      } else {
-        status = verifier.Feed(reinterpret_cast<const char*>(buffer.data()),
-                               rows);
+      // External cancellation stops the read-ahead here; the failure slot
+      // carries the status so a consumer blocked on the next tile wakes.
+      Status status = spec.cancel.Check();
+      if (status.ok()) {
+        const size_t first = tile * block_rows;
+        const size_t rows = std::min(block_rows, rows_ - first);
+        std::vector<double>& buffer = slots[tile % 2];
+        in.read(reinterpret_cast<char*>(buffer.data()),
+                static_cast<std::streamsize>(rows * row_bytes));
+        if (!in) {
+          status = Status::IOError(
+              "scan read failed in " +
+              ShortReadDetail(path_, data_offset_ + first * row_bytes,
+                              rows * row_bytes, in.gcount()));
+        } else {
+          status = verifier.Feed(
+              reinterpret_cast<const char*>(buffer.data()), rows);
+        }
       }
       {
         MutexLock lock(shared.mu);
@@ -327,13 +345,17 @@ Status DiskSource::ScanPrefetch(size_t block_rows,
 
   Status result;
   for (size_t tile = 0; tile < num_tiles; ++tile) {
+    // Fast-path check while the producer is ahead; a cancellation that
+    // strikes while this thread is blocked below is surfaced by the
+    // producer through the failure slot within one tile read.
+    result = spec.cancel.Check();
+    if (!result.ok()) break;
     {
       MutexLock lock(shared.mu);
       while (shared.filled <= tile && !shared.failed)
         shared.cv.Wait(shared.mu);
       if (shared.filled <= tile) {  // Producer failed before this tile.
         result = shared.status;
-        shared.cancel = true;
         break;
       }
     }
@@ -348,6 +370,10 @@ Status DiskSource::ScanPrefetch(size_t block_rows,
     }
     shared.cv.NotifyAll();
   }
+  // Ask the producer to exit (no-op when it already finished or failed)
+  // and wake it if it is waiting for a free slot.
+  shared.stop.Cancel();
+  shared.cv.NotifyAll();
   producer.join();
   if (!result.ok()) return result;
   RecordScan(rows_, rows_ * cols_ * sizeof(double));

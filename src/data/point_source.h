@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/matrix.h"
 #include "common/retry.h"
 #include "common/status.h"
@@ -35,6 +36,18 @@
 namespace proclus {
 
 class ShardedSource;
+
+/// Parameters of one Scan call. The cancellation context is checked by
+/// every source implementation between blocks (one relaxed load per block
+/// when only a token is set), so Cancel() or deadline expiry aborts a
+/// running scan within one block's worth of work, returning
+/// kCancelled/kDeadlineExceeded with the blocks after the abort withheld.
+struct ScanSpec {
+  /// Rows per delivered block (must be > 0).
+  size_t block_rows = 0;
+  /// Cooperative stop signal; inactive by default.
+  CancelContext cancel{};
+};
 
 /// Snapshot of a source's cumulative physical-access counters (monotonic
 /// over the source's lifetime). `bytes_read` counts bytes physically read
@@ -69,12 +82,26 @@ class PointSource {
   /// Dimensionality d.
   virtual size_t dims() const = 0;
 
-  /// Visits all points in consecutive blocks of at most `block_rows`
+  /// Visits all points in consecutive blocks of at most `spec.block_rows`
   /// rows, in order of increasing row index. Every block except possibly
-  /// the last has exactly `block_rows` rows. Thread-compatible: may be
-  /// called concurrently from several threads.
-  virtual Status Scan(size_t block_rows, const BlockVisitor& visit)
-      const = 0;
+  /// the last has exactly `spec.block_rows` rows. Thread-compatible: may
+  /// be called concurrently from several threads. Checks `spec.cancel`
+  /// once on entry and once per block (see ScanSpec); a cancelled or
+  /// deadline-expired scan stops delivering and returns the context's
+  /// status.
+  Status Scan(const ScanSpec& spec, const BlockVisitor& visit) const {
+    if (spec.block_rows == 0)
+      return Status::InvalidArgument("block_rows must be > 0");
+    PROCLUS_RETURN_IF_ERROR(spec.cancel.Check());
+    return ScanBlocks(spec, visit);
+  }
+
+  /// Scan without a cancellation context (uninterruptible).
+  Status Scan(size_t block_rows, const BlockVisitor& visit) const {
+    ScanSpec spec;
+    spec.block_rows = block_rows;
+    return Scan(spec, visit);
+  }
 
   /// Materializes the points at `indices` (any order, duplicates
   /// allowed) as the rows of a Matrix. Returns OutOfRange for bad
@@ -99,6 +126,14 @@ class PointSource {
   IoCounters io() const { return io_.Snapshot(); }
 
  protected:
+  /// The scan hook implementations override (non-virtual-interface: the
+  /// public Scan validates block_rows and pre-checks cancellation once, so
+  /// every source gets both uniformly). Implementations must check
+  /// `spec.cancel` between blocks and propagate its status; decorators
+  /// forward the whole spec to their inner source.
+  virtual Status ScanBlocks(const ScanSpec& spec,
+                            const BlockVisitor& visit) const = 0;
+
   /// Implementations call this once per completed Scan.
   void RecordScan(uint64_t rows, uint64_t bytes) const {
     io_.scans.Add(1);
@@ -152,9 +187,12 @@ class MemorySource final : public PointSource {
 
   size_t size() const override { return dataset_->size(); }
   size_t dims() const override { return dataset_->dims(); }
-  Status Scan(size_t block_rows, const BlockVisitor& visit) const override;
   Result<Matrix> Fetch(std::span<const size_t> indices) const override;
   const Dataset* InMemory() const override { return dataset_; }
+
+ protected:
+  Status ScanBlocks(const ScanSpec& spec,
+                    const BlockVisitor& visit) const override;
 
  private:
   const Dataset* dataset_;
@@ -194,7 +232,6 @@ class DiskSource final : public PointSource {
 
   size_t size() const override { return rows_; }
   size_t dims() const override { return cols_; }
-  Status Scan(size_t block_rows, const BlockVisitor& visit) const override;
   Result<Matrix> Fetch(std::span<const size_t> indices) const override;
 
   /// Retry schedule for transient Fetch failures.
@@ -208,6 +245,10 @@ class DiskSource final : public PointSource {
   /// when the host has more than one hardware thread).
   bool prefetch() const { return prefetch_; }
   void set_prefetch(bool enabled) { prefetch_ = enabled; }
+
+ protected:
+  Status ScanBlocks(const ScanSpec& spec,
+                    const BlockVisitor& visit) const override;
 
  private:
   DiskSource(std::string path, size_t rows, size_t cols, size_t data_offset,
@@ -225,10 +266,10 @@ class DiskSource final : public PointSource {
   size_t data_offset_;
   // Sequential fallback for Scan when prefetch is disabled or the scan
   // has fewer than two tiles.
-  Status ScanInline(size_t block_rows, const BlockVisitor& visit) const;
+  Status ScanInline(const ScanSpec& spec, const BlockVisitor& visit) const;
   // Double-buffered Scan: producer thread reads + checksums tiles into
   // two slots, the calling thread delivers them in order.
-  Status ScanPrefetch(size_t block_rows, const BlockVisitor& visit) const;
+  Status ScanPrefetch(const ScanSpec& spec, const BlockVisitor& visit) const;
 
   // True when the host has a second hardware thread to run the producer.
   static bool DefaultPrefetch();

@@ -17,13 +17,13 @@ MemorySliceSource::MemorySliceSource(const Dataset& dataset, size_t first_row,
   PROCLUS_CHECK(first_row + rows <= dataset.size());
 }
 
-Status MemorySliceSource::Scan(size_t block_rows,
-                               const BlockVisitor& visit) const {
-  if (block_rows == 0)
-    return Status::InvalidArgument("block_rows must be > 0");
+Status MemorySliceSource::ScanBlocks(const ScanSpec& spec,
+                                     const BlockVisitor& visit) const {
+  const size_t block_rows = spec.block_rows;
   const size_t d = dataset_->dims();
   const std::vector<double>& data = dataset_->matrix().data();
   for (size_t first = 0; first < rows_; first += block_rows) {
+    PROCLUS_RETURN_IF_ERROR(spec.cancel.Check());
     const size_t rows = std::min(block_rows, rows_ - first);
     visit(first,
           std::span<const double>(data.data() + (first_row_ + first) * d,
@@ -131,10 +131,9 @@ bool ShardedSource::AlignedTo(size_t block_rows) const {
   return true;
 }
 
-Status ShardedSource::Scan(size_t block_rows,
-                           const BlockVisitor& visit) const {
-  if (block_rows == 0)
-    return Status::InvalidArgument("block_rows must be > 0");
+Status ShardedSource::ScanBlocks(const ScanSpec& spec,
+                                 const BlockVisitor& visit) const {
+  const size_t block_rows = spec.block_rows;
   // Restitch the shard streams into the single-source block geometry:
   // rows flow shard by shard into the current global block, which is
   // delivered once full (or at end of data). A shard delivery that covers
@@ -146,8 +145,10 @@ Status ShardedSource::Scan(size_t block_rows,
   uint64_t bytes = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
     const uint64_t shard_bytes_before = shards_[s]->io().bytes_read;
+    // Forward the whole spec: each shard checks the cancellation context
+    // per block, so a cancelled glued scan unwinds within one block.
     Status status = shards_[s]->Scan(
-        block_rows,
+        spec,
         [&](size_t, std::span<const double> data, size_t rows) {
           const double* src = data.data();
           size_t left = rows;

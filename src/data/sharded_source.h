@@ -46,11 +46,14 @@ class MemorySliceSource final : public PointSource {
 
   size_t size() const override { return rows_; }
   size_t dims() const override { return dataset_->dims(); }
-  Status Scan(size_t block_rows, const BlockVisitor& visit) const override;
   Result<Matrix> Fetch(std::span<const size_t> indices) const override;
   // InMemory() stays null: the slice is not the whole dataset, so the
   // executor's whole-source zero-copy path must not engage (its row
   // indices would be global, not slice-relative).
+
+ protected:
+  Status ScanBlocks(const ScanSpec& spec,
+                    const BlockVisitor& visit) const override;
 
  private:
   const Dataset* dataset_;
@@ -84,11 +87,6 @@ class ShardedSource final : public PointSource {
 
   size_t size() const override { return rows_; }
   size_t dims() const override { return cols_; }
-  /// Glued sequential scan: delivers the exact single-source block
-  /// geometry regardless of shard boundaries, restitching straddling
-  /// blocks through a staging buffer and passing aligned shard blocks
-  /// through without a copy.
-  Status Scan(size_t block_rows, const BlockVisitor& visit) const override;
   /// Routes each index to its owning shard (one batched fetch per shard).
   Result<Matrix> Fetch(std::span<const size_t> indices) const override;
   const ShardedSource* Sharded() const override { return this; }
@@ -103,6 +101,15 @@ class ShardedSource final : public PointSource {
   /// no scan block of that size straddles a shard boundary and the
   /// per-shard parallel path reproduces the single-source block geometry.
   bool AlignedTo(size_t block_rows) const;
+
+ protected:
+  /// Glued sequential scan: delivers the exact single-source block
+  /// geometry regardless of shard boundaries, restitching straddling
+  /// blocks through a staging buffer and passing aligned shard blocks
+  /// through without a copy. The cancellation context is forwarded to
+  /// every shard scan, which check it per block.
+  Status ScanBlocks(const ScanSpec& spec,
+                    const BlockVisitor& visit) const override;
 
  private:
   ShardedSource(std::vector<std::unique_ptr<PointSource>> shards,

@@ -85,6 +85,15 @@ Enforces invariants that no generic tool knows about:
                       RELEASE / EXCLUDES / ACQUIRED_BEFORE / ...): a mutex
                       that guards nothing the analysis can check is
                       documentation debt, not a contract.
+  raw-sleep           Bare std::this_thread::sleep_for/sleep_until in src/,
+                      bench/, or examples/ outside common/cancel.h. A raw
+                      sleep can be neither woken by a CancelToken nor
+                      truncated by a Deadline, so it would break the
+                      one-block cancellation latency bound (DESIGN.md §13).
+                      Sleep through InterruptibleSleep / HangUntilCancelled
+                      (common/cancel.h), which park on the token's condvar
+                      and honor the deadline; cancel.h itself is the one
+                      place the primitive sleeps live.
 
 Any line may opt out of one rule with a trailing `// lint:allow(<rule>)`
 comment; use sparingly and justify in a neighboring comment.
@@ -190,6 +199,19 @@ RAW_SYNC_RE = re.compile(
     r"std\s*::\s*(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex"
     r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
     r"|shared_lock|condition_variable|condition_variable_any)\b")
+
+# --- raw-sleep ---------------------------------------------------------------
+
+# Every blocking wait in the library must be interruptible: a bare
+# this_thread sleep cannot be woken by a CancelToken or truncated by a
+# Deadline, so a cancelled run would still serve the full sleep. The only
+# file that may sleep directly is common/cancel.h, which implements the
+# interruptible primitives everything else must use.
+RAW_SLEEP_DIRS = ("src", "bench", "examples")
+RAW_SLEEP_ALLOWLIST = (os.path.join("src", "common", "cancel.h"),)
+
+RAW_SLEEP_RE = re.compile(
+    r"(?:std\s*::\s*)?this_thread\s*::\s*sleep_(?:for|until)\s*\(")
 
 # --- atomic-order / atomic-rmw ----------------------------------------------
 
@@ -395,6 +417,22 @@ def check_raw_ifstream(rel_path, original_lines, code, findings):
             "direct std::ifstream in src/data silently truncates on I/O "
             "errors; read through ReadFileBytes (data/binary_io.h) or the "
             "PointSource layer so failures surface as detailed Statuses"))
+
+
+def check_raw_sleep(rel_path, original_lines, code, findings):
+    top = rel_path.split(os.sep, 1)[0]
+    if top not in RAW_SLEEP_DIRS or rel_path in RAW_SLEEP_ALLOWLIST:
+        return
+    for m in RAW_SLEEP_RE.finditer(code):
+        ln = line_of(code, m.start())
+        if allowed(original_lines, ln, "raw-sleep"):
+            continue
+        findings.append(Finding(
+            rel_path, ln, "raw-sleep",
+            "bare this_thread::sleep cannot be woken by a CancelToken or "
+            "truncated by a Deadline, breaking the one-block cancellation "
+            "latency bound; use InterruptibleSleep or HangUntilCancelled "
+            "from common/cancel.h"))
 
 
 def check_status_fn_checks(rel_path, original_lines, code, findings):
@@ -778,6 +816,7 @@ def lint_file(root, rel_path, findings):
     check_segmental_dimension_set(rel_path, original_lines, code, findings)
     check_unordered_iteration(rel_path, original_lines, code, findings)
     check_raw_sync(rel_path, original_lines, code, findings)
+    check_raw_sleep(rel_path, original_lines, code, findings)
     check_atomic_order(rel_path, original_lines, code, findings)
     check_atomic_rmw(rel_path, original_lines, code, findings)
     check_sync_annotation(rel_path, original_lines, code, findings)
@@ -1145,6 +1184,58 @@ SELF_TEST_FIXTURES = [
      "namespace proclus {\n"
      "// Interop with an external callback API that hands us a std lock.\n"
      "void Use(std::unique_lock<std::mutex>& lock);  // lint:allow(raw-sync)\n"
+     "}\n",
+     []),
+    # raw-sleep: a bare this_thread sleep outside common/cancel.h.
+    ("src/core/busy_wait.cc",
+     "#include <chrono>\n"
+     "#include <thread>\n"
+     "namespace proclus {\n"
+     "void Nap() {\n"
+     "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+     "}\n"
+     "}\n",
+     ["raw-sleep"]),
+    # sleep_until and the unqualified (using-directive) spelling count too.
+    ("bench/pacing.cc",
+     "#include <chrono>\n"
+     "#include <thread>\n"
+     "using namespace std;\n"
+     "void Pace(chrono::steady_clock::time_point t) {\n"
+     "  this_thread::sleep_until(t);\n"
+     "}\n",
+     ["raw-sleep"]),
+    # The interruptible primitives' own implementation is allowlisted.
+    ("src/common/cancel.h",
+     "#ifndef PROCLUS_COMMON_CANCEL_H_\n"
+     "#define PROCLUS_COMMON_CANCEL_H_\n"
+     "#include <chrono>\n"
+     "#include <thread>\n"
+     "namespace proclus {\n"
+     "inline void SleepSlice() {\n"
+     "  std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+     "}\n"
+     "}\n"
+     "#endif  // PROCLUS_COMMON_CANCEL_H_\n",
+     []),
+    # Tests may sleep directly (stress tests pace real threads).
+    ("tests/sleepy_test.cc",
+     "#include <chrono>\n"
+     "#include <thread>\n"
+     "void Wait() {\n"
+     "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+     "}\n",
+     []),
+    # Explicit suppression with justification.
+    ("src/core/sleep_allowed.cc",
+     "#include <chrono>\n"
+     "#include <thread>\n"
+     "namespace proclus {\n"
+     "void Settle() {\n"
+     "  // External device needs a fixed settle time; nothing to cancel.\n"
+     "  std::this_thread::sleep_for(std::chrono::milliseconds(2));"
+     "  // lint:allow(raw-sleep)\n"
+     "}\n"
      "}\n",
      []),
     # atomic-order: an undocumented atomic declaration.

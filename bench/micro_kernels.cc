@@ -1,14 +1,35 @@
-// Google-benchmark microbenchmarks of the library's hot kernels: distance
-// functions, segmental distance, the synthetic generator, greedy medoid
-// selection, locality statistics, point assignment, and CLIQUE dense-unit
-// mining.
+// Microbenchmarks of the library's hot kernels: distance functions,
+// segmental distance, the synthetic generator, greedy medoid selection,
+// locality statistics, point assignment, dimension selection, CLIQUE
+// dense-unit mining, Jacobi eigendecomposition, and the end-to-end
+// PROCLUS / ORCLUS drivers.
+//
+// Follows the repo harness convention (bench_util.h): --quick / --scale
+// shrink the inputs, --reps takes the best-of-N wall time, --json emits
+// the machine-diffable document behind BENCH_kernels.json. Each case
+// reports items/s (items = rows or element-operations, per case).
+//
+// --smoke asserts every case completes with a finite positive
+// throughput and that the end-to-end PROCLUS case is run-to-run
+// deterministic (identical labels on a second run) — wired into ctest
+// under the bench_smoke label. Absolute throughput is never asserted
+// here; kernels.cc owns the batched-vs-scalar performance guarantee.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "clique/dense_units.h"
 #include "clique/grid.h"
 #include "common/eigen.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "core/assign.h"
 #include "core/classify.h"
 #include "core/find_dimensions.h"
@@ -19,8 +40,13 @@
 #include "extensions/orclus.h"
 #include "gen/synthetic.h"
 
-namespace proclus {
 namespace {
+
+using namespace proclus;
+using namespace proclus::bench;
+
+// Sink the compiler cannot eliminate the timed work into.
+volatile double g_sink = 0.0;
 
 std::vector<double> RandomPoint(size_t dims, Rng& rng) {
   std::vector<double> p(dims);
@@ -28,222 +54,240 @@ std::vector<double> RandomPoint(size_t dims, Rng& rng) {
   return p;
 }
 
-void BM_ManhattanDistance(benchmark::State& state) {
-  Rng rng(1);
-  const size_t d = static_cast<size_t>(state.range(0));
-  auto a = RandomPoint(d, rng), b = RandomPoint(d, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ManhattanDistance(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * d);
-}
-BENCHMARK(BM_ManhattanDistance)->Arg(20)->Arg(100)->Arg(1000);
-
-void BM_EuclideanDistance(benchmark::State& state) {
-  Rng rng(2);
-  const size_t d = static_cast<size_t>(state.range(0));
-  auto a = RandomPoint(d, rng), b = RandomPoint(d, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(EuclideanDistance(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * d);
-}
-BENCHMARK(BM_EuclideanDistance)->Arg(20)->Arg(100);
-
-void BM_SegmentalDistance(benchmark::State& state) {
-  Rng rng(3);
-  const size_t d = 50;
-  const size_t subset = static_cast<size_t>(state.range(0));
-  auto a = RandomPoint(d, rng), b = RandomPoint(d, rng);
-  std::vector<uint32_t> dims;
-  for (size_t i = 0; i < subset; ++i)
-    dims.push_back(static_cast<uint32_t>(i * (d / subset)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ManhattanSegmentalDistance(a, b, dims));
-  }
-  state.SetItemsProcessed(state.iterations() * subset);
-}
-BENCHMARK(BM_SegmentalDistance)->Arg(2)->Arg(7)->Arg(25);
-
-void BM_SyntheticGenerator(benchmark::State& state) {
-  GeneratorParams params;
-  params.num_points = static_cast<size_t>(state.range(0));
-  params.space_dims = 20;
-  params.num_clusters = 5;
-  params.poisson_mean = 5.0;
-  params.seed = 5;
-  for (auto _ : state) {
-    auto result = GenerateSynthetic(params);
-    benchmark::DoNotOptimize(result);
-  }
-  state.SetItemsProcessed(state.iterations() * params.num_points);
-}
-BENCHMARK(BM_SyntheticGenerator)->Arg(10000)->Arg(100000);
-
-void BM_GreedyPick(benchmark::State& state) {
+SyntheticData MakeData(size_t n, size_t d, size_t k,
+                       std::vector<size_t> dims, uint64_t seed) {
   GeneratorParams gen;
-  gen.num_points = 2000;
-  gen.space_dims = 20;
-  gen.num_clusters = 5;
-  gen.poisson_mean = 5.0;
-  gen.seed = 7;
+  gen.num_points = n;
+  gen.space_dims = d;
+  gen.num_clusters = k;
+  gen.cluster_dim_counts = std::move(dims);
+  gen.seed = seed;
   auto data = GenerateSynthetic(gen);
-  std::vector<size_t> candidates(data->dataset.size());
-  for (size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
-  for (auto _ : state) {
-    Rng rng(11);
-    benchmark::DoNotOptimize(GreedyPick(data->dataset, candidates,
-                                        static_cast<size_t>(state.range(0)),
-                                        MetricKind::kManhattan, rng));
+  if (!data.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 data.status().ToString().c_str());
+    std::exit(1);
   }
+  return std::move(data).value();
 }
-BENCHMARK(BM_GreedyPick)->Arg(10)->Arg(50);
 
-void BM_LocalityStats(benchmark::State& state) {
-  GeneratorParams gen;
-  gen.num_points = static_cast<size_t>(state.range(0));
-  gen.space_dims = 20;
-  gen.num_clusters = 5;
-  gen.cluster_dim_counts = {5, 5, 5, 5, 5};
-  gen.seed = 13;
-  auto data = GenerateSynthetic(gen);
-  std::vector<size_t> medoids{0, gen.num_points / 5, 2 * gen.num_points / 5,
-                              3 * gen.num_points / 5,
-                              4 * gen.num_points / 5};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(internal::LocalityStats(data->dataset, medoids));
-  }
-  state.SetItemsProcessed(state.iterations() * gen.num_points);
-}
-BENCHMARK(BM_LocalityStats)->Arg(10000)->Arg(50000);
+struct Case {
+  std::string name;
+  double items = 0.0;              // work per timed pass, for items/s
+  std::function<void()> pass;      // one timed pass
+};
 
-void BM_AssignPoints(benchmark::State& state) {
-  GeneratorParams gen;
-  gen.num_points = static_cast<size_t>(state.range(0));
-  gen.space_dims = 20;
-  gen.num_clusters = 5;
-  gen.cluster_dim_counts = {5, 5, 5, 5, 5};
-  gen.seed = 17;
-  auto data = GenerateSynthetic(gen);
-  std::vector<size_t> medoids{0, gen.num_points / 5, 2 * gen.num_points / 5,
-                              3 * gen.num_points / 5,
-                              4 * gen.num_points / 5};
-  std::vector<DimensionSet> dims(5, DimensionSet(20, {0, 4, 9, 13, 19}));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(AssignPoints(data->dataset, medoids, dims));
-  }
-  state.SetItemsProcessed(state.iterations() * gen.num_points);
-}
-BENCHMARK(BM_AssignPoints)->Arg(10000)->Arg(50000);
-
-void BM_FindDimensions(benchmark::State& state) {
-  Rng rng(19);
-  const size_t k = 5, d = static_cast<size_t>(state.range(0));
-  Matrix X(k, d);
-  for (size_t i = 0; i < k; ++i)
-    for (size_t j = 0; j < d; ++j) X(i, j) = rng.Uniform(0, 30);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(FindDimensions(X, 5.0));
-  }
-}
-BENCHMARK(BM_FindDimensions)->Arg(20)->Arg(100);
-
-void BM_CliqueDenseUnits(benchmark::State& state) {
-  GeneratorParams gen;
-  gen.num_points = static_cast<size_t>(state.range(0));
-  gen.space_dims = 10;
-  gen.num_clusters = 3;
-  gen.cluster_dim_counts = {4, 4, 4};
-  gen.seed = 23;
-  auto data = GenerateSynthetic(gen);
-  auto grid = Grid::Build(data->dataset, 10);
-  auto cells = grid->QuantizeAll(data->dataset);
-  MinerParams params;
-  params.xi = 10;
-  params.tau_percent = 1.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        MineDenseUnits(cells, gen.num_points, 10, params));
-  }
-  state.SetItemsProcessed(state.iterations() * gen.num_points);
-}
-BENCHMARK(BM_CliqueDenseUnits)->Arg(10000)->Arg(30000);
-
-void BM_ProclusEndToEnd(benchmark::State& state) {
-  GeneratorParams gen;
-  gen.num_points = static_cast<size_t>(state.range(0));
-  gen.space_dims = 20;
-  gen.num_clusters = 5;
-  gen.cluster_dim_counts = {5, 5, 5, 5, 5};
-  gen.seed = 29;
-  auto data = GenerateSynthetic(gen);
-  for (auto _ : state) {
-    ProclusParams params;
-    params.num_clusters = 5;
-    params.avg_dims = 5.0;
-    params.seed = 31;
-    benchmark::DoNotOptimize(RunProclus(data->dataset, params));
-  }
-  state.SetItemsProcessed(state.iterations() * gen.num_points);
-}
-BENCHMARK(BM_ProclusEndToEnd)->Unit(benchmark::kMillisecond)->Arg(10000);
-
-void BM_ClassifyPoints(benchmark::State& state) {
-  GeneratorParams gen;
-  gen.num_points = static_cast<size_t>(state.range(0));
-  gen.space_dims = 20;
-  gen.num_clusters = 5;
-  gen.cluster_dim_counts = {5, 5, 5, 5, 5};
-  gen.seed = 37;
-  auto data = GenerateSynthetic(gen);
-  ProclusParams params;
-  params.num_clusters = 5;
-  params.avg_dims = 5.0;
-  params.seed = 41;
-  auto model = RunProclus(data->dataset, params);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ClassifyPoints(*model, data->dataset));
-  }
-  state.SetItemsProcessed(state.iterations() * gen.num_points);
-}
-BENCHMARK(BM_ClassifyPoints)->Arg(10000)->Arg(50000);
-
-void BM_JacobiEigen(benchmark::State& state) {
-  Rng rng(43);
-  const size_t n = static_cast<size_t>(state.range(0));
-  Matrix m(n, n);
-  for (size_t i = 0; i < n; ++i)
-    for (size_t j = i; j < n; ++j) {
-      m(i, j) = rng.Uniform(-1, 1);
-      m(j, i) = m(i, j);
+// Times each case as the best of `reps` passes and reports items/s.
+// Returns false if any throughput comes out non-finite or non-positive.
+bool RunCases(const std::vector<Case>& cases, size_t reps) {
+  bool ok = true;
+  for (const Case& c : cases) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t rep = 0; rep < reps; ++rep) {
+      Timer timer;
+      c.pass();
+      best = std::min(best, timer.ElapsedSeconds());
     }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(JacobiEigen(m));
+    const double rate = c.items / best;
+    PrintHeader(c.name);
+    PrintKV("items per pass", c.items);
+    PrintKV("seconds", best);
+    PrintKV("Mitems/s", rate / 1e6);
+    if (!std::isfinite(rate) || rate <= 0.0) {
+      std::fprintf(stderr, "FAIL %s: non-finite or zero throughput\n",
+                   c.name.c_str());
+      ok = false;
+    }
   }
+  return ok;
 }
-BENCHMARK(BM_JacobiEigen)->Arg(10)->Arg(20)->Arg(50);
-
-void BM_OrclusEndToEnd(benchmark::State& state) {
-  GeneratorParams gen;
-  gen.num_points = static_cast<size_t>(state.range(0));
-  gen.space_dims = 12;
-  gen.num_clusters = 3;
-  gen.cluster_dim_counts = {4, 4, 4};
-  gen.outlier_fraction = 0.0;
-  gen.seed = 47;
-  auto data = GenerateSynthetic(gen);
-  for (auto _ : state) {
-    OrclusParams params;
-    params.num_clusters = 3;
-    params.subspace_dims = 4;
-    params.seed = 53;
-    benchmark::DoNotOptimize(RunOrclus(data->dataset, params));
-  }
-  state.SetItemsProcessed(state.iterations() * gen.num_points);
-}
-BENCHMARK(BM_OrclusEndToEnd)->Unit(benchmark::kMillisecond)->Arg(5000);
 
 }  // namespace
-}  // namespace proclus
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const size_t reps = options.repetitions < 3 ? 3 : options.repetitions;
+  // Row counts for the dataset-driven cases; the paper-scale defaults
+  // shrink under --quick/--scale like every other harness binary.
+  const size_t n_scan = options.Points(50000);
+  const size_t n_mid = options.Points(10000);
+  const size_t n_small = std::max<size_t>(1000, n_mid / 5);
+
+  // Shared inputs, built once outside the timed passes.
+  Rng rng(1);
+  const auto a20 = RandomPoint(20, rng), b20 = RandomPoint(20, rng);
+  const auto a100 = RandomPoint(100, rng), b100 = RandomPoint(100, rng);
+  const auto a1000 = RandomPoint(1000, rng), b1000 = RandomPoint(1000, rng);
+  std::vector<uint32_t> dims7;
+  for (uint32_t j = 0; j < 7; ++j) dims7.push_back(j * 7);
+
+  SyntheticData scan_data =
+      MakeData(n_scan, 20, 5, {5, 5, 5, 5, 5}, 13);
+  std::vector<size_t> medoids{0, n_scan / 5, 2 * n_scan / 5, 3 * n_scan / 5,
+                              4 * n_scan / 5};
+  std::vector<DimensionSet> assign_dims(5,
+                                        DimensionSet(20, {0, 4, 9, 13, 19}));
+
+  SyntheticData greedy_data = MakeData(2000, 20, 5, {5, 5, 5, 5, 5}, 7);
+  std::vector<size_t> candidates(greedy_data.dataset.size());
+  for (size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+
+  Rng fd_rng(19);
+  Matrix locality(5, 100);
+  for (size_t i = 0; i < 5; ++i)
+    for (size_t j = 0; j < 100; ++j) locality(i, j) = fd_rng.Uniform(0, 30);
+
+  SyntheticData clique_data = MakeData(n_mid, 10, 3, {4, 4, 4}, 23);
+  auto grid = Grid::Build(clique_data.dataset, 10);
+  auto cells = grid->QuantizeAll(clique_data.dataset);
+  MinerParams miner;
+  miner.xi = 10;
+  miner.tau_percent = 1.0;
+
+  Rng eig_rng(43);
+  Matrix sym(50, 50);
+  for (size_t i = 0; i < 50; ++i)
+    for (size_t j = i; j < 50; ++j) {
+      sym(i, j) = eig_rng.Uniform(-1, 1);
+      sym(j, i) = sym(i, j);
+    }
+
+  SyntheticData proclus_data = MakeData(n_mid, 20, 5, {5, 5, 5, 5, 5}, 29);
+  ProclusParams proclus_params;
+  proclus_params.num_clusters = 5;
+  proclus_params.avg_dims = 5.0;
+  proclus_params.seed = 31;
+  auto classify_model = RunProclus(proclus_data.dataset, proclus_params);
+  if (!classify_model.ok()) {
+    std::fprintf(stderr, "PROCLUS failed: %s\n",
+                 classify_model.status().ToString().c_str());
+    return 1;
+  }
+
+  SyntheticData orclus_data = MakeData(n_small, 12, 3, {4, 4, 4}, 47);
+  OrclusParams orclus_params;
+  orclus_params.num_clusters = 3;
+  orclus_params.subspace_dims = 4;
+  orclus_params.seed = 53;
+
+  constexpr size_t kDistEvals = 20000;
+  std::vector<Case> cases;
+  auto dist_case = [&](const char* name, const std::vector<double>& a,
+                       const std::vector<double>& b, auto fn) {
+    cases.push_back({name, static_cast<double>(kDistEvals * a.size()), [&, fn] {
+                       double acc = 0.0;
+                       for (size_t i = 0; i < kDistEvals; ++i) acc += fn(a, b);
+                       g_sink = acc;
+                     }});
+  };
+  dist_case("manhattan d=20", a20, b20,
+            [](const auto& a, const auto& b) {
+              return ManhattanDistance(a, b);
+            });
+  dist_case("manhattan d=100", a100, b100,
+            [](const auto& a, const auto& b) {
+              return ManhattanDistance(a, b);
+            });
+  dist_case("manhattan d=1000", a1000, b1000,
+            [](const auto& a, const auto& b) {
+              return ManhattanDistance(a, b);
+            });
+  dist_case("euclidean d=20", a20, b20,
+            [](const auto& a, const auto& b) {
+              return EuclideanDistance(a, b);
+            });
+  dist_case("euclidean d=100", a100, b100,
+            [](const auto& a, const auto& b) {
+              return EuclideanDistance(a, b);
+            });
+  cases.push_back({"segmental 7-of-50", static_cast<double>(kDistEvals * 7),
+                   [&] {
+                     double acc = 0.0;
+                     for (size_t i = 0; i < kDistEvals; ++i)
+                       acc += ManhattanSegmentalDistance(a100, b100, dims7);
+                     g_sink = acc;
+                   }});
+  cases.push_back({"synthetic generator", static_cast<double>(n_mid), [&] {
+                     GeneratorParams gen;
+                     gen.num_points = n_mid;
+                     gen.space_dims = 20;
+                     gen.num_clusters = 5;
+                     gen.poisson_mean = 5.0;
+                     gen.seed = 5;
+                     auto result = GenerateSynthetic(gen);
+                     g_sink = result.ok()
+                                  ? static_cast<double>(result->dataset.size())
+                                  : 0.0;
+                   }});
+  cases.push_back(
+      {"greedy pick 50", static_cast<double>(greedy_data.dataset.size()), [&] {
+         Rng pick_rng(11);
+         auto picked = GreedyPick(greedy_data.dataset, candidates, 50,
+                                  MetricKind::kManhattan, pick_rng);
+         g_sink = static_cast<double>(picked.size());
+       }});
+  cases.push_back({"locality stats", static_cast<double>(n_scan), [&] {
+                     auto stats =
+                         internal::LocalityStats(scan_data.dataset, medoids);
+                     g_sink = stats(0, 0);
+                   }});
+  cases.push_back({"assign points", static_cast<double>(n_scan), [&] {
+                     auto labels = AssignPoints(scan_data.dataset, medoids,
+                                                assign_dims);
+                     g_sink = static_cast<double>(labels.back());
+                   }});
+  cases.push_back({"find dimensions d=100", 500.0, [&] {
+                     auto found = FindDimensions(locality, 5.0);
+                     g_sink = found.ok()
+                                  ? static_cast<double>(found->size())
+                                  : -1.0;
+                   }});
+  cases.push_back({"clique dense units", static_cast<double>(n_mid), [&] {
+                     auto units = MineDenseUnits(cells, n_mid, 10, miner);
+                     g_sink = units.ok()
+                                  ? static_cast<double>(units->levels.size())
+                                  : -1.0;
+                   }});
+  cases.push_back({"jacobi eigen 50x50", 50.0 * 50.0, [&] {
+                     auto eig = JacobiEigen(sym);
+                     g_sink = eig.ok() ? eig->values[0] : -1.0;
+                   }});
+  cases.push_back({"classify points", static_cast<double>(n_mid), [&] {
+                     auto labels =
+                         ClassifyPoints(*classify_model, proclus_data.dataset);
+                     g_sink = labels.ok()
+                                  ? static_cast<double>(labels->back())
+                                  : -1.0;
+                   }});
+  cases.push_back({"proclus end-to-end", static_cast<double>(n_mid), [&] {
+                     auto model = RunProclus(proclus_data.dataset,
+                                             proclus_params);
+                     g_sink = model.ok() ? model->objective : -1.0;
+                   }});
+  cases.push_back({"orclus end-to-end", static_cast<double>(n_small), [&] {
+                     auto model = RunOrclus(orclus_data.dataset,
+                                            orclus_params);
+                     g_sink = model.ok() ? model->objective : -1.0;
+                   }});
+
+  bool ok = RunCases(cases, reps);
+
+  if (smoke) {
+    // Run-to-run determinism of the heaviest composite case: two
+    // fresh end-to-end runs must agree bit-for-bit.
+    auto first = RunProclus(proclus_data.dataset, proclus_params);
+    auto second = RunProclus(proclus_data.dataset, proclus_params);
+    if (!first.ok() || !second.ok() || first->labels != second->labels ||
+        first->objective != second->objective) {
+      std::fprintf(stderr, "FAIL proclus end-to-end: nondeterministic\n");
+      ok = false;
+    }
+  }
+
+  FinishJson("micro_kernels");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,211 @@
+// Sketch-screen A/B harness: what exact-result candidate pruning buys.
+//
+// Runs PROCLUS twice on the same input — ProclusParams::sketch off (every
+// argmin/threshold comparison pays the full-dimensional kernel) and on
+// (the random-projection / prefix screens discard provably-losing
+// candidates and only survivors reach the exact kernels) — at
+// d in {20, 100, 500} over both an in-memory source and a disk snapshot.
+// Reports wall time, the on/off speedup, and the screen counters
+// (rows screened / pruned / exact verifications, prune rate). The two
+// paths are bit-identical by construction; this harness verifies that on
+// every run.
+//
+// --smoke asserts, for every (d, source) cell: the screened clustering is
+// bit-identical to the unscreened one, the screen counters balance
+// (screened == pruned + verifications) with screened > 0, and at least
+// one cell pruned at least one candidate — so a bounds regression that
+// silently stops pruning (or worse, changes bits) fails CI. Wired into
+// ctest under the bench_smoke label. Timing is reported but never
+// asserted: on the single-core CI container the on/off ratio is noisy at
+// --quick scale; the committed BENCH_sketch.json records the measured
+// ratios honestly.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/binary_io.h"
+#include "data/point_source.h"
+#include "sketch/plan.h"
+
+namespace {
+
+using namespace proclus;
+using namespace proclus::bench;
+
+struct SketchRun {
+  ProjectedClustering clustering;
+  double seconds = 0.0;
+};
+
+SketchRun RunOnce(const PointSource& source, const ProclusParams& params,
+                  size_t reps) {
+  SketchRun run;
+  run.seconds = std::numeric_limits<double>::infinity();
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    auto result = RunProclusOnSource(source, params);
+    double seconds = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "PROCLUS failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    run.seconds = std::min(run.seconds, seconds);
+    run.clustering = std::move(result).value();
+  }
+  return run;
+}
+
+bool SameClustering(const ProjectedClustering& a,
+                    const ProjectedClustering& b) {
+  return a.labels == b.labels && a.medoids == b.medoids &&
+         a.objective == b.objective && a.iterations == b.iterations &&
+         a.improvements == b.improvements;
+}
+
+// One high-dimensional Case-1-style input: k clusters in 7-dimensional
+// subspaces of a d-dimensional space, 5% outliers. paper_n scales down
+// with d so the full grid stays tractable at d=500.
+GeneratorParams MakeInput(const BenchOptions& options, size_t d,
+                          size_t paper_n) {
+  GeneratorParams gen = Case1Params(options);
+  gen.space_dims = d;
+  gen.num_points = options.Points(paper_n);
+  return gen;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+  const size_t reps = options.repetitions;
+  bool ok = true;
+  uint64_t total_pruned = 0;
+
+  struct Config {
+    size_t d;
+    size_t paper_n;
+  };
+  // N shrinks as d grows so every cell finishes in seconds at --quick;
+  // the full-scale run keeps N * d roughly constant across rows.
+  const Config configs[] = {{20, 50000}, {100, 10000}, {500, 2000}};
+
+  for (const Config& config : configs) {
+    GeneratorParams gen = MakeInput(options, config.d, config.paper_n);
+    auto data = GenerateSynthetic(gen);
+    if (!data.ok()) {
+      std::fprintf(stderr, "generator failed: %s\n",
+                   data.status().ToString().c_str());
+      return 1;
+    }
+
+    const std::string disk_path = "/tmp/proclus_sketch_" +
+                                  std::to_string(::getpid()) + "_" +
+                                  std::to_string(config.d) + ".bin";
+    Status written = WriteBinaryFile(data->dataset, disk_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "snapshot write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    auto disk = DiskSource::Open(disk_path);
+    if (!disk.ok()) {
+      std::fprintf(stderr, "snapshot open failed: %s\n",
+                   disk.status().ToString().c_str());
+      return 1;
+    }
+    MemorySource memory(data->dataset);
+
+    ProclusParams params = DefaultProclus(gen.num_clusters, 7.0,
+                                          options.algo_seed);
+    // Fixed climb length: both arms of the A/B do identical work, and the
+    // run is long enough that iteration scans dominate initialization.
+    params.num_restarts = 2;
+    params.max_iterations = 30;
+    params.max_no_improve = 30;
+
+    const size_t rows = data->dataset.size();
+    const size_t width = SketchWidth(rows, config.d);
+    const PointSource* sources[] = {&memory, &*disk};
+    const char* source_names[] = {"memory", "disk"};
+    for (size_t s = 0; s < 2; ++s) {
+      const std::string name = "d=" + std::to_string(config.d) + " " +
+                               source_names[s];
+      params.sketch = false;
+      SketchRun off = RunOnce(*sources[s], params, reps);
+      params.sketch = true;
+      SketchRun on = RunOnce(*sources[s], params, reps);
+
+      const RunStats& stats = on.clustering.stats;
+      PrintHeader(name);
+      PrintKV("rows", static_cast<double>(rows));
+      PrintKV("sketch width", static_cast<double>(width));
+      PrintKV("off seconds", off.seconds);
+      PrintKV("on seconds", on.seconds);
+      PrintKV("speedup", off.seconds / on.seconds);
+      PrintKV("rows screened", static_cast<double>(stats.sketch_rows_screened));
+      PrintKV("rows pruned", static_cast<double>(stats.sketch_rows_pruned));
+      PrintKV("exact verifications",
+              static_cast<double>(stats.sketch_exact_verifications));
+      PrintKV("prune rate",
+              stats.sketch_rows_screened == 0
+                  ? 0.0
+                  : static_cast<double>(stats.sketch_rows_pruned) /
+                        static_cast<double>(stats.sketch_rows_screened));
+      const bool identical = SameClustering(off.clustering, on.clustering);
+      PrintKV("bit identical", identical ? "yes" : "no");
+      total_pruned += stats.sketch_rows_pruned;
+
+      if (!identical) {
+        std::fprintf(stderr, "FAIL %s: sketch on != sketch off\n",
+                     name.c_str());
+        ok = false;
+      }
+      if (smoke) {
+        if (stats.sketch_rows_screened == 0) {
+          std::fprintf(stderr, "FAIL %s: no candidates screened\n",
+                       name.c_str());
+          ok = false;
+        }
+        if (stats.sketch_rows_screened !=
+            stats.sketch_rows_pruned + stats.sketch_exact_verifications) {
+          std::fprintf(stderr,
+                       "FAIL %s: counter imbalance (%" PRIu64 " screened != "
+                       "%" PRIu64 " pruned + %" PRIu64 " verified)\n",
+                       name.c_str(), stats.sketch_rows_screened,
+                       stats.sketch_rows_pruned,
+                       stats.sketch_exact_verifications);
+          ok = false;
+        }
+        if (off.clustering.stats.sketch_rows_screened != 0) {
+          std::fprintf(stderr, "FAIL %s: sketch-off run screened rows\n",
+                       name.c_str());
+          ok = false;
+        }
+      }
+    }
+    std::remove(disk_path.c_str());
+  }
+
+  if (smoke && total_pruned == 0) {
+    std::fprintf(stderr, "FAIL: no configuration pruned any candidate\n");
+    ok = false;
+  }
+
+  FinishJson("sketch");
+  return ok ? 0 : 1;
+}

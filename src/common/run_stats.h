@@ -47,6 +47,15 @@ struct RunStats {
   uint64_t locality_cache_hits = 0;
   /// Locality-scan medoid distance columns that had to be computed.
   uint64_t locality_cache_misses = 0;
+  /// (row, reference) pairs examined by a sketch / prefix screen
+  /// (src/sketch/): candidates a lower bound was computed for.
+  uint64_t sketch_rows_screened = 0;
+  /// Screened pairs whose lower bound proved the exact evaluation could
+  /// not change the result — the exact kernel skipped them.
+  uint64_t sketch_rows_pruned = 0;
+  /// Screened pairs the bound could not discard; evaluated exactly by
+  /// the verify phase. screened = pruned + exact_verifications.
+  uint64_t sketch_exact_verifications = 0;
 
   // ----- Resilience counters (recorded by ScanExecutor / retry helpers) -----
   /// Operations (scans or fetches) re-issued after a transient failure.
@@ -132,6 +141,9 @@ struct RunStats {
     tile_reuse_hits += other.tile_reuse_hits;
     locality_cache_hits += other.locality_cache_hits;
     locality_cache_misses += other.locality_cache_misses;
+    sketch_rows_screened += other.sketch_rows_screened;
+    sketch_rows_pruned += other.sketch_rows_pruned;
+    sketch_exact_verifications += other.sketch_exact_verifications;
     retries += other.retries;
     failed_scans += other.failed_scans;
     wasted_rows += other.wasted_rows;

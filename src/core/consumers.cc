@@ -124,7 +124,29 @@ Status LocalityStatsConsumer::Prepare(const ScanGeometry& geometry) {
     blocks.resize(geometry.num_blocks);
   PrepareKernelScratch(scratch_, geometry.num_blocks);
   cols_.resize(geometry.num_blocks);
+  exact_cols_.resize(geometry.num_blocks);
   stats_.resize(variant_rows_.size());
+
+  // Sketch screen setup: project the union medoids once per scan and
+  // derive each union row's pruning threshold — the largest locality
+  // delta any variant compares that row's column against. A column value
+  // whose lower bound exceeds the threshold decides every comparison
+  // identically without the exact distance.
+  screening_ = sketch_ != nullptr && sketch_->ScreenProfitable(geometry.dims);
+  if (screening_) {
+    const size_t width = sketch_->width;
+    union_sketches_.resize(u * width);
+    union_masses_.resize(u);
+    for (size_t m = 0; m < u; ++m)
+      union_masses_[m] = sketch_->ProjectPoint(
+          medoids_->row(m), union_sketches_.data() + m * width);
+    thresholds_.assign(u, -std::numeric_limits<double>::infinity());
+    for (size_t v = 0; v < variant_rows_.size(); ++v) {
+      const std::vector<size_t>& map = variant_rows_[v];
+      for (size_t i = 0; i < map.size(); ++i)
+        thresholds_[map[i]] = std::max(thresholds_[map[i]], deltas_[v][i]);
+    }
+  }
 
   fresh_rows_.clear();
   fresh_entries_.clear();
@@ -141,6 +163,7 @@ Status LocalityStatsConsumer::Prepare(const ScanGeometry& geometry) {
     cache_->entries.reserve(
         std::max(capacity, cache_->entries.size() + u));
     col_base_.assign(u, nullptr);
+    exact_base_.assign(u, nullptr);
     for (size_t m = 0; m < u; ++m) {
       const size_t slot = slots_[m];
       MedoidDistanceCache::Entry* entry = nullptr;
@@ -172,17 +195,39 @@ Status LocalityStatsConsumer::Prepare(const ScanGeometry& geometry) {
         entry->slot = slot;
         entry->valid = false;
         entry->dist.resize(geometry.rows);
+        // A screened fill stores exact flags alongside the column; an
+        // unscreened fill restores the all-exact layout (empty vector).
+        if (screening_) {
+          entry->exact.resize(geometry.rows);
+        } else {
+          entry->exact.clear();
+        }
         fresh_rows_.push_back(m);
         fresh_entries_.push_back(
             static_cast<size_t>(entry - cache_->entries.data()));
       }
       entry->last_used = cache_->clock;
       col_base_[m] = entry->dist.data();
+      exact_base_[m] = entry->exact.empty() ? nullptr : entry->exact.data();
     }
     ResetMatrix(&fresh_medoids_, fresh_rows_.size(), geometry.dims);
     for (size_t f = 0; f < fresh_rows_.size(); ++f) {
       auto src = medoids_->row(fresh_rows_[f]);
       for (size_t j = 0; j < geometry.dims; ++j) fresh_medoids_(f, j) = src[j];
+    }
+    if (screening_) {
+      const size_t width = sketch_->width;
+      fresh_sketches_.resize(fresh_rows_.size() * width);
+      fresh_masses_.resize(fresh_rows_.size());
+      fresh_thresholds_.resize(fresh_rows_.size());
+      for (size_t f = 0; f < fresh_rows_.size(); ++f) {
+        const size_t m = fresh_rows_[f];
+        std::copy(union_sketches_.begin() + m * width,
+                  union_sketches_.begin() + (m + 1) * width,
+                  fresh_sketches_.begin() + f * width);
+        fresh_masses_[f] = union_masses_[m];
+        fresh_thresholds_[f] = thresholds_[m];
+      }
     }
   }
 
@@ -224,11 +269,27 @@ void LocalityStatsConsumer::ConsumeBlock(size_t block_index, size_t first_row,
   if (cache_ == nullptr) {
     scratch.dist.resize(u * rows);
     double* dist = scratch.dist.data();
-    ManhattanManyBatch(data, rows, d, *medoids_, scratch, dist);
-    for (size_t m = 0; m < u; ++m) {
-      double* row = dist + m * rows;
-      for (size_t r = 0; r < rows; ++r) row[r] /= denom;
-      cols[m] = row;
+    if (screening_) {
+      // Screened fill: the kernel normalizes internally and stores a
+      // guaranteed lower bound for pruned rows. No exact flags are kept
+      // — a pruned value exceeds every threshold this scan compares it
+      // against, so the decision loop below reads it unchanged.
+      const SketchSpec spec = sketch_->Spec();
+      SketchProjectBlock(data, rows, d, spec, scratch);
+      scratch.outs.resize(u);
+      for (size_t m = 0; m < u; ++m) scratch.outs[m] = dist + m * rows;
+      ManhattanManyScreenedBatch(
+          data, rows, d, *medoids_, union_sketches_.data(),
+          union_masses_.data(), spec, thresholds_, denom, scratch,
+          std::span<double* const>(scratch.outs), /*exacts=*/{});
+      for (size_t m = 0; m < u; ++m) cols[m] = dist + m * rows;
+    } else {
+      ManhattanManyBatch(data, rows, d, *medoids_, scratch, dist);
+      for (size_t m = 0; m < u; ++m) {
+        double* row = dist + m * rows;
+        for (size_t r = 0; r < rows; ++r) row[r] /= denom;
+        cols[m] = row;
+      }
     }
   } else {
     // Ownership contract (consumers.h): this block may write only the
@@ -239,23 +300,59 @@ void LocalityStatsConsumer::ConsumeBlock(size_t block_index, size_t first_row,
       scratch.outs.resize(fresh);
       for (size_t f = 0; f < fresh; ++f)
         scratch.outs[f] = col_base_[fresh_rows_[f]] + first_row;
-      ManhattanManyBatch(data, rows, d, fresh_medoids_, scratch,
-                         std::span<double* const>(scratch.outs));
-      for (size_t f = 0; f < fresh; ++f) {
-        double* col = scratch.outs[f];
-        for (size_t r = 0; r < rows; ++r) col[r] /= denom;
+      if (screening_) {
+        // Screened cache fill: pruned rows persist their lower bound
+        // with exact flag 0, so a later scan (whose thresholds differ)
+        // can still decide or locally recompute them (write-free reuse).
+        const SketchSpec spec = sketch_->Spec();
+        SketchProjectBlock(data, rows, d, spec, scratch);
+        scratch.exact_outs.resize(fresh);
+        for (size_t f = 0; f < fresh; ++f)
+          scratch.exact_outs[f] = exact_base_[fresh_rows_[f]] + first_row;
+        ManhattanManyScreenedBatch(
+            data, rows, d, fresh_medoids_, fresh_sketches_.data(),
+            fresh_masses_.data(), spec, fresh_thresholds_, denom, scratch,
+            std::span<double* const>(scratch.outs),
+            std::span<uint8_t* const>(scratch.exact_outs));
+      } else {
+        ManhattanManyBatch(data, rows, d, fresh_medoids_, scratch,
+                           std::span<double* const>(scratch.outs));
+        for (size_t f = 0; f < fresh; ++f) {
+          double* col = scratch.outs[f];
+          for (size_t r = 0; r < rows; ++r) col[r] /= denom;
+        }
       }
     }
     for (size_t m = 0; m < u; ++m) cols[m] = col_base_[m] + first_row;
+    std::vector<const uint8_t*>& excols = exact_cols_[block_index];
+    excols.resize(u);
+    for (size_t m = 0; m < u; ++m)
+      excols[m] = exact_base_[m] == nullptr ? nullptr
+                                            : exact_base_[m] + first_row;
   }
+  const std::vector<const uint8_t*>* excols =
+      cache_ == nullptr ? nullptr : &exact_cols_[block_index];
   for (size_t r = 0; r < rows; ++r) {
     std::span<const double> point = data.subspan(r * d, d);
     for (size_t v = 0; v < num_variants; ++v) {
       const std::vector<size_t>& map = variant_rows_[v];
       BlockSums& partial = partials_[v][block_index];
       for (size_t i = 0; i < map.size(); ++i) {
-        if (cols[map[i]][r] <= deltas_[v][i]) {
-          auto medoid = medoids_->row(map[i]);
+        const size_t m = map[i];
+        double dist = cols[m][r];
+        if (excols != nullptr && (*excols)[m] != nullptr &&
+            (*excols)[m][r] == 0) {
+          // Cached lower bound from a screened fill. If it already
+          // exceeds this variant's delta the exact distance would too;
+          // otherwise recompute the distance locally (same operation
+          // order as the batch fill, so the decision is bit-identical
+          // to an unscreened run). The recomputed value is NOT stored
+          // back — reuse is write-free under re-delivery and hedging.
+          if (dist > deltas_[v][i]) continue;
+          dist = FullSegmental(point, medoids_->row(m));
+        }
+        if (dist <= deltas_[v][i]) {
+          auto medoid = medoids_->row(m);
           double* sums = partial.sums.data() + i * d;
           for (size_t j = 0; j < d; ++j) {
             double diff = point[j] - medoid[j];
@@ -318,6 +415,9 @@ Status AssignConsumer::Bind(const Matrix* medoids,
   dim_lists_ = DimLists(*dims);
   segmental_ = segmental_normalization;
   accumulate_ = accumulate_centroids;
+  max_prefix_ = 0;
+  for (const std::vector<uint32_t>& list : dim_lists_)
+    max_prefix_ = std::max(max_prefix_, PrefixScreenDims(list.size()));
   return Status::OK();
 }
 
@@ -339,9 +439,11 @@ void AssignConsumer::ConsumeBlock(size_t block_index, size_t first_row,
                                   size_t rows) {
   const size_t d = dims_;
   const size_t k = medoids_->rows();
-  SegmentalArgminBatch(data, rows, d, *medoids_, dim_lists_, segmental_,
-                       /*spheres=*/{}, scratch_[block_index],
-                       labels_.data() + first_row);
+  SegmentalArgminScreenedBatch(data, rows, d, *medoids_, dim_lists_,
+                               segmental_, /*spheres=*/{},
+                               sketch_ != nullptr ? max_prefix_ : 0,
+                               scratch_[block_index],
+                               labels_.data() + first_row);
   if (!accumulate_) return;
   BlockSums* partial = &partials_[block_index];
   partial->sums.assign(k * d, 0.0);
@@ -402,6 +504,9 @@ Status RefineAssignConsumer::Bind(const Matrix* medoids,
   segmental_ = segmental_normalization;
   detect_outliers_ = detect_outliers;
   accumulate_ = accumulate_centroids;
+  max_prefix_ = 0;
+  for (const std::vector<uint32_t>& list : dim_lists_)
+    max_prefix_ = std::max(max_prefix_, PrefixScreenDims(list.size()));
   return Status::OK();
 }
 
@@ -430,8 +535,10 @@ void RefineAssignConsumer::ConsumeBlock(size_t block_index, size_t first_row,
     partial->count.assign(k, 0);
   }
   KernelScratch& scratch = scratch_[block_index];
-  SegmentalArgminBatch(data, rows, d, *medoids_, dim_lists_, segmental_,
-                       *spheres_, scratch, labels_.data() + first_row);
+  SegmentalArgminScreenedBatch(data, rows, d, *medoids_, dim_lists_,
+                               segmental_, *spheres_,
+                               sketch_ != nullptr ? max_prefix_ : 0, scratch,
+                               labels_.data() + first_row);
   for (size_t r = 0; r < rows; ++r) {
     const bool outlier = detect_outliers_ && scratch.inside[r] == 0;
     if (outlier) {

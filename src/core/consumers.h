@@ -39,6 +39,7 @@
 #include "common/matrix.h"
 #include "data/engine.h"
 #include "distance/batch.h"
+#include "sketch/plan.h"
 
 namespace proclus {
 
@@ -79,6 +80,15 @@ struct MedoidDistanceCache {
     bool valid = false;
     uint64_t last_used = 0;
     std::vector<double> dist;  ///< One distance per source row.
+    /// Sketch-screened fills (DESIGN.md §14): exact[r] == 1 marks dist[r]
+    /// as the exact segmental distance; 0 marks it as a guaranteed lower
+    /// bound (the screen pruned the exact evaluation because the bound
+    /// already exceeded every locality threshold of the filling scan). An
+    /// EMPTY vector means the whole column is exact (unscreened fill) —
+    /// the pre-sketch layout, still produced when screening is off.
+    /// Written only at fill time under the same ownership protocol as
+    /// `dist`; reusing scans never write it (write-free reuse).
+    std::vector<uint8_t> exact;
   };
   std::vector<Entry> entries;  ///< Small; linear lookup by slot.
   uint64_t clock = 0;          ///< Bumped per scan; drives LRU eviction.
@@ -118,6 +128,15 @@ class LocalityStatsConsumer final : public ScanConsumer {
               std::vector<std::vector<size_t>> variant_rows,
               std::span<const size_t> slots, MedoidDistanceCache* cache);
 
+  /// Enables sketch screening of the per-medoid distance columns (null
+  /// disables it — the ablation default). The plan must outlive the scan;
+  /// screening activates only when plan->ScreenProfitable(dims). The
+  /// statistics are bit-identical either way: a column value is only ever
+  /// compared against the locality thresholds, and a stored lower bound
+  /// replaces the exact distance only when both sides of that comparison
+  /// provably agree.
+  void SetSketch(const SketchPlan* sketch) { sketch_ = sketch; }
+
   Status Prepare(const ScanGeometry& geometry) override;
   void ConsumeBlock(size_t block_index, size_t first_row,
                     std::span<const double> data, size_t rows) override;
@@ -148,6 +167,17 @@ class LocalityStatsConsumer final : public ScanConsumer {
   std::vector<size_t> fresh_rows_;   // medoid rows needing fresh columns
   std::vector<size_t> fresh_entries_;  // cache entry index per fresh row
   Matrix fresh_medoids_;             // fresh rows' coordinates, packed
+  // Sketch-screening state (null/empty when screening is off this scan).
+  const SketchPlan* sketch_ = nullptr;
+  bool screening_ = false;           // resolved per scan in Prepare
+  std::vector<double> union_sketches_;   // u x width, row-major
+  std::vector<double> union_masses_;     // [u] L1 mass per medoid
+  std::vector<double> thresholds_;       // [u] max locality delta per row
+  std::vector<double> fresh_sketches_;   // fresh rows' sketches, packed
+  std::vector<double> fresh_masses_;
+  std::vector<double> fresh_thresholds_;
+  std::vector<uint8_t*> exact_base_;  // full-length exact flags (or null)
+  std::vector<std::vector<const uint8_t*>> exact_cols_;  // [block][row]
   size_t dims_ = 0;
   size_t rows_ = 0;  // source rows (= cached column length) this scan
   uint64_t distance_evals_ = 0;
@@ -162,6 +192,13 @@ class AssignConsumer final : public ScanConsumer {
   /// `medoids` (k x d) and `dims` (k sets) must outlive the scan.
   Status Bind(const Matrix* medoids, const std::vector<DimensionSet>* dims,
               bool segmental_normalization, bool accumulate_centroids);
+
+  /// Enables the prefix screen for the per-point argmin (null disables
+  /// it — the ablation default). The prefix screen reuses the exact
+  /// accumulation chain, so it is profitable at every dimensionality the
+  /// policy admits and needs no active projection; labels are
+  /// bit-identical either way.
+  void SetSketch(const SketchPlan* sketch) { sketch_ = sketch; }
 
   Status Prepare(const ScanGeometry& geometry) override;
   void ConsumeBlock(size_t block_index, size_t first_row,
@@ -190,6 +227,8 @@ class AssignConsumer final : public ScanConsumer {
   std::vector<std::vector<uint32_t>> dim_lists_;
   bool segmental_ = true;
   bool accumulate_ = false;
+  const SketchPlan* sketch_ = nullptr;
+  size_t max_prefix_ = 0;  // prefix-screen length cap (0 = screen off)
   std::vector<int> labels_;
   std::vector<BlockSums> partials_;
   std::vector<KernelScratch> scratch_;  // [block]
@@ -209,6 +248,10 @@ class RefineAssignConsumer final : public ScanConsumer {
               const std::vector<double>* spheres,
               bool segmental_normalization, bool detect_outliers,
               bool accumulate_centroids);
+
+  /// Enables the prefix screen (see AssignConsumer::SetSketch); sphere
+  /// membership flags and outlier labels are bit-identical either way.
+  void SetSketch(const SketchPlan* sketch) { sketch_ = sketch; }
 
   Status Prepare(const ScanGeometry& geometry) override;
   void ConsumeBlock(size_t block_index, size_t first_row,
@@ -234,6 +277,8 @@ class RefineAssignConsumer final : public ScanConsumer {
   bool segmental_ = true;
   bool detect_outliers_ = true;
   bool accumulate_ = false;
+  const SketchPlan* sketch_ = nullptr;
+  size_t max_prefix_ = 0;  // prefix-screen length cap (0 = screen off)
   std::vector<int> labels_;
   std::vector<BlockSums> partials_;
   std::vector<KernelScratch> scratch_;  // [block]

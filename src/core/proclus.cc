@@ -18,6 +18,7 @@
 #include "core/passes.h"
 #include "distance/metric.h"
 #include "distance/segmental.h"
+#include "sketch/plan.h"
 
 namespace proclus {
 
@@ -222,7 +223,10 @@ constexpr size_t kNoVariant = static_cast<size_t>(-1);
 Status FusedClimb(const PointSource& source, const ProclusParams& params,
                   const Matrix& candidate_coords, ClimbState& st, Rng& rng,
                   const ScanExecutor& executor, FusedScratch& s,
-                  RunStats& stats, const ClimbHook& hook) {
+                  RunStats& stats, const ClimbHook& hook,
+                  const SketchPlan* sketch) {
+  s.locality.SetSketch(sketch);
+  s.assign.SetSketch(sketch);
   const size_t k = params.num_clusters;
   const size_t pool = candidate_coords.rows();
   std::vector<size_t>& current = st.current;
@@ -391,7 +395,7 @@ Status ClassicClimb(const PointSource& source, const ProclusParams& params,
                     const Matrix& candidate_coords, ClimbState& st,
                     Rng& rng, const PassOptions& pass_options,
                     Matrix& medoid_coords, MedoidScratch& scratch,
-                    const ClimbHook& hook) {
+                    const ClimbHook& hook, const SketchPlan* sketch) {
   const size_t k = params.num_clusters;
   std::vector<size_t>& current = st.current;
   ClimbResult& out = st.out;
@@ -412,13 +416,14 @@ Status ClassicClimb(const PointSource& source, const ProclusParams& params,
     if (hook) PROCLUS_RETURN_IF_ERROR(hook(st, /*force_save=*/false));
     ++out.iterations;
     SlotsToCoords(candidate_coords, current, &medoid_coords);
-    auto X = LocalityStatsPass(source, medoid_coords, pass_options);
+    auto X = LocalityStatsPass(source, medoid_coords, pass_options, sketch);
     PROCLUS_RETURN_IF_ERROR(X.status());
     auto dims = FindDimensions(*X, params.avg_dims);
     PROCLUS_RETURN_IF_ERROR(dims.status());
     auto labels =
         AssignPointsPass(source, medoid_coords, *dims,
-                         params.segmental_normalization, pass_options);
+                         params.segmental_normalization, pass_options,
+                         sketch);
     PROCLUS_RETURN_IF_ERROR(labels.status());
     auto objective =
         EvaluateClustersPass(source, *labels, *dims, pass_options);
@@ -443,10 +448,11 @@ Status ClassicClimb(const PointSource& source, const ProclusParams& params,
 }
 
 // Configuration fingerprint a checkpoint is bound to: every parameter
-// that influences the numerical result, plus the data shape. num_threads
-// and fuse_scans are deliberately EXCLUDED — both are proven
-// bit-identical (see tests/core_engine_test.cc), so a checkpoint written
-// under one thread count or engine may be resumed under another.
+// that influences the numerical result, plus the data shape. num_threads,
+// fuse_scans, and sketch are deliberately EXCLUDED — all three are proven
+// bit-identical (see tests/core_engine_test.cc and
+// tests/sketch_prune_test.cc), so a checkpoint written under one thread
+// count, engine, or screening setting may be resumed under another.
 uint64_t ParamsFingerprint(const ProclusParams& p, size_t n, size_t d) {
   Xxh64 h(/*seed=*/0x50434c5350524f43ULL);  // "PCLSPROC"
   auto put_u64 = [&h](uint64_t v) { h.Update(&v, sizeof(v)); };
@@ -582,6 +588,12 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
     stats.cancel_checks += 1;
     PROCLUS_RETURN_IF_ERROR(params.cancel.Check());
   }
+  // Sketch plan for the whole run: a pure function of (seed, n, d), drawn
+  // from a private Rng stream so the main `rng` above is untouched —
+  // sketch on/off and checkpoint resume keep every other draw in place.
+  const SketchPlan sketch_plan =
+      params.sketch ? BuildSketchPlan(params.seed, n, d) : SketchPlan{};
+  const SketchPlan* sketch = params.sketch ? &sketch_plan : nullptr;
   Timer total_timer;
   Timer phase_timer;
 
@@ -758,10 +770,10 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
     Status climb =
         params.fuse_scans
             ? FusedClimb(source, params, candidate_coords, st, rng,
-                         executor, fused, stats, hook)
+                         executor, fused, stats, hook, sketch)
             : ClassicClimb(source, params, candidate_coords, st, rng,
                            pass_options, classic_coords, classic_scratch,
-                           hook);
+                           hook, sketch);
     PROCLUS_RETURN_IF_ERROR(climb);
     iterations += st.out.iterations;
     improvements += st.out.improvements;
@@ -836,6 +848,7 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
 
   if (params.fuse_scans) {
     RefineAssignConsumer refine;
+    refine.SetSketch(sketch);
     PROCLUS_RETURN_IF_ERROR(refine.Bind(
         &medoid_coords, &result.dimensions, &spheres,
         params.segmental_normalization, params.detect_outliers,
@@ -851,7 +864,8 @@ Result<ProjectedClustering> RunProclusOnSource(const PointSource& source,
   } else {
     auto labels = RefineAssignPass(source, medoid_coords, result.dimensions,
                                    spheres, params.segmental_normalization,
-                                   params.detect_outliers, pass_options);
+                                   params.detect_outliers, pass_options,
+                                   sketch);
     PROCLUS_RETURN_IF_ERROR(labels.status());
     result.labels = std::move(labels).value();
     auto objective = EvaluateClustersPass(source, result.labels,

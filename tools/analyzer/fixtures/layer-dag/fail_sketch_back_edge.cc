@@ -1,0 +1,8 @@
+// fixture-path: src/distance/fixture_sketch_back.cc
+// The screened kernels consume sketches, but distance (layer 2) must
+// never include sketch (layer 3): the kernel layer sees projections only
+// through the raw pointers/strides of SketchSpec, declared in its own
+// header. Including the plan builder here inverts the DAG — sketch
+// legitimately includes distance for the batch kernel declarations.
+#include "src/common/matrix.h"
+#include "src/sketch/plan.h"  // expect: layer-dag

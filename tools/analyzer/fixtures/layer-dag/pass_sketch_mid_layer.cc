@@ -1,0 +1,8 @@
+// fixture-path: src/core/fixture_sketch_down.cc
+// Sketch sits between distance (2) and core (4): the consumers include
+// the plan to project medoids and the batch kernels to run the screened
+// scans — both strictly downward edges, exactly the shape of the real
+// core/consumers.cc.
+#include "src/common/rng.h"
+#include "src/distance/batch.h"
+#include "src/sketch/plan.h"

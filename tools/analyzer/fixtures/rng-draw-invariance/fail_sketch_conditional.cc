@@ -1,0 +1,22 @@
+// fixture-path: src/sketch/fixture_sketch_conditional.cc
+// A sketch-matrix construction that draws the sign only for non-first
+// buckets: the private stream's position after the loop now depends on
+// which buckets the earlier draws happened to pick, so two plans built
+// for different row counts (same seed, same dims) would diverge — the
+// draw-count-invariance contract the sketch layer is built on.
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+void FillSketch(Rng& rng, size_t width, std::vector<uint32_t>& buckets,
+                std::vector<double>& signs) {
+  for (size_t j = 0; j < buckets.size(); ++j) {
+    buckets[j] = static_cast<uint32_t>(rng.UniformInt(width));
+    if (buckets[j] != 0) {
+      signs[j] = rng.Bernoulli(0.5) ? 1.0 : -1.0;  // expect: rng-draw-invariance
+    } else {
+      signs[j] = 1.0;
+    }
+  }
+}

@@ -1,0 +1,20 @@
+// fixture-path: src/sketch/fixture_sketch_plan.cc
+// The shape of the real BuildSketchPlan: a private stream (derived seed,
+// main run Rng untouched) consuming exactly two draws per dimension,
+// unconditionally. The Bernoulli draw sits in the ternary CONDITION —
+// it executes on every iteration; only the selected VALUE is branched,
+// so the stream position after the loop depends only on (seed, dims).
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+void FillSketch(uint64_t seed, size_t width, std::vector<uint32_t>& buckets,
+                std::vector<double>& signs) {
+  Rng rng(seed ^ 0x536b65746368ULL);
+  // draws: invariant — two draws per dimension on every path.
+  for (size_t j = 0; j < buckets.size(); ++j) {
+    buckets[j] = static_cast<uint32_t>(rng.UniformInt(width));
+    signs[j] = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+  }
+}
